@@ -1,0 +1,77 @@
+// Command bcbench regenerates the paper's evaluation (Section 5):
+// every table and figure, on the synthetic input suite documented in
+// DESIGN.md §3.
+//
+// Usage:
+//
+//	bcbench -exp table1
+//	bcbench -exp table2 -scale tiny
+//	bcbench -exp all
+//
+// Experiments: table1, table2, fig1, fig2a, fig2b, fig3, summary, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrbc/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | all")
+		scaleName = flag.String("scale", "full", "workload scale: full | tiny")
+		only      = flag.String("input", "", "restrict to a single input by name")
+	)
+	flag.Parse()
+
+	scale := bench.Full
+	if *scaleName == "tiny" {
+		scale = bench.Tiny
+	} else if *scaleName != "full" {
+		fmt.Fprintf(os.Stderr, "bcbench: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+	inputs := bench.Suite(scale)
+	if *only != "" {
+		in, err := bench.Find(inputs, *only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcbench:", err)
+			os.Exit(1)
+		}
+		inputs = []bench.Input{in}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(bench.FormatTable1(bench.Table1(inputs, scale)))
+		case "table2":
+			fmt.Println(bench.FormatTable2(bench.Table2(inputs, scale)))
+		case "fig1":
+			fmt.Println(bench.FormatFigure1(bench.Figure1(inputs, scale)))
+		case "fig2a":
+			fmt.Println(bench.FormatFigure2(bench.Figure2(inputs, "small", scale), "a"))
+		case "fig2b":
+			fmt.Println(bench.FormatFigure2(bench.Figure2(inputs, "large", scale), "b"))
+		case "fig3":
+			fmt.Println(bench.FormatFigure3(bench.Figure3(inputs, scale)))
+		case "model":
+			fmt.Println(bench.FormatModel(bench.ModelCheck(inputs, scale)))
+		case "summary":
+			fmt.Println(bench.FormatSummary(bench.Summarize(inputs, scale)))
+		default:
+			fmt.Fprintf(os.Stderr, "bcbench: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "fig1", "fig2a", "fig2b", "fig3", "model", "summary"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

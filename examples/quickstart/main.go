@@ -1,0 +1,46 @@
+// Quickstart: build a small graph, compute exact betweenness
+// centrality with Min-Rounds BC, and print the ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrbc"
+)
+
+func main() {
+	// A small directed "organization" graph: 0 is a hub that brokers
+	// most communication, 3 bridges two clusters.
+	g := mrbc.FromEdges(7, [][2]uint32{
+		{0, 1}, {1, 0},
+		{0, 2}, {2, 0},
+		{1, 2}, {2, 1},
+		{0, 3}, {3, 0},
+		{3, 4}, {4, 3},
+		{4, 5}, {5, 4},
+		{4, 6}, {6, 4},
+		{5, 6}, {6, 5},
+	})
+
+	// Exact BC: every vertex is a source.
+	res, err := mrbc.Betweenness(g, mrbc.AllSources(g), mrbc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("betweenness centrality (exact):")
+	for _, r := range mrbc.TopK(res.Scores, g.NumVertices()) {
+		fmt.Printf("  vertex %d: %.2f\n", r.Vertex, r.Score)
+	}
+	fmt.Printf("computed in %d synchronous rounds\n", res.Rounds)
+
+	// The same computation on a simulated 4-host cluster gives
+	// identical scores plus communication metrics.
+	dist, err := mrbc.Betweenness(g, mrbc.AllSources(g), mrbc.Options{Hosts: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed run: %d rounds, %d bytes over the wire\n",
+		dist.Rounds, dist.Bytes)
+}

@@ -1,0 +1,3 @@
+module mrbc
+
+go 1.22

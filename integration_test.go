@@ -1,0 +1,117 @@
+package mrbc
+
+// End-to-end integration tests: the full pipeline a downstream user
+// runs — generate, persist, reload, partition, compute with every
+// engine — must agree bit-for-bit on scores regardless of storage
+// format, partitioning policy, host count, or engine.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIntegrationFileToScores(t *testing.T) {
+	dir := t.TempDir()
+	orig := GenerateWebCrawl(8, 8, 3, 15, 99)
+
+	// Persist in both formats and reload.
+	textPath := filepath.Join(dir, "g.txt")
+	binPath := filepath.Join(dir, "g.gr")
+	if err := orig.Save(textPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Save(binPath); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := Load(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sources := Sources(orig, 0, 24)
+	ref, err := Betweenness(orig, sources, Options{Algorithm: Brandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, g := range map[string]*Graph{"text": fromText, "binary": fromBin} {
+		for _, opts := range []Options{
+			{Algorithm: MRBC, BatchSize: 8, Workers: 3},
+			{Algorithm: MRBC, Hosts: 3, BatchSize: 8},
+			{Algorithm: MRBC, Hosts: 5, Partition: EdgeCut},
+			{Algorithm: SBBC, Hosts: 3},
+			{Algorithm: ABBC, Workers: 2},
+			{Algorithm: MFBC, BatchSize: 16, Workers: 2},
+		} {
+			res, err := Betweenness(g, sources, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if d := MaxAbsDifference(res.Scores, ref.Scores); d > 1e-9 {
+				t.Fatalf("%s %+v: max deviation %g", name, opts, d)
+			}
+		}
+	}
+}
+
+func TestIntegrationWeightedPipeline(t *testing.T) {
+	dir := t.TempDir()
+	// Build a weighted graph, write DIMACS, reload, and compare all
+	// three weighted engines on the round trip.
+	var edges []WeightedEdge
+	g0 := GenerateRoadGrid(10, 10, 5)
+	for u := 0; u < g0.NumVertices(); u++ {
+		for _, v := range g0.OutNeighbors(uint32(u)) {
+			edges = append(edges, WeightedEdge{U: uint32(u), V: v, Weight: uint32(1 + (u+int(v))%7)})
+		}
+	}
+	wg := FromWeightedEdges(g0.NumVertices(), edges)
+	path := filepath.Join(dir, "road.dimacs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wg.WriteDIMACS(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reloaded, err := LoadDIMACS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []uint32{0, 17, 55, 99}
+	ref, err := BetweennessWeighted(wg, sources, Options{Algorithm: Brandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Brandes, ABBC, MFBC} {
+		res, err := BetweennessWeighted(reloaded, sources, Options{Algorithm: alg, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDifference(res.Scores, ref.Scores); d > 1e-9 {
+			t.Fatalf("%s after DIMACS round trip: deviation %g", alg, d)
+		}
+	}
+}
+
+func TestIntegrationExactVsApproxRanking(t *testing.T) {
+	// The approximation must reproduce the exact top-3 ranking on a
+	// graph with clear central structure.
+	g := GenerateWebCrawl(8, 8, 2, 10, 41)
+	exact, err := Betweenness(g, AllSources(g), Options{Algorithm: MRBC, BatchSize: 64, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxScores, _ := ApproximateBetweenness(g, ApproxOptions{Samples: g.NumVertices() / 2, Seed: 3, Workers: 4})
+	exactTop := TopK(exact.Scores, 1)[0].Vertex
+	approxTop := TopK(approxScores, 1)[0].Vertex
+	if exactTop != approxTop {
+		t.Fatalf("top vertex differs: exact %d vs approx %d", exactTop, approxTop)
+	}
+}

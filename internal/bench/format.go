@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+// table renders rows of cells with padded columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fus", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// FormatTable1 renders Table 1 ("Inputs and their properties, rounds,
+// and load imbalance").
+func FormatTable1(rows []Table1Row) string {
+	header := []string{"input", "paper", "|V|", "|E|", "maxOut", "maxIn",
+		"#src", "estDiam", "SBBC rnds/src", "MRBC rnds/src", "SBBC imb", "MRBC imb"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Input.Name, r.Input.PaperInput,
+			fmt.Sprint(r.V), fmt.Sprint(r.E),
+			fmt.Sprint(r.MaxOutDegree), fmt.Sprint(r.MaxInDegree),
+			fmt.Sprint(r.NumSources), fmt.Sprint(r.EstDiameter),
+			fmt.Sprintf("%.1f", r.SBBCRounds), fmt.Sprintf("%.1f", r.MRBCRounds),
+			fmt.Sprintf("%.2f", r.SBBCImbalance), fmt.Sprintf("%.2f", r.MRBCImbalance),
+		})
+	}
+	return "Table 1: inputs, rounds per source, load imbalance at scale\n" + table(header, out)
+}
+
+// FormatTable2 renders Table 2 ("Execution time using the
+// best-performing number of hosts").
+func FormatTable2(rows []Table2Row) string {
+	header := []string{"input", "paper", "algorithm", "time/src", "best hosts"}
+	var out [][]string
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			out = append(out, []string{
+				r.Input.Name, r.Input.PaperInput, c.Algorithm,
+				fmtDur(c.PerSource), fmt.Sprint(c.BestHosts),
+			})
+		}
+	}
+	return "Table 2: execution time per source at the best host count\n" + table(header, out)
+}
+
+// FormatFigure1 renders the Figure 1 series.
+func FormatFigure1(points []Fig1Point) string {
+	header := []string{"input", "paper", "batch k", "exec time", "rounds"}
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			p.Input.Name, p.Input.PaperInput, fmt.Sprint(p.Batch),
+			fmtDur(p.Execution), fmt.Sprint(p.Rounds),
+		})
+	}
+	return "Figure 1: MRBC execution time and rounds vs batch size (large inputs at scale)\n" +
+		table(header, out)
+}
+
+// FormatFigure2 renders a Figure 2 breakdown ("a" = small inputs,
+// "b" = large inputs).
+func FormatFigure2(bars []Fig2Bar, sub string) string {
+	header := []string{"input", "paper", "alg", "compute", "comm (non-overlap)", "comm volume", "rounds"}
+	var out [][]string
+	for _, b := range bars {
+		out = append(out, []string{
+			b.Input.Name, b.Input.PaperInput, b.Algorithm,
+			fmtDur(b.Computation), fmtDur(b.CommTime), fmtBytes(b.CommBytes),
+			fmt.Sprint(b.Rounds),
+		})
+	}
+	return fmt.Sprintf("Figure 2%s: computation vs non-overlapped communication breakdown\n", sub) +
+		table(header, out)
+}
+
+// FormatFigure3 renders the strong-scaling series.
+func FormatFigure3(points []Fig3Point) string {
+	header := []string{"input", "paper", "alg", "hosts", "exec", "compute"}
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			p.Input.Name, p.Input.PaperInput, p.Algorithm, fmt.Sprint(p.Hosts),
+			fmtDur(p.Execution), fmtDur(p.Computation),
+		})
+	}
+	return "Figure 3: strong scaling of execution/computation time (large inputs)\n" +
+		table(header, out)
+}
+
+// FormatSummary renders the headline aggregates.
+func FormatSummary(s Summary) string {
+	return fmt.Sprintf(`Summary over %d inputs (geometric means, at-scale host counts):
+  round reduction   (SBBC/MRBC): %.1fx   (paper: 14.0x)
+  comm-time ratio   (SBBC/MRBC): %.1fx   (paper: 2.8x)
+  comm-volume ratio (SBBC/MRBC): %.1fx
+`, s.Inputs, s.RoundReduction, s.CommReduction, s.VolumeRatio)
+}

@@ -1,0 +1,372 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Any() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if !s.None() {
+		t.Fatal("None should be true for empty set")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative capacity")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Set":    func() { s.Set(10) },
+		"Test":   func() { s.Test(-1) },
+		"Clear":  func() { s.Clear(11) },
+		"SetNeg": func() { s.Set(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFillAndReset(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	if got := s.Count(); got != 70 {
+		t.Fatalf("Count after Fill = %d, want 70", got)
+	}
+	// Fill must not set bits beyond capacity (trim).
+	if s.words[1]>>uint(70-64) != 0 {
+		t.Fatal("Fill set bits beyond capacity")
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("set not empty after Reset")
+	}
+}
+
+func TestFillExactWordBoundary(t *testing.T) {
+	s := New(128)
+	s.Fill()
+	if got := s.Count(); got != 128 {
+		t.Fatalf("Count = %d, want 128", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(50)
+	s.Set(3)
+	c := s.Clone()
+	c.Set(4)
+	if s.Test(4) {
+		t.Fatal("mutating clone changed original")
+	}
+	if !c.Test(3) {
+		t.Fatal("clone missing original bit")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(40), New(40)
+	a.Set(1)
+	b.Set(2)
+	b.CopyFrom(a)
+	if !b.Test(1) || b.Test(2) {
+		t.Fatalf("CopyFrom result wrong: %v", b.Slice())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(2)
+	a.Set(70)
+	b.Set(2)
+	b.Set(3)
+	b.Set(70)
+
+	u := a.Clone()
+	u.Union(b)
+	if got, want := u.Slice(), []int{1, 2, 3, 70}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if got, want := i.Slice(), []int{2, 70}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.Difference(b)
+	if got, want := d.Slice(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Difference = %v, want %v", got, want)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	if !a.Equal(b) {
+		t.Fatal("empty sets should be equal")
+	}
+	a.Set(64)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Set(64)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	c := New(66)
+	c.Set(64)
+	if a.Equal(c) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{5, 63, 64, 130, 199} {
+		s.Set(i)
+	}
+	cases := []struct {
+		from int
+		want int
+		ok   bool
+	}{
+		{0, 5, true}, {5, 5, true}, {6, 63, true}, {64, 64, true},
+		{65, 130, true}, {131, 199, true}, {-7, 5, true}, {200, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.NextSet(c.from)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("NextSet(%d) = (%d,%v), want (%d,%v)", c.from, got, ok, c.want, c.ok)
+		}
+	}
+	empty := New(10)
+	if _, ok := empty.NextSet(0); ok {
+		t.Fatal("NextSet on empty set returned a bit")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(100)
+	s.Set(1)
+	s.Set(2)
+	s.Set(3)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if got, want := seen, []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("early stop saw %v, want %v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(2)
+	s.Set(7)
+	if got := s.String(); got != "[2 7]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Slice returns exactly the indices that were set, sorted,
+// without duplicates.
+func TestQuickSliceMatchesModel(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		model := map[int]bool{}
+		for _, i := range idx {
+			s.Set(int(i))
+			model[int(i)] = true
+		}
+		got := s.Slice()
+		if len(got) != len(model) {
+			return false
+		}
+		prev := -1
+		for _, i := range got {
+			if !model[i] || i <= prev {
+				return false
+			}
+			prev = i
+		}
+		return s.Count() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| + |A∩B| == |A| + |B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(aIdx, bIdx []uint8) bool {
+		a, b := New(256), New(256)
+		for _, i := range aIdx {
+			a.Set(int(i))
+		}
+		for _, i := range bIdx {
+			b.Set(int(i))
+		}
+		u := a.Clone()
+		u.Union(b)
+		x := a.Clone()
+		x.Intersect(b)
+		return u.Count()+x.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Difference then Union with the same operand restores a
+// superset relationship: (A\B) ∪ (A∩B) == A.
+func TestQuickDifferencePartition(t *testing.T) {
+	f := func(aIdx, bIdx []uint8) bool {
+		a, b := New(256), New(256)
+		for _, i := range aIdx {
+			a.Set(int(i))
+		}
+		for _, i := range bIdx {
+			b.Set(int(i))
+		}
+		diff := a.Clone()
+		diff.Difference(b)
+		inter := a.Clone()
+		inter.Intersect(b)
+		diff.Union(inter)
+		return diff.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(500)
+	model := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			s.Set(i)
+			model[i] = true
+		case 1:
+			s.Clear(i)
+			delete(model, i)
+		case 2:
+			if s.Test(i) != model[i] {
+				t.Fatalf("op %d: Test(%d) = %v, model %v", op, i, s.Test(i), model[i])
+			}
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("final Count = %d, model %d", s.Count(), len(model))
+	}
+}
+
+func BenchmarkSetAndCount(b *testing.B) {
+	s := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<16 - 1))
+		if i&1023 == 0 {
+			_ = s.Count()
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 7 {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(j int) bool { sum += j; return true })
+	}
+	_ = sum
+}
+
+func TestRank(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 5, 63, 64, 130} {
+		s.Set(i)
+	}
+	cases := map[int]int{0: 0, 1: 1, 5: 1, 6: 2, 64: 3, 65: 4, 131: 5, 200: 5, 500: 5, -3: 0}
+	for i, want := range cases {
+		if got := s.Rank(i); got != want {
+			t.Errorf("Rank(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWordsExposesBacking(t *testing.T) {
+	s := New(70)
+	s.Set(64)
+	w := s.Words()
+	if len(w) != 2 || w[1] != 1 {
+		t.Fatalf("Words = %v", w)
+	}
+}

@@ -1,0 +1,34 @@
+package brandes
+
+import (
+	"testing"
+
+	"mrbc/internal/gen"
+)
+
+func BenchmarkABBCRoadGrid(b *testing.B) {
+	g := gen.RoadGrid(80, 80, 104)
+	sources := FirstKSources(g, 0, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Async(g, sources, AsyncConfig{ChunkSize: 64})
+	}
+}
+
+func BenchmarkABBCRoadGridW1(b *testing.B) {
+	g := gen.RoadGrid(80, 80, 104)
+	sources := FirstKSources(g, 0, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Async(g, sources, AsyncConfig{ChunkSize: 64, Workers: 1})
+	}
+}
+
+func BenchmarkABBCRoadGridW2(b *testing.B) {
+	g := gen.RoadGrid(80, 80, 104)
+	sources := FirstKSources(g, 0, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Async(g, sources, AsyncConfig{ChunkSize: 64, Workers: 2})
+	}
+}

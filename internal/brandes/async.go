@@ -1,0 +1,238 @@
+package brandes
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrbc/internal/graph"
+	"mrbc/internal/worklist"
+)
+
+// AsyncConfig configures the ABBC baseline.
+type AsyncConfig struct {
+	// Workers is the number of goroutines cooperating within each
+	// source. Defaults to GOMAXPROCS.
+	Workers int
+	// ChunkSize is the worklist chunk size. The paper tunes this per
+	// input (§5.2: 64 for road-europe, 8 otherwise). Defaults to 8.
+	ChunkSize int
+}
+
+func (c AsyncConfig) withDefaults() AsyncConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8
+	}
+	return c
+}
+
+// Async computes BC scores restricted to the given sources using the
+// asynchronous shared-memory approach of ABBC: the forward SSSP phase
+// runs with chaotic (unordered) relaxation over a chunked worklist and
+// no level barriers — the property that makes ABBC dominate on
+// high-diameter graphs (§5.3) — while path counting and dependency
+// accumulation run as distance-ordered sweeps once distances have
+// settled.
+func Async(g *graph.Graph, sources []uint32, cfg AsyncConfig) []float64 {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	g.EnsureInEdges()
+	scores := make([]float64, n)
+	dist := make([]uint32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	for _, s := range sources {
+		validateSource(g, s)
+		asyncForward(g, s, dist, cfg)
+		buckets := bucketByDistance(dist)
+		computeSigma(g, s, dist, sigma, buckets, cfg.Workers)
+		accumulateDelta(g, dist, sigma, delta, buckets, cfg.Workers)
+		for v := 0; v < n; v++ {
+			if uint32(v) != s && dist[v] != graph.InfDist {
+				scores[v] += delta[v]
+			}
+		}
+	}
+	return scores
+}
+
+// asyncForward fills dist with shortest-path distances from s using
+// chaotic relaxation: workers pop vertices, relax out-edges with an
+// atomic CAS min, and push improved targets. A vertex can be processed
+// several times (the price of asynchrony); the fixpoint is exact BFS
+// distances.
+func asyncForward(g *graph.Graph, s uint32, dist []uint32, cfg AsyncConfig) {
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	atomic.StoreUint32(&dist[s], 0)
+	wl := worklist.New(cfg.ChunkSize)
+	seed := wl.Handle()
+	seed.Push(uint64(s))
+	seed.Flush()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := wl.Handle()
+			idleSpins := 0
+			for {
+				item, ok := h.Pop()
+				if !ok {
+					if wl.Empty() {
+						return
+					}
+					// Back off when starved: on narrow frontiers (road
+					// networks) most workers are idle, and hammering
+					// the shared list's lock slows the one worker that
+					// has work.
+					idleSpins++
+					switch {
+					case idleSpins < 4:
+						runtime.Gosched()
+					default:
+						time.Sleep(time.Duration(idleSpins) * 5 * time.Microsecond)
+						if idleSpins > 50 {
+							idleSpins = 50
+						}
+					}
+					continue
+				}
+				idleSpins = 0
+				u := uint32(item)
+				du := atomic.LoadUint32(&dist[u])
+				if du == graph.InfDist {
+					continue
+				}
+				cand := du + 1
+				for _, v := range g.OutNeighbors(u) {
+					for {
+						old := atomic.LoadUint32(&dist[v])
+						if old <= cand {
+							break
+						}
+						if atomic.CompareAndSwapUint32(&dist[v], old, cand) {
+							h.Push(uint64(v))
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bucketByDistance groups reachable vertices by distance, in
+// increasing distance order.
+func bucketByDistance(dist []uint32) [][]uint32 {
+	var maxD uint32
+	reachable := 0
+	for _, d := range dist {
+		if d == graph.InfDist {
+			continue
+		}
+		reachable++
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if reachable == 0 {
+		return nil
+	}
+	buckets := make([][]uint32, maxD+1)
+	for v, d := range dist {
+		if d != graph.InfDist {
+			buckets[d] = append(buckets[d], uint32(v))
+		}
+	}
+	return buckets
+}
+
+// computeSigma fills σ by a pull-based sweep over distance buckets:
+// σ(v) sums σ(u) over in-neighbors one level up. Within a bucket,
+// vertices are independent, so buckets parallelize trivially.
+func computeSigma(g *graph.Graph, s uint32, dist []uint32, sigma []float64, buckets [][]uint32, workers int) {
+	for i := range sigma {
+		sigma[i] = 0
+	}
+	sigma[s] = 1
+	for level := 1; level < len(buckets); level++ {
+		parallelOver(buckets[level], workers, func(v uint32) {
+			var acc float64
+			dv := dist[v]
+			for _, u := range g.InNeighbors(v) {
+				if dist[u] != graph.InfDist && dist[u]+1 == dv {
+					acc += sigma[u]
+				}
+			}
+			sigma[v] = acc
+		})
+	}
+}
+
+// accumulateDelta fills δ by a pull-based sweep over buckets in
+// decreasing distance: δ(u) pulls (σ(u)/σ(v))·(1+δ(v)) from
+// out-neighbors one level down.
+func accumulateDelta(g *graph.Graph, dist []uint32, sigma, delta []float64, buckets [][]uint32, workers int) {
+	for i := range delta {
+		delta[i] = 0
+	}
+	for level := len(buckets) - 2; level >= 0; level-- {
+		parallelOver(buckets[level], workers, func(u uint32) {
+			var acc float64
+			du := dist[u]
+			for _, v := range g.OutNeighbors(u) {
+				if dist[v] == du+1 {
+					acc += sigma[u] / sigma[v] * (1 + delta[v])
+				}
+			}
+			delta[u] = acc
+		})
+	}
+}
+
+// parallelOver applies fn to every item, splitting across workers when
+// the slice is large enough to be worth it.
+func parallelOver(items []uint32, workers int, fn func(uint32)) {
+	const grain = 256
+	if workers <= 1 || len(items) < 2*grain {
+		for _, v := range items {
+			fn(v)
+		}
+		return
+	}
+	chunks := (len(items) + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := atomic.AddInt64(&next, 1) - 1
+				lo := int(c) * grain
+				if lo >= len(items) {
+					return
+				}
+				hi := lo + grain
+				if hi > len(items) {
+					hi = len(items)
+				}
+				for _, v := range items[lo:hi] {
+					fn(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

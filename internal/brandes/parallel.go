@@ -1,0 +1,69 @@
+package brandes
+
+import (
+	"runtime"
+	"sync"
+)
+
+import "mrbc/internal/graph"
+
+// Parallel computes BC scores restricted to the given sources with
+// source-level parallelism: each worker processes whole sources and
+// accumulates into a private score vector; vectors are summed at the
+// end. This is the standard shared-memory parallelization of Brandes
+// (Bader & Madduri style) and serves as the single-host configuration
+// in Table 2.
+func Parallel(g *graph.Graph, sources []uint32, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) && len(sources) > 0 {
+		workers = len(sources)
+	}
+	n := g.NumVertices()
+	g.EnsureInEdges()
+	if workers <= 1 {
+		return Sequential(g, sources)
+	}
+
+	partials := make([][]float64, workers)
+	var next int64
+	var mu sync.Mutex
+	takeSource := func() (uint32, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= len(sources) {
+			return 0, false
+		}
+		s := sources[next]
+		next++
+		return s, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, n)
+			partials[w] = local
+			for {
+				s, ok := takeSource()
+				if !ok {
+					return
+				}
+				validateSource(g, s)
+				SingleSource(g, s).Accumulate(g, local)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	scores := make([]float64, n)
+	for _, p := range partials {
+		for i, v := range p {
+			scores[i] += v
+		}
+	}
+	return scores
+}

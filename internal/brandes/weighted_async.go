@@ -1,0 +1,136 @@
+package brandes
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrbc/internal/graph"
+	"mrbc/internal/worklist"
+)
+
+// WeightedAsync is the weighted mode of the ABBC baseline: chaotic
+// asynchronous shortest-path relaxation (no rounds, no priority order —
+// the worklist serves vertices in arbitrary order and distances settle
+// at the fixpoint), followed by distance-ordered σ and dependency
+// sweeps. Weighted graphs are where asynchrony helps most: a
+// label-correcting run wastes some relaxations but never waits at a
+// barrier.
+func WeightedAsync(g *graph.Weighted, sources []uint32, cfg AsyncConfig) []float64 {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	scores := make([]float64, n)
+	dist := make([]uint64, n)
+	for _, s := range sources {
+		validateWeightedSource(g, s)
+		weightedAsyncForward(g, s, dist, cfg)
+
+		// Distance-ordered sweeps, reusing the final distances.
+		order := make([]uint32, 0, n)
+		for v := 0; v < n; v++ {
+			if dist[v] != graph.InfWeightedDist {
+				order = append(order, uint32(v))
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+
+		sigma := make([]float64, n)
+		sigma[s] = 1
+		for _, v := range order {
+			if v == s {
+				continue
+			}
+			srcs, ws := g.InEdges(v)
+			var acc float64
+			for i, u := range srcs {
+				if du := dist[u]; du != graph.InfWeightedDist && du+uint64(ws[i]) == dist[v] {
+					acc += sigma[u]
+				}
+			}
+			sigma[v] = acc
+		}
+
+		delta := make([]float64, n)
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			coeff := (1 + delta[w]) / sigma[w]
+			srcs, ws := g.InEdges(w)
+			for j, v := range srcs {
+				if dv := dist[v]; dv != graph.InfWeightedDist && dv+uint64(ws[j]) == dist[w] {
+					delta[v] += sigma[v] * coeff
+				}
+			}
+			if w != s {
+				scores[w] += delta[w]
+			}
+		}
+	}
+	return scores
+}
+
+// weightedAsyncForward fills dist via asynchronous label-correcting
+// relaxation over an ordered (OBIM-style) worklist: tentative
+// distances serve as priorities, so work proceeds in near-Dijkstra
+// order without any global barrier, bounding re-relaxations the way
+// the Lonestar scheduler does.
+func weightedAsyncForward(g *graph.Weighted, s uint32, dist []uint64, cfg AsyncConfig) {
+	for i := range dist {
+		dist[i] = graph.InfWeightedDist
+	}
+	atomic.StoreUint64(&dist[s], 0)
+	wl := worklist.NewOrdered(cfg.ChunkSize)
+	wl.Push(0, uint64(s))
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []uint64
+			idle := 0
+			for {
+				buf = wl.PopChunk(buf[:0])
+				if len(buf) == 0 {
+					if wl.Empty() {
+						return
+					}
+					idle++
+					if idle < 4 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(time.Duration(idle) * 5 * time.Microsecond)
+						if idle > 50 {
+							idle = 50
+						}
+					}
+					continue
+				}
+				idle = 0
+				for _, item := range buf {
+					u := uint32(item)
+					du := atomic.LoadUint64(&dist[u])
+					if du == graph.InfWeightedDist {
+						continue
+					}
+					dsts, ws := g.OutEdges(u)
+					for i, v := range dsts {
+						cand := du + uint64(ws[i])
+						for {
+							old := atomic.LoadUint64(&dist[v])
+							if old <= cand {
+								break
+							}
+							if atomic.CompareAndSwapUint64(&dist[v], old, cand) {
+								wl.Push(cand, uint64(v))
+								break
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+// Package congest simulates the CONGEST model of distributed computing
+// (Peleg), the setting in which the paper's Section 3 algorithms and
+// Theorem 1 bounds are stated.
+//
+// A network of n processors is modeled by a graph: one processor per
+// vertex, communication channels along edges. When the input graph is
+// directed, channels remain bidirectional (the network is UG, Section
+// 2.2). Execution proceeds in synchronous rounds; in each round every
+// vertex first sends O(log n)-bit messages along its channels, and all
+// messages sent in round r are received and processed at the end of
+// round r — the convention Algorithm 3's listing and the Lemma 2 proof
+// use ("a message sent by u in round r is received by v in round r").
+//
+// The simulator counts rounds and messages exactly, so tests can check
+// the paper's bounds: min(2n, n+5D) rounds and mn+2m messages for
+// directed APSP, doubled for BC, and k+H rounds for k-SSP.
+package congest
+
+import (
+	"fmt"
+
+	"mrbc/internal/graph"
+)
+
+// Delivery is a received message together with its sender.
+type Delivery struct {
+	From    uint32
+	Payload any
+}
+
+// Node is the per-vertex state machine of a CONGEST algorithm.
+type Node interface {
+	// Send is called once per round, in increasing round order starting
+	// at round 1, before any round-r message is delivered. The node may
+	// call send any number of times; each call transmits one O(log n)-bit
+	// message along the channel to a neighbor.
+	Send(r int, send func(to uint32, payload any))
+	// Receive is called after all sends of round r with the messages
+	// addressed to this node in round r.
+	Receive(r int, inbox []Delivery)
+	// Done reports whether this node considers the algorithm finished
+	// locally (used for global termination detection).
+	Done() bool
+}
+
+// Network simulates a CONGEST execution over a directed graph.
+type Network struct {
+	g     *graph.Graph
+	ug    *graph.Graph // undirected channel structure
+	nodes []Node
+
+	inboxes  [][]Delivery
+	Rounds   int   // rounds executed so far
+	Messages int64 // messages sent so far
+
+	// CheckChannels enables verification that every send follows an
+	// existing channel; on by default, disable for big benchmarks.
+	CheckChannels bool
+}
+
+// NewNetwork builds a network over g whose vertex i runs nodes[i].
+func NewNetwork(g *graph.Graph, nodes []Node) *Network {
+	if len(nodes) != g.NumVertices() {
+		panic(fmt.Sprintf("congest: %d nodes for %d vertices", len(nodes), g.NumVertices()))
+	}
+	return &Network{
+		g:             g,
+		ug:            g.Undirected(),
+		nodes:         nodes,
+		inboxes:       make([][]Delivery, g.NumVertices()),
+		CheckChannels: true,
+	}
+}
+
+// Graph returns the underlying directed graph.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// Step executes one round: sends, then deliveries. It returns the
+// number of messages sent in the round.
+func (net *Network) Step() int64 {
+	net.Rounds++
+	r := net.Rounds
+	var sent int64
+	for v, node := range net.nodes {
+		from := uint32(v)
+		node.Send(r, func(to uint32, payload any) {
+			if net.CheckChannels && !net.ug.HasEdge(from, to) {
+				panic(fmt.Sprintf("congest: round %d: vertex %d sent to non-neighbor %d", r, from, to))
+			}
+			net.inboxes[to] = append(net.inboxes[to], Delivery{From: from, Payload: payload})
+			sent++
+		})
+	}
+	net.Messages += sent
+	for v, node := range net.nodes {
+		if len(net.inboxes[v]) > 0 {
+			node.Receive(r, net.inboxes[v])
+			net.inboxes[v] = net.inboxes[v][:0]
+		} else {
+			node.Receive(r, nil)
+		}
+	}
+	return sent
+}
+
+// Run executes rounds until one of:
+//   - maxRounds rounds have executed (returned as reached=false if the
+//     algorithm had not finished), or
+//   - detectQuiescence is set and a round sends no messages while every
+//     node reports Done (the "global termination condition" the paper's
+//     Lemma 8 relies on, which D-Galois detects without extra rounds).
+//
+// It returns the number of rounds executed.
+func (net *Network) Run(maxRounds int, detectQuiescence bool) (rounds int, quiesced bool) {
+	for net.Rounds < maxRounds {
+		sent := net.Step()
+		if detectQuiescence && sent == 0 && net.allDone() {
+			return net.Rounds, true
+		}
+	}
+	return net.Rounds, detectQuiescence && net.allDone()
+}
+
+func (net *Network) allDone() bool {
+	for _, node := range net.nodes {
+		if !node.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears round and message counters (state in nodes is not
+// touched); used between the forward and backward phases of BC so each
+// phase's cost is visible separately.
+func (net *Network) Reset() {
+	net.Rounds = 0
+	net.Messages = 0
+}

@@ -1,0 +1,201 @@
+package congest
+
+import (
+	"testing"
+
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+// floodNode implements BFS flooding: the root sends "hello" in round 1;
+// every node forwards the first time it is reached. Distances equal the
+// round a node was reached, validating the round semantics.
+type floodNode struct {
+	id      uint32
+	isRoot  bool
+	out     []uint32
+	reached int // round reached; 0 = not yet (root counts as round 0... stored -1)
+	forward bool
+}
+
+func (f *floodNode) Send(r int, send func(uint32, any)) {
+	if (f.isRoot && r == 1) || f.forward {
+		f.forward = false
+		for _, w := range f.out {
+			send(w, "hello")
+		}
+	}
+}
+
+func (f *floodNode) Receive(r int, inbox []Delivery) {
+	if f.isRoot || f.reached > 0 {
+		return
+	}
+	if len(inbox) > 0 {
+		f.reached = r
+		f.forward = true
+	}
+}
+
+func (f *floodNode) Done() bool { return !f.forward }
+
+func newFloodNetwork(g *graph.Graph, root uint32) (*Network, []*floodNode) {
+	nodes := make([]*floodNode, g.NumVertices())
+	generic := make([]Node, g.NumVertices())
+	for v := range nodes {
+		nodes[v] = &floodNode{
+			id:     uint32(v),
+			isRoot: uint32(v) == root,
+			out:    g.OutNeighbors(uint32(v)),
+		}
+		generic[v] = nodes[v]
+	}
+	return NewNetwork(g, generic), nodes
+}
+
+func TestFloodDistancesMatchBFS(t *testing.T) {
+	g := gen.RMAT(8, 8, 5)
+	net, nodes := newFloodNetwork(g, 0)
+	rounds, quiesced := net.Run(10*g.NumVertices(), true)
+	if !quiesced {
+		t.Fatal("flood did not quiesce")
+	}
+	dist := g.BFS(0)
+	for v, node := range nodes {
+		want := dist[v]
+		switch {
+		case uint32(v) == 0:
+			// root
+		case want == graph.InfDist:
+			if node.reached != 0 {
+				t.Fatalf("unreachable vertex %d reached in round %d", v, node.reached)
+			}
+		default:
+			if uint32(node.reached) != want {
+				t.Fatalf("vertex %d reached in round %d, BFS distance %d", v, node.reached, want)
+			}
+		}
+	}
+	// Flooding needs about ecc(0) rounds: vertices at distance d are
+	// reached in round d, the farthest ones may broadcast once more in
+	// round ecc+1, and quiescence needs one final silent round.
+	ecc, _ := g.Eccentricity(0)
+	if rounds < int(ecc)+1 || rounds > int(ecc)+2 {
+		t.Fatalf("rounds = %d, want ecc+1..ecc+2 = %d..%d", rounds, ecc+1, ecc+2)
+	}
+}
+
+func TestMessageCountOfFlood(t *testing.T) {
+	// In flooding, every reached vertex broadcasts once: total messages
+	// = sum of out-degrees of reached vertices.
+	g := gen.RoadGrid(8, 8, 2)
+	net, _ := newFloodNetwork(g, 0)
+	net.Run(10*g.NumVertices(), true)
+	var want int64
+	for v, d := range g.BFS(0) {
+		if d != graph.InfDist {
+			want += int64(g.OutDegree(uint32(v)))
+		}
+	}
+	if net.Messages != want {
+		t.Fatalf("messages = %d, want %d", net.Messages, want)
+	}
+}
+
+func TestChannelEnforcement(t *testing.T) {
+	g := gen.Path(3) // 0->1->2; no channel 0-2
+	bad := &badNode{}
+	nodes := []Node{bad, &idleNode{}, &idleNode{}}
+	net := NewNetwork(g, nodes)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-neighbor send")
+		}
+	}()
+	net.Step()
+}
+
+func TestBidirectionalChannels(t *testing.T) {
+	// Directed edge 0->1 gives a channel usable in both directions.
+	g := gen.Path(2)
+	replier := &replyNode{}
+	nodes := []Node{&idleNode{}, replier}
+	net := NewNetwork(g, nodes)
+	net.Step() // replier sends to 0 over the reverse direction
+	if net.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", net.Messages)
+	}
+}
+
+func TestNodeCountMismatchPanics(t *testing.T) {
+	g := gen.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(g, []Node{&idleNode{}})
+}
+
+func TestRunStopsAtMaxRounds(t *testing.T) {
+	// A node that sends forever: Run must stop at maxRounds.
+	g := gen.Cycle(4)
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = &chatterNode{out: g.OutNeighbors(uint32(i))}
+	}
+	net := NewNetwork(g, nodes)
+	rounds, quiesced := net.Run(17, true)
+	if rounds != 17 || quiesced {
+		t.Fatalf("rounds=%d quiesced=%v", rounds, quiesced)
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := gen.Cycle(4)
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = &chatterNode{out: g.OutNeighbors(uint32(i))}
+	}
+	net := NewNetwork(g, nodes)
+	net.Run(5, false)
+	if net.Rounds != 5 || net.Messages == 0 {
+		t.Fatal("run did not record progress")
+	}
+	net.Reset()
+	if net.Rounds != 0 || net.Messages != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+type idleNode struct{}
+
+func (idleNode) Send(int, func(uint32, any)) {}
+func (idleNode) Receive(int, []Delivery)     {}
+func (idleNode) Done() bool                  { return true }
+
+type badNode struct{}
+
+func (badNode) Send(r int, send func(uint32, any)) { send(2, "x") }
+func (badNode) Receive(int, []Delivery)            {}
+func (badNode) Done() bool                         { return true }
+
+type replyNode struct{}
+
+func (replyNode) Send(r int, send func(uint32, any)) {
+	if r == 1 {
+		send(0, "up")
+	}
+}
+func (replyNode) Receive(int, []Delivery) {}
+func (replyNode) Done() bool              { return true }
+
+type chatterNode struct{ out []uint32 }
+
+func (c *chatterNode) Send(r int, send func(uint32, any)) {
+	for _, w := range c.out {
+		send(w, r)
+	}
+}
+func (c *chatterNode) Receive(int, []Delivery) {}
+func (c *chatterNode) Done() bool              { return false }

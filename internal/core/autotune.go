@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"mrbc/internal/graph"
+)
+
+// AutotuneBatch picks a batch size for MRBC by probing: the paper
+// observes that the best k balances round reduction against
+// data-structure overhead and suggests autotuning ("the tradeoff ...
+// can be explored using a method such as autotuning", §5.2). Each
+// candidate runs the forward phase on a small probe prefix of the
+// sources; the fastest candidate wins.
+//
+// candidates defaults to {16, 32, 64, 128} when nil. probeSources
+// bounds the number of sources used per probe (default 32; probes are
+// capped at len(sources)).
+func AutotuneBatch(g *graph.Graph, sources []uint32, candidates []int, probeSources int) int {
+	if len(candidates) == 0 {
+		candidates = []int{16, 32, 64, 128}
+	}
+	if probeSources <= 0 {
+		probeSources = 32
+	}
+	if probeSources > len(sources) {
+		probeSources = len(sources)
+	}
+	if probeSources == 0 {
+		return candidates[0]
+	}
+	probe := sources[:probeSources]
+	best := candidates[0]
+	bestTime := time.Duration(-1)
+	scratch := make([]float64, g.NumVertices())
+	for _, k := range candidates {
+		if k <= 0 {
+			continue
+		}
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		start := time.Now()
+		var stats RunStats
+		for off := 0; off < len(probe); off += k {
+			end := off + k
+			if end > len(probe) {
+				end = len(probe)
+			}
+			runBatch(g, probe[off:end], scratch, &stats)
+		}
+		if elapsed := time.Since(start); bestTime < 0 || elapsed < bestTime {
+			bestTime = elapsed
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"mrbc/internal/congest"
+	"mrbc/internal/graph"
+)
+
+// CongestOptions configures a CONGEST-model MRBC execution.
+type CongestOptions struct {
+	// Sources restricts the computation to a subset of sources (the
+	// k-SSP setting of Lemma 8). Nil means all vertices (full APSP/BC).
+	Sources []uint32
+	// Mode selects the termination strategy; see TerminationMode.
+	Mode TerminationMode
+	// CheckChannels verifies every message follows a graph channel.
+	// Defaults to true; disable for large benchmark runs.
+	DisableChannelChecks bool
+	// AssumeUnknownN withholds n from the nodes (Theorem 1 part I.3):
+	// the network first computes n through a BFS-tree convergecast
+	// (Steps 5-6 of Algorithm 3, at most 2Du extra rounds) before
+	// Algorithm 4 can detect completion. Only meaningful with
+	// ModeFinalizer on weakly connected graphs.
+	AssumeUnknownN bool
+}
+
+// CongestStats reports the exact model-level costs of an execution.
+type CongestStats struct {
+	ForwardRounds    int
+	BackwardRounds   int
+	ForwardMessages  int64
+	BackwardMessages int64
+	// Diameter is the directed diameter computed by Algorithm 4; only
+	// set in ModeFinalizer.
+	Diameter uint32
+}
+
+// Rounds returns total rounds across both phases.
+func (s CongestStats) Rounds() int { return s.ForwardRounds + s.BackwardRounds }
+
+// Messages returns total messages across both phases.
+func (s CongestStats) Messages() int64 { return s.ForwardMessages + s.BackwardMessages }
+
+// CongestAPSPResult holds the output of the forward phase: for each
+// source (in input order), distances and shortest-path counts per
+// vertex, plus the execution stats.
+type CongestAPSPResult struct {
+	Sources []uint32
+	Dist    [][]uint32  // Dist[i][v]: distance from Sources[i] to v
+	Sigma   [][]float64 // Sigma[i][v]: #shortest paths from Sources[i] to v
+	Stats   CongestStats
+}
+
+// CongestBCResult extends the APSP result with BC scores.
+type CongestBCResult struct {
+	CongestAPSPResult
+	BC []float64
+}
+
+func buildNetwork(g *graph.Graph, opts CongestOptions) (*congest.Network, []*bcNode, []uint32) {
+	n := g.NumVertices()
+	sources := opts.Sources
+	if sources == nil {
+		sources = make([]uint32, n)
+		for i := range sources {
+			sources[i] = uint32(i)
+		}
+	}
+	srcIx := make(map[uint32]int, len(sources))
+	for i, s := range sources {
+		if int(s) >= n {
+			panic(fmt.Sprintf("core: source %d out of range [0,%d)", s, n))
+		}
+		if _, dup := srcIx[s]; dup {
+			panic(fmt.Sprintf("core: duplicate source %d", s))
+		}
+		srcIx[s] = i
+	}
+	if opts.Mode == ModeFinalizer && len(sources) != n {
+		panic("core: ModeFinalizer requires the full source set (Algorithm 4 waits for |Lv| = n)")
+	}
+	if opts.AssumeUnknownN && opts.Mode != ModeFinalizer {
+		panic("core: AssumeUnknownN requires ModeFinalizer (other modes need n for their round cap)")
+	}
+	ug := g.Undirected()
+	nodes := make([]*bcNode, n)
+	generic := make([]congest.Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = newBCNode(g, ug, uint32(v), sources, srcIx, opts.Mode, !opts.AssumeUnknownN)
+		generic[v] = nodes[v]
+	}
+	net := congest.NewNetwork(g, generic)
+	net.CheckChannels = !opts.DisableChannelChecks
+	return net, nodes, sources
+}
+
+// runForward executes Algorithm 3 (with Algorithm 4 in ModeFinalizer)
+// and returns the termination round R.
+func runForward(g *graph.Graph, net *congest.Network, opts CongestOptions) int {
+	n := g.NumVertices()
+	switch opts.Mode {
+	case ModeFixed2N:
+		rounds, _ := net.Run(2*n, false)
+		return rounds
+	case ModeFinalizer:
+		// Lemma 6: terminates in min(2n, n+5D) rounds. The simulator
+		// additionally detects that all nodes stopped (one extra silent
+		// round at most).
+		rounds, _ := net.Run(2*n, true)
+		return rounds
+	case ModeQuiesce:
+		// Lemma 8: with global termination detection, k+H rounds (+1
+		// round in which the detector observes silence). 2n is a hard
+		// upper bound for any unweighted input.
+		rounds, quiesced := net.Run(2*n+1, true)
+		if !quiesced {
+			panic("core: forward phase did not quiesce within 2n+1 rounds")
+		}
+		return rounds
+	default:
+		panic(fmt.Sprintf("core: unknown mode %d", opts.Mode))
+	}
+}
+
+// CongestAPSP runs the forward phase only (Algorithm 3/4) and collects
+// distances and path counts.
+func CongestAPSP(g *graph.Graph, opts CongestOptions) *CongestAPSPResult {
+	net, nodes, sources := buildNetwork(g, opts)
+	rounds := runForward(g, net, opts)
+	res := collectAPSP(g, nodes, sources)
+	res.Stats.ForwardRounds = rounds
+	res.Stats.ForwardMessages = net.Messages
+	res.Stats.Diameter = diameterOf(nodes, opts)
+	return res
+}
+
+// CongestBC runs the full MRBC pipeline: Algorithm 3 (+4), then the
+// Algorithm 5 accumulation phase, returning BC restricted to the
+// chosen sources.
+func CongestBC(g *graph.Graph, opts CongestOptions) *CongestBCResult {
+	net, nodes, sources := buildNetwork(g, opts)
+	R := runForward(g, net, opts)
+	fwdMsgs := net.Messages
+
+	net.Reset()
+	for _, nd := range nodes {
+		nd.beginBackward(R)
+	}
+	// Lemma 7 / Theorem 1 part II: the backward phase needs at most as
+	// many rounds as the forward phase. Asv = R - τsv + 1 <= R+1.
+	backRounds, quiesced := net.Run(R+2, true)
+	if !quiesced {
+		panic("core: backward phase did not quiesce")
+	}
+
+	res := &CongestBCResult{BC: make([]float64, g.NumVertices())}
+	res.CongestAPSPResult = *collectAPSP(g, nodes, sources)
+	res.Stats = CongestStats{
+		ForwardRounds:    R,
+		BackwardRounds:   backRounds,
+		ForwardMessages:  fwdMsgs,
+		BackwardMessages: net.Messages,
+		Diameter:         diameterOf(nodes, opts),
+	}
+	for v, nd := range nodes {
+		var bc float64
+		for six, d := range nd.dist {
+			if d == graph.InfDist || nd.revSrc[six] == uint32(v) {
+				continue
+			}
+			bc += nd.delta[six]
+		}
+		res.BC[v] = bc
+	}
+	return res
+}
+
+func collectAPSP(g *graph.Graph, nodes []*bcNode, sources []uint32) *CongestAPSPResult {
+	n := g.NumVertices()
+	res := &CongestAPSPResult{
+		Sources: sources,
+		Dist:    make([][]uint32, len(sources)),
+		Sigma:   make([][]float64, len(sources)),
+	}
+	for i := range sources {
+		res.Dist[i] = make([]uint32, n)
+		res.Sigma[i] = make([]float64, n)
+		for v, nd := range nodes {
+			res.Dist[i][v] = nd.dist[i]
+			res.Sigma[i][v] = nd.sigma[i]
+		}
+	}
+	return res
+}
+
+func diameterOf(nodes []*bcNode, opts CongestOptions) uint32 {
+	if opts.Mode != ModeFinalizer || len(nodes) == 0 {
+		return graph.InfDist
+	}
+	return nodes[0].diameter
+}
+
+// TheoreticalRoundBound returns the Theorem 1 / Lemma 8 round bound for
+// the forward phase under the given options, used by tests and by the
+// bench harness when reporting model costs. H is the largest finite
+// shortest-path distance from the sources and D the directed diameter
+// (pass graph.InfDist when unknown or infinite).
+func TheoreticalRoundBound(n int, k int, mode TerminationMode, d uint32, h uint32) int {
+	switch mode {
+	case ModeFixed2N:
+		return 2 * n
+	case ModeFinalizer:
+		if d == graph.InfDist {
+			return 2 * n
+		}
+		bound := n + 5*int(d)
+		if 2*n < bound {
+			return 2 * n
+		}
+		return bound
+	case ModeQuiesce:
+		if h == graph.InfDist {
+			return 2*n + 1
+		}
+		// k + H, plus the silent round the detector needs.
+		return k + int(h) + 1
+	default:
+		panic("core: unknown mode")
+	}
+}
+
+// MaxFiniteDistance returns H: the largest finite shortest-path
+// distance from any of the sources, computed by reference BFS.
+func MaxFiniteDistance(g *graph.Graph, sources []uint32) uint32 {
+	var h uint32
+	for _, s := range sources {
+		for _, d := range g.BFS(s) {
+			if d != graph.InfDist && d > h {
+				h = d
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+func approxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAPSPAgainstBFS validates every distance and σ value against the
+// sequential Brandes forward phase.
+func checkAPSPAgainstBFS(t *testing.T, g *graph.Graph, res *CongestAPSPResult) {
+	t.Helper()
+	for i, s := range res.Sources {
+		ref := brandes.SingleSource(g, s)
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.Dist[i][v] != ref.Dist[v] {
+				t.Fatalf("source %d: dist[%d] = %d, want %d", s, v, res.Dist[i][v], ref.Dist[v])
+			}
+			if ref.Dist[v] != graph.InfDist && math.Abs(res.Sigma[i][v]-ref.Sigma[v]) > 1e-9 {
+				t.Fatalf("source %d: sigma[%d] = %v, want %v", s, v, res.Sigma[i][v], ref.Sigma[v])
+			}
+		}
+	}
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"cycle":   gen.Cycle(20),
+		"path":    gen.Path(15),
+		"star":    gen.Star(12),
+		"grid":    gen.RoadGrid(5, 6, 1),
+		"rmat":    gen.RMAT(6, 6, 2),
+		"er":      gen.ErdosRenyi(40, 160, 3),
+		"ladder":  gen.LadderDAG(8),
+		"diamond": graph.FromEdges(4, [][2]uint32{{0, 1}, {0, 2}, {1, 3}, {2, 3}}),
+		"discon":  graph.FromEdges(7, [][2]uint32{{0, 1}, {1, 2}, {4, 5}, {5, 6}, {6, 4}}),
+	}
+}
+
+func TestAPSPMatchesBFSAllModes(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, mode := range []TerminationMode{ModeFixed2N, ModeQuiesce} {
+			res := CongestAPSP(g, CongestOptions{Mode: mode})
+			checkAPSPAgainstBFS(t, g, res)
+			_ = name
+		}
+	}
+}
+
+func TestAPSPFinalizerOnStronglyConnected(t *testing.T) {
+	// Algorithm 4 only beats the 2n cutoff when D < n/5 (its point:
+	// "terminates the computation before n+5D rounds provided G is
+	// strongly connected with D < n/5"), so test inputs are
+	// low-diameter strongly connected graphs.
+	inputs := map[string]*graph.Graph{
+		"star":  gen.Star(12),
+		"small": gen.SmallWorld(40, 2, 0.2, 7),
+		"dense": gen.Complete(10),
+	}
+	for name, g := range inputs {
+		if !g.IsStronglyConnected() {
+			t.Fatalf("%s: test input must be strongly connected", name)
+		}
+		res := CongestAPSP(g, CongestOptions{Mode: ModeFinalizer})
+		checkAPSPAgainstBFS(t, g, res)
+
+		// Algorithm 4 must compute the exact directed diameter.
+		var wantD uint32
+		for v := 0; v < g.NumVertices(); v++ {
+			ecc, _ := g.Eccentricity(uint32(v))
+			if ecc > wantD {
+				wantD = ecc
+			}
+		}
+		if res.Stats.Diameter != wantD {
+			t.Fatalf("%s: computed diameter %d, want %d", name, res.Stats.Diameter, wantD)
+		}
+
+		// Lemma 6: at most min(2n, n+5D) rounds (+1 detection round).
+		n := g.NumVertices()
+		bound := TheoreticalRoundBound(n, n, ModeFinalizer, wantD, 0)
+		if res.Stats.ForwardRounds > bound+1 {
+			t.Fatalf("%s: %d rounds exceeds Lemma 6 bound %d", name, res.Stats.ForwardRounds, bound)
+		}
+	}
+}
+
+func TestFinalizerHighDiameterFallsBackTo2N(t *testing.T) {
+	// On a directed cycle, D = n-1, so the diameter broadcast cannot
+	// complete before the 2n cutoff; Algorithm 3 must still terminate
+	// in exactly min(2n, n+5D) = 2n rounds with correct distances.
+	g := gen.Cycle(24)
+	res := CongestAPSP(g, CongestOptions{Mode: ModeFinalizer})
+	checkAPSPAgainstBFS(t, g, res)
+	if res.Stats.ForwardRounds > 2*g.NumVertices()+1 {
+		t.Fatalf("rounds = %d exceeds 2n", res.Stats.ForwardRounds)
+	}
+}
+
+func TestFixed2NRoundAndMessageBounds(t *testing.T) {
+	// Theorem 1 part I.2: 2n rounds, at most mn messages.
+	for name, g := range testGraphs() {
+		res := CongestAPSP(g, CongestOptions{Mode: ModeFixed2N})
+		n, m := g.NumVertices(), g.NumEdges()
+		if res.Stats.ForwardRounds != 2*n {
+			t.Fatalf("%s: rounds = %d, want exactly 2n = %d", name, res.Stats.ForwardRounds, 2*n)
+		}
+		if res.Stats.ForwardMessages > m*int64(n) {
+			t.Fatalf("%s: %d messages exceed mn = %d", name, res.Stats.ForwardMessages, m*int64(n))
+		}
+	}
+}
+
+func TestQuiesceKSSPBounds(t *testing.T) {
+	// Lemma 8: k-SSP in at most k+H rounds and m·k messages.
+	for name, g := range testGraphs() {
+		n := g.NumVertices()
+		k := n / 2
+		if k == 0 {
+			k = 1
+		}
+		sources := make([]uint32, k)
+		for i := range sources {
+			sources[i] = uint32(i)
+		}
+		res := CongestAPSP(g, CongestOptions{Sources: sources, Mode: ModeQuiesce})
+		checkAPSPAgainstBFS(t, g, res)
+		h := MaxFiniteDistance(g, sources)
+		bound := TheoreticalRoundBound(n, k, ModeQuiesce, 0, h)
+		if res.Stats.ForwardRounds > bound {
+			t.Fatalf("%s: %d rounds exceeds k+H+1 = %d", name, res.Stats.ForwardRounds, bound)
+		}
+		if res.Stats.ForwardMessages > g.NumEdges()*int64(k) {
+			t.Fatalf("%s: %d messages exceed mk = %d", name, res.Stats.ForwardMessages, g.NumEdges()*int64(k))
+		}
+	}
+}
+
+func TestCongestBCMatchesBrandes(t *testing.T) {
+	for name, g := range testGraphs() {
+		want := brandes.SequentialAll(g)
+		for _, mode := range []TerminationMode{ModeFixed2N, ModeQuiesce} {
+			res := CongestBC(g, CongestOptions{Mode: mode})
+			if !approxEqual(res.BC, want, 1e-9) {
+				t.Fatalf("%s mode %d: BC mismatch\n got %v\nwant %v", name, mode, res.BC, want)
+			}
+		}
+	}
+}
+
+func TestCongestBCFinalizerMatchesBrandes(t *testing.T) {
+	g := gen.SmallWorld(30, 2, 0.3, 5)
+	want := brandes.SequentialAll(g)
+	res := CongestBC(g, CongestOptions{Mode: ModeFinalizer})
+	if !approxEqual(res.BC, want, 1e-9) {
+		t.Fatal("finalizer-mode BC mismatch")
+	}
+}
+
+func TestCongestBCSubsetSources(t *testing.T) {
+	g := gen.RMAT(6, 8, 9)
+	sources := []uint32{1, 5, 9, 13, 21}
+	want := brandes.Sequential(g, sources)
+	res := CongestBC(g, CongestOptions{Sources: sources, Mode: ModeQuiesce})
+	if !approxEqual(res.BC, want, 1e-9) {
+		t.Fatal("subset-source BC mismatch")
+	}
+}
+
+func TestBCRoundsAndMessagesAtMostDouble(t *testing.T) {
+	// Theorem 1 part II: BC costs at most twice APSP in rounds and
+	// messages (+ slack for the termination-detection round).
+	g := gen.ErdosRenyi(50, 250, 11)
+	res := CongestBC(g, CongestOptions{Mode: ModeQuiesce})
+	if res.Stats.BackwardRounds > res.Stats.ForwardRounds+1 {
+		t.Fatalf("backward %d rounds exceeds forward %d", res.Stats.BackwardRounds, res.Stats.ForwardRounds)
+	}
+	if res.Stats.BackwardMessages > res.Stats.ForwardMessages {
+		t.Fatalf("backward %d messages exceed forward %d", res.Stats.BackwardMessages, res.Stats.ForwardMessages)
+	}
+}
+
+func TestEachVertexSendsOncePerSource(t *testing.T) {
+	// Lemma 5: exactly one forward message per (vertex, reaching
+	// source) pair; total = Σ_v out-degree(v) · |sources reaching v|.
+	g := gen.ErdosRenyi(30, 90, 13)
+	res := CongestAPSP(g, CongestOptions{Mode: ModeFixed2N})
+	var want int64
+	for i := range res.Sources {
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.Dist[i][v] != graph.InfDist {
+				want += int64(g.OutDegree(uint32(v)))
+			}
+		}
+	}
+	if res.Stats.ForwardMessages != want {
+		t.Fatalf("messages = %d, want exactly %d", res.Stats.ForwardMessages, want)
+	}
+}
+
+func TestDuplicateSourcePanics(t *testing.T) {
+	g := gen.Path(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CongestAPSP(g, CongestOptions{Sources: []uint32{1, 1}})
+}
+
+func TestFinalizerRequiresAllSources(t *testing.T) {
+	g := gen.Cycle(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CongestAPSP(g, CongestOptions{Sources: []uint32{0}, Mode: ModeFinalizer})
+}
+
+func TestSourceOutOfRangePanics(t *testing.T) {
+	g := gen.Path(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CongestAPSP(g, CongestOptions{Sources: []uint32{9}})
+}
+
+// Property: on random digraphs, CONGEST BC equals Brandes BC and the
+// k-SSP round bound holds.
+func TestQuickCongestAgainstBrandes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		k := 1 + rng.Intn(n)
+		sources := make([]uint32, 0, k)
+		for _, s := range rng.Perm(n)[:k] {
+			sources = append(sources, uint32(s))
+		}
+		res := CongestBC(g, CongestOptions{Sources: sources, Mode: ModeQuiesce})
+		want := brandes.Sequential(g, sources)
+		if !approxEqual(res.BC, want, 1e-9) {
+			return false
+		}
+		h := MaxFiniteDistance(g, sources)
+		return res.Stats.ForwardRounds <= TheoreticalRoundBound(n, k, ModeQuiesce, 0, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ModeFinalizer equals ModeFixed2N output on strongly
+// connected random graphs and respects n+5D.
+func TestQuickFinalizerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		// Cycle + random chords: strongly connected by construction.
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(uint32(i), uint32((i+1)%n))
+		}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		res := CongestAPSP(g, CongestOptions{Mode: ModeFinalizer})
+		ref := CongestAPSP(g, CongestOptions{Mode: ModeFixed2N})
+		for i := range res.Sources {
+			for v := 0; v < n; v++ {
+				if res.Dist[i][v] != ref.Dist[i][v] || res.Sigma[i][v] != ref.Sigma[i][v] {
+					return false
+				}
+			}
+		}
+		var d uint32
+		for v := 0; v < n; v++ {
+			ecc, _ := g.Eccentricity(uint32(v))
+			if ecc > d {
+				d = ecc
+			}
+		}
+		// The diameter is only guaranteed to be computed when the
+		// broadcast can finish before the 2n cutoff (D < n/5 regime).
+		if n+3*int(d)+3 < 2*n && res.Stats.Diameter != d {
+			return false
+		}
+		return res.Stats.ForwardRounds <= TheoreticalRoundBound(n, n, ModeFinalizer, d, 0)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCongestAPSP(b *testing.B) {
+	g := gen.ErdosRenyi(200, 1200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CongestAPSP(g, CongestOptions{Mode: ModeQuiesce, DisableChannelChecks: true})
+	}
+}
+
+func BenchmarkCongestBC(b *testing.B) {
+	g := gen.ErdosRenyi(150, 900, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CongestBC(g, CongestOptions{Mode: ModeQuiesce, DisableChannelChecks: true})
+	}
+}
+
+func TestUnknownNComputedByNetwork(t *testing.T) {
+	// Theorem 1 part I.3: without knowing n, the network computes it
+	// via the BFS-tree convergecast and still finishes in n + O(D)
+	// rounds on strongly connected low-diameter graphs.
+	inputs := map[string]*graph.Graph{
+		"star":  gen.Star(16),
+		"small": gen.SmallWorld(50, 2, 0.2, 5),
+		"dense": gen.Complete(12),
+	}
+	for name, g := range inputs {
+		res := CongestAPSP(g, CongestOptions{Mode: ModeFinalizer, AssumeUnknownN: true})
+		checkAPSPAgainstBFS(t, g, res)
+		var wantD uint32
+		for v := 0; v < g.NumVertices(); v++ {
+			ecc, _ := g.Eccentricity(uint32(v))
+			if ecc > wantD {
+				wantD = ecc
+			}
+		}
+		if res.Stats.Diameter != wantD {
+			t.Fatalf("%s: diameter %d, want %d", name, res.Stats.Diameter, wantD)
+		}
+		// Lemma 6 with the 2Du n-computation budget included: n + 5D.
+		n := g.NumVertices()
+		if res.Stats.ForwardRounds > n+5*int(wantD)+1 {
+			t.Fatalf("%s: %d rounds exceed n+5D = %d", name, res.Stats.ForwardRounds, n+5*int(wantD))
+		}
+	}
+}
+
+func TestUnknownNBCMatchesBrandes(t *testing.T) {
+	g := gen.SmallWorld(40, 2, 0.3, 9)
+	want := brandes.SequentialAll(g)
+	res := CongestBC(g, CongestOptions{Mode: ModeFinalizer, AssumeUnknownN: true})
+	if !approxEqual(res.BC, want, 1e-9) {
+		t.Fatal("unknown-n BC mismatch")
+	}
+}
+
+func TestUnknownNRequiresFinalizer(t *testing.T) {
+	g := gen.Cycle(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CongestAPSP(g, CongestOptions{Mode: ModeQuiesce, AssumeUnknownN: true})
+}
+
+func TestUndirectedBoundsTheorem1PartIII(t *testing.T) {
+	// Theorem 1 part III: on undirected graphs the bounds hold with D
+	// replaced by Du. Run the full pipeline on the undirected version
+	// of a directed input.
+	g := gen.RMAT(6, 6, 4).Undirected()
+	want := brandes.SequentialAll(g)
+	res := CongestBC(g, CongestOptions{Mode: ModeQuiesce})
+	if !approxEqual(res.BC, want, 1e-9) {
+		t.Fatal("undirected BC mismatch")
+	}
+	n := g.NumVertices()
+	sources := make([]uint32, n)
+	for i := range sources {
+		sources[i] = uint32(i)
+	}
+	h := MaxFiniteDistance(g, sources) // Du for the reachable part
+	if res.Stats.ForwardRounds > n+int(h)+1 {
+		t.Fatalf("forward rounds %d exceed n+Du+1 = %d", res.Stats.ForwardRounds, n+int(h)+1)
+	}
+	if res.Stats.ForwardMessages > g.NumEdges()*int64(n) {
+		t.Fatal("message bound violated")
+	}
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/graph"
+)
+
+// This file implements the batched MRBC engine with the data-structure
+// optimizations of Section 4.3:
+//
+//   - Av: a dense, unsorted per-vertex array with one struct per source
+//     holding (dist, sigma, delta), giving O(1) access and spatial
+//     locality (SrcData).
+//   - Mv: a flat sorted map from distance to a dense bitvector of the
+//     sources currently at that distance (replacing the Boost flat_map),
+//     which supports lexicographic iteration of the ordered list Lv and
+//     logarithmic search.
+//
+// Rather than storing the round in which each message was sent, the
+// send round is derived from the map contents (distance + position),
+// exactly as the paper describes ("we can derive the round in which the
+// σsv is ready to be sent using dsv in the map, the current round
+// number, and the number of already sent dependencies").
+//
+// The engine holds one host's local view. The distributed
+// implementation (internal/mrbcdist) runs one engine per host and uses
+// Gluon-style reductions between rounds; the shared-memory runner
+// (mrbc.go) runs a single engine over the whole graph with trivial
+// reductions.
+
+// SrcData is one element of the dense per-source array Av.
+type SrcData struct {
+	Dist  uint32 // graph.InfDist when the source has not reached here
+	Sigma float64
+	Delta float64
+}
+
+// Flag identifies a (vertex, source-index) pair whose labels are
+// scheduled for synchronization in the current round (the proxy
+// synchronization rule of Section 4.3).
+type Flag struct {
+	V   uint32
+	Src int
+}
+
+// distMap is the flat sorted distance -> source-bitvector map Mv.
+type distMap struct {
+	dists []uint32
+	sets  []*bitset.Set
+}
+
+func (m *distMap) add(k int, s int, d uint32) {
+	i := sort.Search(len(m.dists), func(i int) bool { return m.dists[i] >= d })
+	if i < len(m.dists) && m.dists[i] == d {
+		m.sets[i].Set(s)
+		return
+	}
+	m.dists = append(m.dists, 0)
+	m.sets = append(m.sets, nil)
+	copy(m.dists[i+1:], m.dists[i:])
+	copy(m.sets[i+1:], m.sets[i:])
+	m.dists[i] = d
+	set := bitset.New(k)
+	set.Set(s)
+	m.sets[i] = set
+}
+
+func (m *distMap) remove(s int, d uint32) {
+	i := sort.Search(len(m.dists), func(i int) bool { return m.dists[i] >= d })
+	if i >= len(m.dists) || m.dists[i] != d || !m.sets[i].Test(s) {
+		panic(fmt.Sprintf("core: distMap missing (d=%d, s=%d)", d, s))
+	}
+	m.sets[i].Clear(s)
+	if m.sets[i].None() {
+		m.dists = append(m.dists[:i], m.dists[i+1:]...)
+		m.sets = append(m.sets[:i], m.sets[i+1:]...)
+	}
+}
+
+// vertexState is the per-vertex label set of Section 4.2/4.3.
+type vertexState struct {
+	data []SrcData // Av
+	dmap distMap   // Mv
+	sent *bitset.Set
+	tau  []int32 // round each source's labels were synchronized (finalized)
+
+	// Incremental schedule state. Per vertex, synchronizations happen
+	// in strictly increasing lexicographic (dist, source) order — the
+	// sent entries always form a lexicographic prefix of the ordered
+	// list — so the first unsent entry sits at position sentCount+1
+	// and its scheduled round is dist + sentCount + 1. This derives
+	// the send round from "dsv in the map, the current round number,
+	// and the number of already sent dependencies" exactly as §4.3
+	// describes, in O(1) per query instead of a map walk.
+	sentCount int
+	fuDist    uint32 // first (lexicographically least) unsent entry
+	fuSrc     int32  // -1 when no unsent entry exists
+
+}
+
+// noteUnsent updates the first-unsent pointer after entry (s, d) was
+// inserted or lowered while unsent.
+func (st *vertexState) noteUnsent(s int, d uint32) {
+	if st.fuSrc == int32(s) {
+		// The tracked entry itself moved (distance improvements only
+		// lower it); it remains the minimum.
+		st.fuDist = d
+		return
+	}
+	if st.fuSrc < 0 || d < st.fuDist || (d == st.fuDist && int32(s) < st.fuSrc) {
+		st.fuDist, st.fuSrc = d, int32(s)
+	}
+}
+
+// advanceFU rescans the ordered list for the new first unsent entry
+// after the previous one was synchronized. Runs once per sync.
+func (st *vertexState) advanceFU() {
+	for i, d := range st.dmap.dists {
+		set := st.dmap.sets[i]
+		found := -1
+		set.ForEach(func(s int) bool {
+			if !st.sent.Test(s) {
+				found = s
+				return false
+			}
+			return true
+		})
+		if found >= 0 {
+			st.fuDist, st.fuSrc = d, int32(found)
+			return
+		}
+	}
+	st.fuSrc = -1
+}
+
+// Engine is one host's MRBC state over a local graph.
+type Engine struct {
+	g  *graph.Graph
+	k  int
+	st []vertexState
+
+	pendingUnsent int // count of (v,s) pairs inserted but not yet synced
+	totalR        int // forward termination round, set by StartBackward
+	// backByRound[r-1] holds the Algorithm 5 flags of backward round r.
+	backByRound [][]Flag
+}
+
+// NewEngine creates an engine for k sources over the local graph g.
+// The graph's in-edge view is required for the backward phase and is
+// built eagerly.
+func NewEngine(g *graph.Graph, k int) *Engine {
+	if k <= 0 {
+		panic("core: batch size must be positive")
+	}
+	g.EnsureInEdges()
+	e := &Engine{g: g, k: k, st: make([]vertexState, g.NumVertices())}
+	for v := range e.st {
+		st := &e.st[v]
+		st.data = make([]SrcData, k)
+		for s := range st.data {
+			st.data[s].Dist = graph.InfDist
+		}
+		st.sent = bitset.New(k)
+		st.tau = make([]int32, k)
+		st.fuSrc = -1
+	}
+	return e
+}
+
+// K returns the batch size.
+func (e *Engine) K() int { return e.k }
+
+// Graph returns the engine's local graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Get returns the current labels of (v, s).
+func (e *Engine) Get(v uint32, s int) SrcData { return e.st[v].data[s] }
+
+// InitSource marks local vertex v as source s. withSigma controls the
+// initial σ: the master proxy carries σ=1 while mirror proxies carry 0
+// so the cross-host sum reduction counts the single empty path once.
+func (e *Engine) InitSource(v uint32, s int, withSigma bool) {
+	st := &e.st[v]
+	if st.data[s].Dist != graph.InfDist {
+		panic(fmt.Sprintf("core: vertex %d already initialized for source %d", v, s))
+	}
+	st.data[s].Dist = 0
+	if withSigma {
+		st.data[s].Sigma = 1
+	}
+	st.dmap.add(e.k, s, 0)
+	st.noteUnsent(s, 0)
+	e.pendingUnsent++
+}
+
+// nextDue returns the scheduled round and source of v's first unsent
+// entry, or (-1, -1) if all entries are sent. Scheduled round =
+// distance + lexicographic position (1-based), the send rule of
+// Algorithm 3; the position is sentCount+1 (see vertexState).
+func (e *Engine) nextDue(v uint32) (round int, src int) {
+	st := &e.st[v]
+	if st.fuSrc < 0 {
+		return -1, -1
+	}
+	return int(st.fuDist) + st.sentCount + 1, int(st.fuSrc)
+}
+
+// ForwardFlags appends to dst the (vertex, source) pairs scheduled to
+// synchronize in round r under this host's local view, implementing the
+// proxy synchronization rule. At most one flag per vertex per round.
+func (e *Engine) ForwardFlags(r int, dst []Flag) []Flag {
+	for v := range e.st {
+		due, src := e.nextDue(uint32(v))
+		if due == r {
+			dst = append(dst, Flag{V: uint32(v), Src: src})
+		} else if due > 0 && due < r {
+			panic(fmt.Sprintf("core: vertex %d missed its scheduled round %d (now %d)", v, due, r))
+		}
+	}
+	return dst
+}
+
+// ApplySync installs the reduced-and-broadcast final labels for (v, s)
+// synchronized in round r, marking the entry sent. Safe to call on
+// hosts that had no local entry, a stale entry, or the final entry.
+func (e *Engine) ApplySync(v uint32, s int, dist uint32, sigma float64, r int) {
+	st := &e.st[v]
+	cur := st.data[s].Dist
+	switch {
+	case cur == graph.InfDist:
+		st.dmap.add(e.k, s, dist)
+		e.pendingUnsent++
+	case cur < dist:
+		panic(fmt.Sprintf("core: sync for (%d,%d) with dist %d worse than local %d", v, s, dist, cur))
+	case cur > dist:
+		st.dmap.remove(s, cur)
+		st.dmap.add(e.k, s, dist)
+	}
+	st.data[s].Dist = dist
+	st.data[s].Sigma = sigma
+	if st.sent.Test(s) {
+		panic(fmt.Sprintf("core: (%d,%d) synchronized twice", v, s))
+	}
+	st.sent.Set(s)
+	st.tau[s] = int32(r)
+	st.sentCount++
+	if st.fuSrc == int32(s) {
+		st.advanceFU()
+	}
+	e.pendingUnsent--
+}
+
+// Candidate records a (vertex, source, dist) ordered-list update that
+// a distributed run must disseminate to the vertex's other proxies.
+//
+// Keeping the per-proxy ordered lists identical is what makes the
+// schedule r = dsv + ℓrv(dsv, s) evaluate consistently on every host:
+// a proxy that cannot see a lexicographically smaller candidate held
+// by another host would fire too early, synchronizing σ before every
+// predecessor contribution has arrived. Distances of candidates are
+// therefore synchronized as they are created (cheap: one uint32, no
+// σ), while the σ and δ labels keep the paper's delayed
+// synchronization and are exchanged exactly once, in the scheduled
+// round.
+type Candidate struct {
+	V    uint32
+	Src  int
+	Dist uint32
+}
+
+// RelaxOut performs the compute phase for a synchronized (v, s): it
+// relaxes every locally-owned out-edge of v, accumulating distance and
+// σ partials into the targets' proxies (Steps 11-17 of Algorithm 3, as
+// local label updates per Section 4.2). Distance changes (inserts and
+// improvements) are appended to cands for proxy dissemination; σ-only
+// updates change no list positions and need none.
+func (e *Engine) RelaxOut(v uint32, s int, cands []Candidate) []Candidate {
+	src := e.st[v].data[s]
+	cand := src.Dist + 1
+	for _, w := range e.g.OutNeighbors(v) {
+		st := &e.st[w]
+		cur := st.data[s].Dist
+		switch {
+		case cur == graph.InfDist:
+			st.data[s].Dist = cand
+			st.data[s].Sigma = src.Sigma
+			st.dmap.add(e.k, s, cand)
+			st.noteUnsent(s, cand)
+			e.pendingUnsent++
+			cands = append(cands, Candidate{V: w, Src: s, Dist: cand})
+		case cur == cand:
+			if st.sent.Test(s) {
+				// A σ contribution arriving after (w,s) synchronized
+				// would mean a predecessor finalized after its
+				// successor, violating the pipelining invariant.
+				panic(fmt.Sprintf("core: late sigma contribution to sent entry (%d,%d)", w, s))
+			}
+			st.data[s].Sigma += src.Sigma
+		case cur > cand:
+			if st.sent.Test(s) {
+				panic(fmt.Sprintf("core: improvement for sent entry (%d,%d)", w, s))
+			}
+			st.dmap.remove(s, cur)
+			st.dmap.add(e.k, s, cand)
+			st.data[s].Dist = cand
+			st.data[s].Sigma = src.Sigma
+			st.noteUnsent(s, cand)
+			cands = append(cands, Candidate{V: w, Src: s, Dist: cand})
+		}
+	}
+	return cands
+}
+
+// MergeCandidate installs a candidate distance received from another
+// proxy of v: the ordered list gains the entry (or improves it) but σ
+// partials remain strictly local — a proxy with no local in-edge
+// contributions holds σ = 0 for the pair until the scheduled sync.
+// Reports whether the local list changed.
+func (e *Engine) MergeCandidate(v uint32, s int, dist uint32) bool {
+	st := &e.st[v]
+	cur := st.data[s].Dist
+	switch {
+	case cur == graph.InfDist:
+		st.data[s].Dist = dist
+		st.data[s].Sigma = 0
+		st.dmap.add(e.k, s, dist)
+		st.noteUnsent(s, dist)
+		e.pendingUnsent++
+		return true
+	case cur > dist:
+		if st.sent.Test(s) {
+			panic(fmt.Sprintf("core: candidate improves sent entry (%d,%d)", v, s))
+		}
+		st.dmap.remove(s, cur)
+		st.dmap.add(e.k, s, dist)
+		st.data[s].Dist = dist
+		st.data[s].Sigma = 0 // stale-distance partials are discarded
+		st.noteUnsent(s, dist)
+		return true
+	default:
+		// cur <= dist: the local list already reflects (or beats) it.
+		return false
+	}
+}
+
+// MergePartial folds another proxy's (dist, σ-partial) for (v, s) into
+// this host's value: the reduction step a master performs on incoming
+// mirror partials (min on distance; σ partials sum at the minimum
+// distance and are discarded at larger distances).
+func (e *Engine) MergePartial(v uint32, s int, dist uint32, sigma float64) {
+	st := &e.st[v]
+	cur := st.data[s].Dist
+	switch {
+	case cur == graph.InfDist:
+		st.data[s].Dist = dist
+		st.data[s].Sigma = sigma
+		st.dmap.add(e.k, s, dist)
+		st.noteUnsent(s, dist)
+		e.pendingUnsent++
+	case cur == dist:
+		if st.sent.Test(s) {
+			panic(fmt.Sprintf("core: partial for already-synchronized (%d,%d)", v, s))
+		}
+		st.data[s].Sigma += sigma
+	case cur > dist:
+		if st.sent.Test(s) {
+			panic(fmt.Sprintf("core: improvement for already-synchronized (%d,%d)", v, s))
+		}
+		st.dmap.remove(s, cur)
+		st.dmap.add(e.k, s, dist)
+		st.data[s].Dist = dist
+		st.data[s].Sigma = sigma
+		st.noteUnsent(s, dist)
+	}
+	// cur < dist: the incoming partial is at a non-minimal distance and
+	// contributes nothing.
+}
+
+// AddDeltaPartial folds another proxy's δ partial into this host's
+// value (sum reduction of the backward phase).
+func (e *Engine) AddDeltaPartial(v uint32, s int, delta float64) {
+	e.st[v].data[s].Delta += delta
+}
+
+// PendingUnsent reports whether any finite-distance entry on this host
+// has not yet been synchronized; used for global termination detection
+// (Lemma 8).
+func (e *Engine) PendingUnsent() bool { return e.pendingUnsent > 0 }
+
+// StartBackward switches to the accumulation phase (Algorithm 5) given
+// the forward termination round R. The whole backward schedule is
+// known up front (source s synchronizes in round Asv = R - τsv + 1),
+// so it is bucketed by round once; BackwardFlags then costs O(|flags|)
+// per round.
+func (e *Engine) StartBackward(R int) {
+	e.totalR = R
+	e.backByRound = e.backByRound[:0]
+	for v := range e.st {
+		st := &e.st[v]
+		for s := 0; s < e.k; s++ {
+			if st.data[s].Dist == graph.InfDist {
+				continue
+			}
+			r := R - int(st.tau[s]) + 1
+			for len(e.backByRound) < r {
+				e.backByRound = append(e.backByRound, nil)
+			}
+			e.backByRound[r-1] = append(e.backByRound[r-1], Flag{V: uint32(v), Src: s})
+		}
+	}
+}
+
+// BackwardFlags appends the (vertex, source) pairs whose dependency
+// value synchronizes in backward round r.
+func (e *Engine) BackwardFlags(r int, dst []Flag) []Flag {
+	if r < 1 || r > len(e.backByRound) {
+		return dst
+	}
+	return append(dst, e.backByRound[r-1]...)
+}
+
+// BackwardRounds returns the number of rounds the backward phase needs:
+// the largest Asv across this host.
+func (e *Engine) BackwardRounds() int { return len(e.backByRound) }
+
+// DeltaPartial returns this host's current δ partial for (v, s).
+func (e *Engine) DeltaPartial(v uint32, s int) float64 { return e.st[v].data[s].Delta }
+
+// ApplyDeltaSync installs the reduced final dependency value for (v,s).
+func (e *Engine) ApplyDeltaSync(v uint32, s int, delta float64) {
+	e.st[v].data[s].Delta = delta
+}
+
+// AccumulateIn performs the backward compute phase for a synchronized
+// (v, s): it pushes v's dependency contribution m = (1+δ)/σ along every
+// locally-owned in-edge to predecessors in the shortest-path DAG
+// (Steps 7-9 of Algorithm 5).
+func (e *Engine) AccumulateIn(v uint32, s int) {
+	st := &e.st[v]
+	if st.data[s].Sigma == 0 {
+		panic(fmt.Sprintf("core: zero sigma at (%d,%d) during accumulation", v, s))
+	}
+	m := (1 + st.data[s].Delta) / st.data[s].Sigma
+	dv := st.data[s].Dist
+	for _, u := range e.g.InNeighbors(v) {
+		pu := &e.st[u]
+		du := pu.data[s].Dist
+		if du != graph.InfDist && du+1 == dv {
+			pu.data[s].Delta += pu.data[s].Sigma * m
+		}
+	}
+}

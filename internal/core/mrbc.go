@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mrbc/internal/graph"
+)
+
+// Options configures a batched MRBC run.
+type Options struct {
+	// BatchSize is k, the number of sources processed simultaneously
+	// (Figure 1 studies its effect). Defaults to 32, the paper's
+	// small-graph setting.
+	BatchSize int
+	// Parallelism runs up to this many batches concurrently, each on
+	// its own engine (source-level parallelism, the way the paper's
+	// single-host runs use all 48 cores). Defaults to 1 (sequential).
+	Parallelism int
+}
+
+const defaultBatchSize = 32
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = defaultBatchSize
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	return o
+}
+
+// RunStats reports the model-level execution costs of a batched run.
+type RunStats struct {
+	Batches        int
+	ForwardRounds  int   // BSP rounds across all batches, forward phase
+	BackwardRounds int   // BSP rounds across all batches, backward phase
+	LabelsSynced   int64 // number of (vertex, source) label synchronizations
+}
+
+// Rounds returns the total BSP rounds across phases and batches.
+func (s RunStats) Rounds() int { return s.ForwardRounds + s.BackwardRounds }
+
+// RoundsPerSource returns the average number of rounds per source, the
+// quantity Table 1 reports.
+func (s RunStats) RoundsPerSource(numSources int) float64 {
+	if numSources == 0 {
+		return 0
+	}
+	return float64(s.Rounds()) / float64(numSources)
+}
+
+// BC computes betweenness centrality restricted to the given sources
+// using the batched Min-Rounds engine on shared memory (a single-host
+// run of the Section 4 algorithm: one BSP round per CONGEST round,
+// with the label synchronizations a distributed run would perform
+// counted in the stats).
+func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	for _, s := range sources {
+		if int(s) >= n {
+			panic(fmt.Sprintf("core: source %d out of range [0,%d)", s, n))
+		}
+	}
+	g.EnsureInEdges() // build once, before engines share the graph
+	var batches [][]uint32
+	for start := 0; start < len(sources); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(sources) {
+			end = len(sources)
+		}
+		batches = append(batches, sources[start:end])
+	}
+	if opts.Parallelism == 1 || len(batches) <= 1 {
+		scores := make([]float64, n)
+		var stats RunStats
+		for _, b := range batches {
+			runBatch(g, b, scores, &stats)
+		}
+		return scores, stats
+	}
+
+	// Batches are independent; run them on a worker pool with private
+	// score vectors and merge.
+	workers := opts.Parallelism
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	partials := make([][]float64, workers)
+	partStats := make([]RunStats, workers)
+	next := make(chan []uint32, len(batches))
+	for _, b := range batches {
+		next <- b
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, n)
+			partials[w] = local
+			for b := range next {
+				runBatch(g, b, local, &partStats[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	scores := make([]float64, n)
+	var stats RunStats
+	for w := 0; w < workers; w++ {
+		for v, x := range partials[w] {
+			scores[v] += x
+		}
+		stats.Batches += partStats[w].Batches
+		stats.ForwardRounds += partStats[w].ForwardRounds
+		stats.BackwardRounds += partStats[w].BackwardRounds
+		stats.LabelsSynced += partStats[w].LabelsSynced
+	}
+	return scores, stats
+}
+
+// runBatch executes one k-source batch: the forward k-SSP phase of
+// Algorithm 3 with global termination detection (Lemma 8), then the
+// backward accumulation phase of Algorithm 5.
+func runBatch(g *graph.Graph, batch []uint32, scores []float64, stats *RunStats) {
+	stats.Batches++
+	e := NewEngine(g, len(batch))
+	for i, s := range batch {
+		e.InitSource(s, i, true)
+	}
+
+	// Forward phase.
+	var flags []Flag
+	R := 0
+	for r := 1; ; r++ {
+		flags = e.ForwardFlags(r, flags[:0])
+		if len(flags) == 0 && !e.PendingUnsent() {
+			R = r - 1
+			break
+		}
+		for _, f := range flags {
+			d := e.Get(f.V, f.Src)
+			e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
+		}
+		for _, f := range flags {
+			_ = e.RelaxOut(f.V, f.Src, nil)
+		}
+		stats.LabelsSynced += int64(len(flags))
+	}
+	stats.ForwardRounds += R
+
+	// Backward phase.
+	e.StartBackward(R)
+	back := e.BackwardRounds()
+	for r := 1; r <= back; r++ {
+		flags = e.BackwardFlags(r, flags[:0])
+		for _, f := range flags {
+			e.ApplyDeltaSync(f.V, f.Src, e.DeltaPartial(f.V, f.Src))
+		}
+		for _, f := range flags {
+			e.AccumulateIn(f.V, f.Src)
+		}
+		stats.LabelsSynced += int64(len(flags))
+	}
+	stats.BackwardRounds += back
+
+	// Fold dependencies into the scores (BC(w) += δs•(w), w ≠ s).
+	for v := 0; v < g.NumVertices(); v++ {
+		for i, s := range batch {
+			d := e.Get(uint32(v), i)
+			if d.Dist != graph.InfDist && uint32(v) != s {
+				scores[v] += d.Delta
+			}
+		}
+	}
+}
+
+// APSPBatch exposes the forward phase only: distances and shortest-path
+// counts from each source in the batch, for library users who need
+// k-SSP rather than BC.
+func APSPBatch(g *graph.Graph, batch []uint32) (dist [][]uint32, sigma [][]float64, stats RunStats) {
+	if len(batch) == 0 {
+		return nil, nil, stats
+	}
+	e := NewEngine(g, len(batch))
+	for i, s := range batch {
+		if int(s) >= g.NumVertices() {
+			panic(fmt.Sprintf("core: source %d out of range", s))
+		}
+		e.InitSource(s, i, true)
+	}
+	var flags []Flag
+	R := 0
+	for r := 1; ; r++ {
+		flags = e.ForwardFlags(r, flags[:0])
+		if len(flags) == 0 && !e.PendingUnsent() {
+			R = r - 1
+			break
+		}
+		for _, f := range flags {
+			d := e.Get(f.V, f.Src)
+			e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
+		}
+		for _, f := range flags {
+			_ = e.RelaxOut(f.V, f.Src, nil)
+		}
+		stats.LabelsSynced += int64(len(flags))
+	}
+	stats.Batches = 1
+	stats.ForwardRounds = R
+	n := g.NumVertices()
+	dist = make([][]uint32, len(batch))
+	sigma = make([][]float64, len(batch))
+	for i := range batch {
+		dist[i] = make([]uint32, n)
+		sigma[i] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			d := e.Get(uint32(v), i)
+			dist[i][v] = d.Dist
+			sigma[i][v] = d.Sigma
+		}
+	}
+	return dist, sigma, stats
+}

@@ -1,0 +1,204 @@
+// Package dgalois provides the bulk-synchronous distributed execution
+// substrate modeled on D-Galois (§4.1): a set of hosts, each owning a
+// partition of the graph, executing BSP rounds of local computation
+// followed by proxy synchronization.
+//
+// Hosts are simulated as goroutines within one process — the
+// substitution DESIGN.md §3 documents for the paper's 256-host
+// Stampede2 cluster. What the paper measures are model-level
+// quantities the substrate tracks exactly:
+//
+//   - BSP rounds executed,
+//   - communication volume in bytes and the number of inter-host
+//     messages (buffers are genuinely serialized and deserialized, so
+//     (de)serialization cost is paid, as §5.3 discusses),
+//   - per-host computation time, whose max/mean ratio per round gives
+//     the load-imbalance estimate of Table 1,
+//   - non-overlapped communication wall time (exchange phases).
+package dgalois
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster coordinates BSP execution across simulated hosts and records
+// execution statistics.
+type Cluster struct {
+	hosts int
+
+	rounds         int
+	bytes          int64
+	messages       int64
+	computeWall    time.Duration
+	commWall       time.Duration
+	perHostCompute []time.Duration
+	imbalanceSum   float64
+	imbalanceN     int
+
+	// scratch buffers reused across exchanges: out[from][to].
+	bufs [][][]byte
+}
+
+// NewCluster creates a cluster of the given number of hosts.
+func NewCluster(hosts int) *Cluster {
+	if hosts <= 0 {
+		panic(fmt.Sprintf("dgalois: invalid host count %d", hosts))
+	}
+	c := &Cluster{hosts: hosts, perHostCompute: make([]time.Duration, hosts)}
+	c.bufs = make([][][]byte, hosts)
+	for i := range c.bufs {
+		c.bufs[i] = make([][]byte, hosts)
+	}
+	return c
+}
+
+// NumHosts returns the cluster size.
+func (c *Cluster) NumHosts() int { return c.hosts }
+
+// Compute runs fn(host) on every host concurrently as one BSP compute
+// phase, recording per-host compute time and the round's load
+// imbalance.
+func (c *Cluster) Compute(fn func(host int)) {
+	start := time.Now()
+	durations := make([]time.Duration, c.hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < c.hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			t0 := time.Now()
+			fn(h)
+			durations[h] = time.Since(t0)
+		}(h)
+	}
+	wg.Wait()
+	c.computeWall += time.Since(start)
+
+	var max, sum time.Duration
+	for h, d := range durations {
+		c.perHostCompute[h] += d
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum > 0 {
+		mean := float64(sum) / float64(c.hosts)
+		c.imbalanceSum += float64(max) / mean
+		c.imbalanceN++
+	}
+}
+
+// BeginRound marks the start of a BSP round (for the round counter).
+func (c *Cluster) BeginRound() { c.rounds++ }
+
+// Exchange performs one communication step: every host produces a
+// buffer for every other host (pack, run on the sender's goroutine),
+// buffers are "transmitted" (counted), and consumed on the receiver's
+// goroutine (unpack). Nil or empty buffers send nothing. Serialization
+// and deserialization run inside the communication phase, matching the
+// paper's accounting ("non-overlapped communication time ... includes
+// data structure access time to (de)serialize messages").
+func (c *Cluster) Exchange(pack func(from, to int) []byte, unpack func(to, from int, data []byte)) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for h := 0; h < c.hosts; h++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for to := 0; to < c.hosts; to++ {
+				if to == from {
+					c.bufs[from][to] = nil
+					continue
+				}
+				c.bufs[from][to] = pack(from, to)
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	for from := range c.bufs {
+		for to, buf := range c.bufs[from] {
+			if len(buf) > 0 {
+				c.bytes += int64(len(buf))
+				c.messages++
+				_ = to
+			}
+		}
+	}
+
+	for h := 0; h < c.hosts; h++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			for from := 0; from < c.hosts; from++ {
+				if buf := c.bufs[from][to]; len(buf) > 0 {
+					unpack(to, from, buf)
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	c.commWall += time.Since(start)
+}
+
+// Stats is a snapshot of execution costs.
+type Stats struct {
+	Hosts          int
+	Rounds         int
+	Bytes          int64         // total communication volume
+	Messages       int64         // inter-host buffers exchanged
+	ComputeTime    time.Duration // max total compute time across hosts
+	CommTime       time.Duration // non-overlapped communication wall time
+	ExecutionTime  time.Duration // ComputeTime + CommTime
+	LoadImbalance  float64       // mean over rounds of max/mean host compute time
+	PerHostCompute []time.Duration
+}
+
+// Stats returns the current statistics snapshot.
+func (c *Cluster) Stats() Stats {
+	var maxCompute time.Duration
+	for _, d := range c.perHostCompute {
+		if d > maxCompute {
+			maxCompute = d
+		}
+	}
+	imb := 1.0
+	if c.imbalanceN > 0 {
+		imb = c.imbalanceSum / float64(c.imbalanceN)
+	}
+	per := append([]time.Duration(nil), c.perHostCompute...)
+	return Stats{
+		Hosts:          c.hosts,
+		Rounds:         c.rounds,
+		Bytes:          c.bytes,
+		Messages:       c.messages,
+		ComputeTime:    maxCompute,
+		CommTime:       c.commWall,
+		ExecutionTime:  maxCompute + c.commWall,
+		LoadImbalance:  imb,
+		PerHostCompute: per,
+	}
+}
+
+// Add accumulates another run's statistics into s (used when iterating
+// over sources or batches).
+func (s *Stats) Add(o Stats) {
+	// Weighted-by-rounds mean of imbalance, computed before the round
+	// counters merge.
+	if s.Rounds+o.Rounds > 0 {
+		tot := float64(s.Rounds + o.Rounds)
+		s.LoadImbalance = (s.LoadImbalance*float64(s.Rounds) + o.LoadImbalance*float64(o.Rounds)) / tot
+	}
+	s.Rounds += o.Rounds
+	s.Bytes += o.Bytes
+	s.Messages += o.Messages
+	s.ComputeTime += o.ComputeTime
+	s.CommTime += o.CommTime
+	s.ExecutionTime += o.ExecutionTime
+	if s.Hosts == 0 {
+		s.Hosts = o.Hosts
+	}
+}

@@ -1,0 +1,139 @@
+package dgalois
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestComputeRunsAllHosts(t *testing.T) {
+	c := NewCluster(8)
+	var count int64
+	c.Compute(func(h int) { atomic.AddInt64(&count, 1) })
+	if count != 8 {
+		t.Fatalf("compute ran on %d hosts", count)
+	}
+	st := c.Stats()
+	if st.Hosts != 8 {
+		t.Fatalf("Hosts = %d", st.Hosts)
+	}
+}
+
+func TestInvalidHostCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestExchangeDeliversAndCounts(t *testing.T) {
+	c := NewCluster(3)
+	received := make([][]string, 3)
+	c.Exchange(
+		func(from, to int) []byte {
+			if from == 0 {
+				return []byte(fmt.Sprintf("0->%d", to))
+			}
+			return nil
+		},
+		func(to, from int, data []byte) {
+			received[to] = append(received[to], string(data))
+		},
+	)
+	if len(received[0]) != 0 {
+		t.Fatalf("host 0 received %v", received[0])
+	}
+	if len(received[1]) != 1 || received[1][0] != "0->1" {
+		t.Fatalf("host 1 received %v", received[1])
+	}
+	if len(received[2]) != 1 || received[2][0] != "0->2" {
+		t.Fatalf("host 2 received %v", received[2])
+	}
+	st := c.Stats()
+	if st.Messages != 2 {
+		t.Fatalf("messages = %d, want 2", st.Messages)
+	}
+	if st.Bytes != int64(len("0->1")+len("0->2")) {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestNoSelfExchange(t *testing.T) {
+	c := NewCluster(2)
+	c.Exchange(
+		func(from, to int) []byte {
+			if from == to {
+				t.Error("pack called for self pair")
+			}
+			return []byte{1}
+		},
+		func(to, from int, data []byte) {
+			if to == from {
+				t.Error("unpack called for self pair")
+			}
+		},
+	)
+}
+
+func TestRoundCounterAndImbalance(t *testing.T) {
+	c := NewCluster(4)
+	for r := 0; r < 5; r++ {
+		c.BeginRound()
+		c.Compute(func(h int) {
+			if h == 0 {
+				time.Sleep(2 * time.Millisecond) // deliberate skew
+			}
+		})
+	}
+	st := c.Stats()
+	if st.Rounds != 5 {
+		t.Fatalf("rounds = %d", st.Rounds)
+	}
+	if st.LoadImbalance <= 1.0 {
+		t.Fatalf("imbalance = %v, want > 1 with a skewed host", st.LoadImbalance)
+	}
+	if st.ComputeTime < 10*time.Millisecond {
+		t.Fatalf("compute time %v too small", st.ComputeTime)
+	}
+	if len(st.PerHostCompute) != 4 {
+		t.Fatal("missing per-host compute times")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hosts: 4, Rounds: 10, Bytes: 100, Messages: 5, LoadImbalance: 2.0}
+	b := Stats{Hosts: 4, Rounds: 30, Bytes: 300, Messages: 15, LoadImbalance: 1.0}
+	a.Add(b)
+	if a.Rounds != 40 || a.Bytes != 400 || a.Messages != 20 {
+		t.Fatalf("Add totals wrong: %+v", a)
+	}
+	// Weighted mean: (2*10 + 1*30)/40 = 1.25.
+	if a.LoadImbalance != 1.25 {
+		t.Fatalf("imbalance = %v, want 1.25", a.LoadImbalance)
+	}
+}
+
+func TestExchangeConcurrentSafety(t *testing.T) {
+	// Pack/unpack run on separate goroutines per host; make sure a
+	// realistic workload with all pairs active is race-free and
+	// delivers everything (run under -race in CI).
+	c := NewCluster(8)
+	var delivered int64
+	for round := 0; round < 20; round++ {
+		c.Exchange(
+			func(from, to int) []byte { return []byte{byte(from), byte(to)} },
+			func(to, from int, data []byte) {
+				if int(data[0]) != from || int(data[1]) != to {
+					t.Error("misrouted buffer")
+				}
+				atomic.AddInt64(&delivered, 1)
+			},
+		)
+	}
+	if delivered != 20*8*7 {
+		t.Fatalf("delivered = %d, want %d", delivered, 20*8*7)
+	}
+}

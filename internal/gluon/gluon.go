@@ -1,0 +1,184 @@
+// Package gluon implements the communication substrate the paper's
+// implementation is built on (Dathathri et al., PLDI'18), specialized
+// to what the BC algorithms need:
+//
+//   - the proxy topology: for every ordered host pair, the list of
+//     vertices with a proxy on the sender whose master is on the
+//     receiver (reduce direction) and vice versa (broadcast direction);
+//   - update tracking with compressed metadata: a sync message is a
+//     bitvector over the pair's shared-vertex list marking which
+//     proxies carry updates, followed by one payload per marked proxy
+//     ("Gluon ... compresses the metadata that identifies the proxies
+//     whose labels are sent", §4.1/§5.3);
+//   - reduce (mirrors -> master) followed by broadcast (master ->
+//     mirrors), the all-reduce pattern of §4.1.
+//
+// Payload encoding is left to the caller via Writer/Reader so each
+// algorithm serializes exactly the fields it synchronizes.
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/partition"
+)
+
+// Topology precomputes, for a partitioning, the shared-vertex lists
+// every ordered host pair synchronizes over.
+type Topology struct {
+	pt *partition.Partitioning
+	// mirrorsByMaster[a][b]: local IDs (on host a) of proxies whose
+	// master is host b, ascending; empty when a == b.
+	mirrorsByMaster [][][]uint32
+	// masterSide[a][b]: local IDs (on host b's MASTER side) matching
+	// mirrorsByMaster[a][b] entry-for-entry, i.e., the same vertices
+	// translated to host b's local IDs.
+	masterSide [][][]uint32
+}
+
+// NewTopology builds the proxy topology for a partitioning.
+func NewTopology(pt *partition.Partitioning) *Topology {
+	t := &Topology{pt: pt}
+	h := pt.NumHosts
+	t.mirrorsByMaster = make([][][]uint32, h)
+	t.masterSide = make([][][]uint32, h)
+	for a := 0; a < h; a++ {
+		t.mirrorsByMaster[a] = make([][]uint32, h)
+		t.masterSide[a] = make([][]uint32, h)
+	}
+	for a, p := range pt.Parts {
+		for l, gid := range p.GlobalID {
+			m := int(pt.MasterOf[gid])
+			if m == a {
+				continue
+			}
+			ml, ok := pt.Parts[m].LocalID(gid)
+			if !ok {
+				panic(fmt.Sprintf("gluon: master host %d lacks proxy for vertex %d", m, gid))
+			}
+			t.mirrorsByMaster[a][m] = append(t.mirrorsByMaster[a][m], uint32(l))
+			t.masterSide[a][m] = append(t.masterSide[a][m], ml)
+		}
+	}
+	return t
+}
+
+// MirrorList returns the local IDs on host a of the proxies mastered
+// by host b (the reduce-direction shared list). The returned slice
+// must not be modified.
+func (t *Topology) MirrorList(a, b int) []uint32 { return t.mirrorsByMaster[a][b] }
+
+// MasterList returns the host-b local IDs matching MirrorList(a, b)
+// entry for entry.
+func (t *Topology) MasterList(a, b int) []uint32 { return t.masterSide[a][b] }
+
+// Partitioning returns the underlying partitioning.
+func (t *Topology) Partitioning() *partition.Partitioning { return t.pt }
+
+// Writer serializes payloads into a sync buffer.
+type Writer struct{ buf []byte }
+
+// Bytes returns the accumulated buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U32 appends a uint32.
+func (w *Writer) U32(x uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], x)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// U64 appends a uint64.
+func (w *Writer) U64(x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// F64 appends a float64.
+func (w *Writer) F64(x float64) { w.U64(math.Float64bits(x)) }
+
+// Reader deserializes a sync buffer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps a buffer.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	if r.off+4 > len(r.buf) {
+		panic("gluon: truncated sync buffer")
+	}
+	x := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return x
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	if r.off+8 > len(r.buf) {
+		panic("gluon: truncated sync buffer")
+	}
+	x := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return x
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Remaining reports the unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// EncodeUpdates builds a sync message over a shared list of listLen
+// proxies: a length-prefixed bitvector marking the updated positions,
+// then each marked position's payload in ascending order (written by
+// the emit callback). Returns nil when no positions are marked, so the
+// caller sends nothing — Gluon "avoids resending labels that have not
+// been updated".
+func EncodeUpdates(listLen int, marked *bitset.Set, emit func(pos int, w *Writer)) []byte {
+	if marked.None() {
+		return nil
+	}
+	if marked.Len() != listLen {
+		panic("gluon: marked bitvector does not match shared list length")
+	}
+	w := &Writer{}
+	w.U32(uint32(listLen))
+	for _, word := range marked.Words() {
+		w.U64(word)
+	}
+	marked.ForEach(func(pos int) bool {
+		emit(pos, w)
+		return true
+	})
+	return w.Bytes()
+}
+
+// DecodeUpdates parses a message produced by EncodeUpdates over the
+// same shared list, calling apply for every marked position in
+// ascending order.
+func DecodeUpdates(listLen int, data []byte, apply func(pos int, r *Reader)) {
+	rd := NewReader(data)
+	if got := int(rd.U32()); got != listLen {
+		panic(fmt.Sprintf("gluon: shared list length mismatch: message %d, local %d", got, listLen))
+	}
+	marked := bitset.New(listLen)
+	words := marked.Words()
+	for i := range words {
+		words[i] = rd.U64()
+	}
+	marked.ForEach(func(pos int) bool {
+		apply(pos, rd)
+		return true
+	})
+	if rd.Remaining() != 0 {
+		panic(fmt.Sprintf("gluon: %d trailing bytes in sync buffer", rd.Remaining()))
+	}
+}

@@ -1,0 +1,175 @@
+package gluon
+
+import (
+	"testing"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/gen"
+	"mrbc/internal/partition"
+)
+
+func TestTopologyMirrorMasterListsMatch(t *testing.T) {
+	g := gen.RMAT(8, 8, 3)
+	pt := partition.CartesianCut(g, 4)
+	topo := NewTopology(pt)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			mir := topo.MirrorList(a, b)
+			mas := topo.MasterList(a, b)
+			if a == b {
+				if len(mir) != 0 {
+					t.Fatalf("host %d lists itself as mirror holder", a)
+				}
+				continue
+			}
+			if len(mir) != len(mas) {
+				t.Fatalf("(%d,%d): list lengths %d vs %d", a, b, len(mir), len(mas))
+			}
+			for i := range mir {
+				gidMirror := pt.Parts[a].GlobalID[mir[i]]
+				gidMaster := pt.Parts[b].GlobalID[mas[i]]
+				if gidMirror != gidMaster {
+					t.Fatalf("(%d,%d)[%d]: vertices %d vs %d", a, b, i, gidMirror, gidMaster)
+				}
+				if pt.MasterOf[gidMirror] != int32(b) {
+					t.Fatalf("vertex %d in list for master %d but mastered by %d",
+						gidMirror, b, pt.MasterOf[gidMirror])
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyCoversAllMirrors(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1200, 5)
+	pt := partition.EdgeCut(g, 3)
+	topo := NewTopology(pt)
+	for a, p := range pt.Parts {
+		mirrors := 0
+		for _, m := range p.IsMaster {
+			if !m {
+				mirrors++
+			}
+		}
+		listed := 0
+		for b := 0; b < pt.NumHosts; b++ {
+			listed += len(topo.MirrorList(a, b))
+		}
+		if mirrors != listed {
+			t.Fatalf("host %d: %d mirrors but %d listed", a, mirrors, listed)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.U32(42)
+	w.F64(3.5)
+	w.U64(1 << 40)
+	r := NewReader(w.Bytes())
+	if r.U32() != 42 || r.F64() != 3.5 || r.U64() != 1<<40 {
+		t.Fatal("round trip failed")
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderTruncationPanics(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.U32()
+}
+
+func TestEncodeDecodeUpdates(t *testing.T) {
+	listLen := 100
+	marked := bitset.New(listLen)
+	marked.Set(3)
+	marked.Set(64)
+	marked.Set(99)
+	payload := map[int]uint32{3: 30, 64: 640, 99: 990}
+	buf := EncodeUpdates(listLen, marked, func(pos int, w *Writer) {
+		w.U32(payload[pos])
+	})
+	if buf == nil {
+		t.Fatal("expected non-nil buffer")
+	}
+	got := map[int]uint32{}
+	DecodeUpdates(listLen, buf, func(pos int, r *Reader) {
+		got[pos] = r.U32()
+	})
+	if len(got) != 3 || got[3] != 30 || got[64] != 640 || got[99] != 990 {
+		t.Fatalf("decoded %v", got)
+	}
+}
+
+func TestEncodeNothingIsNil(t *testing.T) {
+	marked := bitset.New(50)
+	if buf := EncodeUpdates(50, marked, func(int, *Writer) {}); buf != nil {
+		t.Fatal("empty update set must encode to nil (nothing sent)")
+	}
+}
+
+func TestDecodeLengthMismatchPanics(t *testing.T) {
+	marked := bitset.New(10)
+	marked.Set(0)
+	buf := EncodeUpdates(10, marked, func(pos int, w *Writer) { w.U32(1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeUpdates(20, buf, func(int, *Reader) {})
+}
+
+func TestDecodeTrailingBytesPanics(t *testing.T) {
+	marked := bitset.New(10)
+	marked.Set(0)
+	buf := EncodeUpdates(10, marked, func(pos int, w *Writer) { w.U32(1); w.U32(2) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// Reader consumes only one U32 per position, leaving trailing bytes.
+	DecodeUpdates(10, buf, func(pos int, r *Reader) { r.U32() })
+}
+
+func TestMetadataCompressionAmortizes(t *testing.T) {
+	// The §5.3 effect: syncing many proxies in one round costs fewer
+	// bytes than syncing them one per round, because the bitvector
+	// metadata is paid per message.
+	listLen := 512
+	perPayload := 12
+
+	// One round, 64 updates.
+	marked := bitset.New(listLen)
+	for i := 0; i < 64; i++ {
+		marked.Set(i * 8)
+	}
+	batched := len(EncodeUpdates(listLen, marked, func(pos int, w *Writer) {
+		w.U32(0)
+		w.F64(0)
+	}))
+
+	// 64 rounds, one update each.
+	spread := 0
+	for i := 0; i < 64; i++ {
+		m := bitset.New(listLen)
+		m.Set(i * 8)
+		spread += len(EncodeUpdates(listLen, m, func(pos int, w *Writer) {
+			w.U32(0)
+			w.F64(0)
+		}))
+	}
+	if batched >= spread {
+		t.Fatalf("batched sync (%d bytes) should beat spread sync (%d bytes)", batched, spread)
+	}
+	if batched <= 64*perPayload {
+		t.Fatalf("batched bytes %d should still include metadata", batched)
+	}
+}

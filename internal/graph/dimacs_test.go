@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := FromWeightedEdges(4, []WeightedEdge{
+		{U: 0, V: 1, Weight: 3}, {U: 1, V: 2, Weight: 1},
+		{U: 2, V: 3, Weight: 7}, {U: 3, V: 0, Weight: 2},
+	})
+	var buf bytes.Buffer
+	if err := g.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 4 || g2.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	for u := 0; u < 4; u++ {
+		d1, w1 := g.OutEdges(uint32(u))
+		d2, w2 := g2.OutEdges(uint32(u))
+		if len(d1) != len(d2) {
+			t.Fatalf("vertex %d degree changed", u)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] || w1[i] != w2[i] {
+				t.Fatalf("vertex %d edge %d changed", u, i)
+			}
+		}
+	}
+}
+
+func TestReadDIMACSValid(t *testing.T) {
+	in := `c a comment
+p sp 3 2
+a 1 2 10
+a 2 3 20
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	d := g.Dijkstra(0)
+	if d[2] != 30 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-problem":      "a 1 2 3\n",
+		"bad-problem":     "p xx 3 2\n",
+		"dup-problem":     "p sp 2 0\np sp 2 0\n",
+		"bad-arc":         "p sp 2 1\na 1 2\n",
+		"zero-vertex":     "p sp 2 1\na 0 1 5\n",
+		"vertex-too-big":  "p sp 2 1\na 1 3 5\n",
+		"zero-weight":     "p sp 2 1\na 1 2 0\n",
+		"unknown-record":  "p sp 2 0\nz 1\n",
+		"wrong-arc-count": "p sp 2 5\na 1 2 1\n",
+		"missing-problem": "c only a comment\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+func TestWeightedUnweightedView(t *testing.T) {
+	g := FromWeightedEdges(3, []WeightedEdge{
+		{U: 0, V: 1, Weight: 9}, {U: 1, V: 2, Weight: 9},
+	})
+	u := g.Unweighted()
+	if u.NumEdges() != 2 || !u.HasEdge(0, 1) || !u.HasEdge(1, 2) {
+		t.Fatal("unweighted view wrong")
+	}
+	if d := u.BFS(0); d[2] != 2 {
+		t.Fatalf("BFS over unweighted view = %v", d)
+	}
+}

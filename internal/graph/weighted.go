@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Weighted is an immutable directed graph with positive integer edge
+// weights in CSR form. Integer weights keep shortest-path distances
+// (and therefore path counts σ) exact — with float weights, equal-
+// length paths through different edges would compare unequal after
+// rounding and silently corrupt betweenness scores.
+//
+// The paper's algorithms target unweighted graphs, but two of its
+// baselines (ABBC and MFBC) support weights (§5); the weighted BC
+// implementations in internal/brandes and internal/mfbc run on this
+// type.
+type Weighted struct {
+	offsets []int64
+	dsts    []uint32
+	weights []uint32
+
+	inOffsets []int64
+	inSrcs    []uint32
+	inWeights []uint32
+}
+
+// InfWeightedDist marks an unreachable vertex in weighted distance
+// arrays.
+const InfWeightedDist = ^uint64(0)
+
+// NumVertices returns the vertex count.
+func (g *Weighted) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the edge count.
+func (g *Weighted) NumEdges() int64 { return int64(len(g.dsts)) }
+
+// OutEdges returns the out-neighbor and weight slices of v, matched by
+// index. The caller must not modify them.
+func (g *Weighted) OutEdges(v uint32) (dsts []uint32, weights []uint32) {
+	return g.dsts[g.offsets[v]:g.offsets[v+1]], g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// InEdges returns the in-neighbor and weight slices of v.
+func (g *Weighted) InEdges(v uint32) (srcs []uint32, weights []uint32) {
+	return g.inSrcs[g.inOffsets[v]:g.inOffsets[v+1]], g.inWeights[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Weighted) OutDegree(v uint32) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// WeightedEdge is an explicit edge for construction.
+type WeightedEdge struct {
+	U, V   uint32
+	Weight uint32
+}
+
+// FromWeightedEdges builds a weighted graph with n vertices. Self
+// loops are dropped; parallel edges keep the smallest weight (only
+// that one can lie on a shortest path). Zero weights are rejected:
+// zero-weight cycles make shortest-path counting ill-defined.
+func FromWeightedEdges(n int, edges []WeightedEdge) *Weighted {
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: weighted edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+		}
+		if e.Weight == 0 {
+			panic(fmt.Sprintf("graph: zero weight on edge (%d,%d)", e.U, e.V))
+		}
+	}
+	es := append([]WeightedEdge(nil), edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		if es[i].V != es[j].V {
+			return es[i].V < es[j].V
+		}
+		return es[i].Weight < es[j].Weight
+	})
+	g := &Weighted{offsets: make([]int64, n+1)}
+	var prev WeightedEdge
+	first := true
+	for _, e := range es {
+		if e.U == e.V {
+			continue
+		}
+		if !first && e.U == prev.U && e.V == prev.V {
+			continue // keep the smallest-weight parallel edge
+		}
+		prev, first = e, false
+		g.dsts = append(g.dsts, e.V)
+		g.weights = append(g.weights, e.Weight)
+		g.offsets[e.U+1]++
+	}
+	for i := 1; i <= n; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	g.buildInEdges()
+	return g
+}
+
+func (g *Weighted) buildInEdges() {
+	n := g.NumVertices()
+	counts := make([]int64, n+1)
+	for _, d := range g.dsts {
+		counts[d+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	g.inSrcs = make([]uint32, len(g.dsts))
+	g.inWeights = make([]uint32, len(g.dsts))
+	cursor := append([]int64(nil), counts[:n]...)
+	for u := 0; u < n; u++ {
+		dsts, ws := g.OutEdges(uint32(u))
+		for i, v := range dsts {
+			g.inSrcs[cursor[v]] = uint32(u)
+			g.inWeights[cursor[v]] = ws[i]
+			cursor[v]++
+		}
+	}
+	g.inOffsets = counts
+}
+
+// UnitWeights lifts an unweighted graph to a weighted one with every
+// edge weight 1; weighted BC on the result equals unweighted BC.
+func UnitWeights(g *Graph) *Weighted {
+	edges := make([]WeightedEdge, 0, g.NumEdges())
+	g.Edges(func(u, v uint32) {
+		edges = append(edges, WeightedEdge{U: u, V: v, Weight: 1})
+	})
+	return FromWeightedEdges(g.NumVertices(), edges)
+}
+
+// Dijkstra computes single-source shortest-path distances from src.
+func (g *Weighted) Dijkstra(src uint32) []uint64 {
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = InfWeightedDist
+	}
+	dist[src] = 0
+	h := newDistHeap(n)
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, du := h.pop()
+		if du > dist[u] {
+			continue // stale entry
+		}
+		dsts, ws := g.OutEdges(u)
+		for i, v := range dsts {
+			if nd := du + uint64(ws[i]); nd < dist[v] {
+				dist[v] = nd
+				h.push(v, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// distHeap is a small binary min-heap of (vertex, dist) pairs with lazy
+// deletion, sufficient for Dijkstra without container/heap's interface
+// overhead.
+type distHeap struct {
+	vs []uint32
+	ds []uint64
+}
+
+func newDistHeap(capHint int) *distHeap {
+	return &distHeap{vs: make([]uint32, 0, capHint), ds: make([]uint64, 0, capHint)}
+}
+
+func (h *distHeap) len() int { return len(h.vs) }
+
+func (h *distHeap) push(v uint32, d uint64) {
+	h.vs = append(h.vs, v)
+	h.ds = append(h.ds, d)
+	i := len(h.vs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ds[p] <= h.ds[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *distHeap) pop() (uint32, uint64) {
+	v, d := h.vs[0], h.ds[0]
+	last := len(h.vs) - 1
+	h.swap(0, last)
+	h.vs = h.vs[:last]
+	h.ds = h.ds[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.ds[l] < h.ds[m] {
+			m = l
+		}
+		if r < last && h.ds[r] < h.ds[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return v, d
+}
+
+func (h *distHeap) swap(i, j int) {
+	h.vs[i], h.vs[j] = h.vs[j], h.vs[i]
+	h.ds[i], h.ds[j] = h.ds[j], h.ds[i]
+}

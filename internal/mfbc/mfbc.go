@@ -1,0 +1,212 @@
+// Package mfbc implements Maximal-Frontier Betweenness Centrality
+// (Solomonik, Besta, Vella, Hoefler — SC'17), the sparse-matrix
+// baseline of the paper's evaluation. BC is phrased as frontier
+// products over two semirings:
+//
+//   - Forward: a Bellman-Ford-style sweep over the (min, +) semiring on
+//     (distance, path-count) pairs. Each iteration multiplies the
+//     adjacency pattern by the current frontier; entries whose tentative
+//     distance improves (or whose count grows at an equal distance) form
+//     the next frontier. On unweighted graphs the sweep settles one BFS
+//     level per iteration.
+//   - Backward: dependency accumulation over a (+, ·) algebra on the
+//     transposed pattern, masked by distance so contributions flow from
+//     the deepest frontier inward.
+//
+// Sources are processed in batches of k, like MRBC and the original
+// MFBC ("MFBC performs best when k is the highest power-of-2 for which
+// the graph fits in memory", §5.2).
+package mfbc
+
+import (
+	"fmt"
+	"runtime"
+
+	"mrbc/internal/graph"
+	"mrbc/internal/matrix"
+)
+
+// pathElem is an element of the forward (min, +, count) algebra.
+type pathElem struct {
+	dist  uint32
+	count float64
+}
+
+// forwardSemiring combines tentative shortest-path elements: Plus takes
+// the smaller distance and sums counts on ties; Extend lengthens a path
+// by one unit edge.
+var forwardSemiring = matrix.Semiring[pathElem]{
+	Identity: pathElem{dist: graph.InfDist},
+	Plus: func(a, b pathElem) pathElem {
+		switch {
+		case a.dist < b.dist:
+			return a
+		case b.dist < a.dist:
+			return b
+		case a.dist == graph.InfDist:
+			return a
+		default:
+			return pathElem{dist: a.dist, count: a.count + b.count}
+		}
+	},
+	Extend: func(a pathElem) pathElem {
+		if a.dist == graph.InfDist {
+			return a
+		}
+		return pathElem{dist: a.dist + 1, count: a.count}
+	},
+}
+
+// Options configures an MFBC run.
+type Options struct {
+	// BatchSize is k, the number of simultaneous sources; defaults to
+	// 32. The paper picks the largest power of two that fits in memory.
+	BatchSize int
+	// Workers bounds the source-parallelism; defaults to GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats reports the frontier-iteration counts of a run (the matrix
+// analogue of BSP rounds).
+type Stats struct {
+	Batches            int
+	ForwardIterations  int
+	BackwardIterations int
+}
+
+// BC computes betweenness centrality restricted to sources.
+func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, Stats) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	for _, s := range sources {
+		if int(s) >= n {
+			panic(fmt.Sprintf("mfbc: source %d out of range [0,%d)", s, n))
+		}
+	}
+	a := matrix.FromGraph(g)
+	at := a.Transpose()
+	scores := make([]float64, n)
+	var stats Stats
+	for start := 0; start < len(sources); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(sources) {
+			end = len(sources)
+		}
+		runBatch(a, at, sources[start:end], scores, opts, &stats)
+	}
+	return scores, stats
+}
+
+func runBatch(a, at *matrix.Pattern, batch []uint32, scores []float64, opts Options, stats *Stats) {
+	stats.Batches++
+	n := a.Dim()
+	k := len(batch)
+
+	// Forward sweeps, one independent tentative vector per source.
+	tent := make([]matrix.Vec[pathElem], k)
+	iters := make([]int, k)
+	maxDist := make([]uint32, k)
+	matrix.ParallelOverSources(k, opts.Workers, func(j int) {
+		tent[j] = matrix.NewVec(n, forwardSemiring)
+		tent[j][batch[j]] = pathElem{dist: 0, count: 1}
+		frontier := []uint32{batch[j]}
+		prod := matrix.NewVec(n, forwardSemiring)
+		var touched []uint32
+		for len(frontier) > 0 {
+			iters[j]++
+			touched = matrix.PushProduct(a, tent[j], frontier, forwardSemiring, prod, touched[:0])
+			frontier = frontier[:0]
+			for _, v := range touched {
+				cand := prod[v]
+				prod[v] = forwardSemiring.Identity
+				cur := tent[j][v]
+				merged := forwardSemiring.Plus(cur, cand)
+				// The frontier advances where the product changed the
+				// tentative element (improved distance or new counts at
+				// the frontier distance).
+				if merged.dist != cur.dist {
+					tent[j][v] = merged
+					frontier = append(frontier, v)
+					if merged.dist != graph.InfDist && merged.dist > maxDist[j] {
+						maxDist[j] = merged.dist
+					}
+				} else if merged.dist == cand.dist && merged.count != cur.count {
+					// On an unweighted graph every count contribution
+					// to a vertex arrives in the iteration that settles
+					// its distance; a later equal-distance contribution
+					// would require re-pushing deltas (the weighted
+					// MFBC machinery, out of scope here).
+					panic("mfbc: late count contribution; input must be unweighted")
+				}
+			}
+			frontier = dedup(frontier)
+		}
+	})
+
+	// Backward sweeps: masked products over the transpose, one distance
+	// level per iteration.
+	deps := make([]matrix.Vec[float64], k)
+	matrix.ParallelOverSources(k, opts.Workers, func(j int) {
+		deps[j] = make(matrix.Vec[float64], n)
+		if maxDist[j] == 0 {
+			return
+		}
+		// Bucket vertices by distance once.
+		buckets := make([][]uint32, maxDist[j]+1)
+		for v := 0; v < n; v++ {
+			if d := tent[j][v].dist; d != graph.InfDist && d > 0 {
+				buckets[d] = append(buckets[d], uint32(v))
+			}
+		}
+		buckets[0] = append(buckets[0], batch[j])
+		for level := int(maxDist[j]); level >= 1; level-- {
+			// coeff vector: (1+δ)/σ masked to the current level, then a
+			// masked product over Aᵀ accumulates σu · coeff into
+			// predecessors one level up.
+			for _, w := range buckets[level] {
+				coeff := (1 + deps[j][w]) / tent[j][w].count
+				for _, u := range at.Row(w) {
+					if tent[j][u].dist != graph.InfDist && tent[j][u].dist+1 == uint32(level) {
+						deps[j][u] += tent[j][u].count * coeff
+					}
+				}
+			}
+		}
+	})
+
+	// Serial reduction into shared scores.
+	for j := 0; j < k; j++ {
+		stats.ForwardIterations += iters[j]
+		stats.BackwardIterations += int(maxDist[j])
+		for v := 0; v < n; v++ {
+			if uint32(v) != batch[j] && tent[j][v].dist != graph.InfDist {
+				scores[v] += deps[j][v]
+			}
+		}
+	}
+}
+
+func dedup(xs []uint32) []uint32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	seen := make(map[uint32]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package mfbc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+func approxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchesBrandesOnSuite(t *testing.T) {
+	inputs := map[string]*graph.Graph{
+		"rmat":   gen.RMAT(7, 8, 3),
+		"grid":   gen.RoadGrid(8, 8, 3),
+		"ladder": gen.LadderDAG(9),
+		"er":     gen.ErdosRenyi(80, 400, 3),
+		"star":   gen.Star(20),
+		"discon": graph.FromEdges(6, [][2]uint32{{0, 1}, {1, 2}, {4, 5}}),
+	}
+	for name, g := range inputs {
+		numSrc := 16
+		if n := g.NumVertices(); n < numSrc {
+			numSrc = n
+		}
+		sources := brandes.FirstKSources(g, 0, numSrc)
+		want := brandes.Sequential(g, sources)
+		got, _ := BC(g, sources, Options{BatchSize: 8, Workers: 4})
+		if !approxEqual(got, want, 1e-9) {
+			t.Fatalf("%s: MFBC differs from Brandes", name)
+		}
+	}
+}
+
+func TestBatchSizeInvariance(t *testing.T) {
+	g := gen.RMAT(8, 8, 5)
+	sources := brandes.FirstKSources(g, 0, 32)
+	want := brandes.Sequential(g, sources)
+	for _, k := range []int{1, 4, 32} {
+		got, stats := BC(g, sources, Options{BatchSize: k})
+		if !approxEqual(got, want, 1e-9) {
+			t.Fatalf("batch=%d: mismatch", k)
+		}
+		if wantBatches := (32 + k - 1) / k; stats.Batches != wantBatches {
+			t.Fatalf("batch=%d: batches=%d want %d", k, stats.Batches, wantBatches)
+		}
+	}
+}
+
+func TestIterationCounts(t *testing.T) {
+	// On a path, the frontier advances one level per iteration, so a
+	// source at the head sweeps about n iterations forward.
+	g := gen.Path(30)
+	_, stats := BC(g, []uint32{0}, Options{BatchSize: 1})
+	if stats.ForwardIterations < 29 || stats.ForwardIterations > 31 {
+		t.Fatalf("forward iterations = %d, want about 30", stats.ForwardIterations)
+	}
+	if stats.BackwardIterations != 29 {
+		t.Fatalf("backward iterations = %d, want 29", stats.BackwardIterations)
+	}
+}
+
+func TestSourceOutOfRangePanics(t *testing.T) {
+	g := gen.Path(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BC(g, []uint32{7}, Options{})
+}
+
+func TestNoSources(t *testing.T) {
+	g := gen.Path(5)
+	scores, stats := BC(g, nil, Options{})
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatal("expected zeros")
+		}
+	}
+	if stats.Batches != 0 {
+		t.Fatal("expected no batches")
+	}
+}
+
+// Property: MFBC equals Brandes on random unweighted digraphs.
+func TestQuickAgainstBrandes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(5*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		numSrc := 1 + rng.Intn(n)
+		sources := make([]uint32, numSrc)
+		for i, s := range rng.Perm(n)[:numSrc] {
+			sources[i] = uint32(s)
+		}
+		got, _ := BC(g, sources, Options{BatchSize: 1 + rng.Intn(8), Workers: 4})
+		want := brandes.Sequential(g, sources)
+		return approxEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMFBC(b *testing.B) {
+	g := gen.RMAT(10, 8, 1)
+	sources := brandes.FirstKSources(g, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = BC(g, sources, Options{BatchSize: 32})
+	}
+}

@@ -1,0 +1,77 @@
+package mfbc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+func randomWeighted(rng *rand.Rand, n, m, maxW int) *graph.Weighted {
+	edges := make([]graph.WeightedEdge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.WeightedEdge{
+			U:      uint32(rng.Intn(n)),
+			V:      uint32(rng.Intn(n)),
+			Weight: uint32(1 + rng.Intn(maxW)),
+		})
+	}
+	return graph.FromWeightedEdges(n, edges)
+}
+
+func TestWeightedMFBCMatchesDijkstraBrandes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(80)
+		g := randomWeighted(rng, n, rng.Intn(6*n), 7)
+		k := 1 + rng.Intn(16)
+		sources := make([]uint32, k)
+		for i, s := range rng.Perm(n)[:k] {
+			sources[i] = uint32(s)
+		}
+		got := WeightedBC(g, sources, WeightedOptions{Workers: 4})
+		want := brandes.WeightedSequential(g, sources)
+		if !approxEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: weighted MFBC differs from Dijkstra-Brandes", trial)
+		}
+	}
+}
+
+func TestWeightedMFBCUnitWeightsEqualUnweighted(t *testing.T) {
+	ug := gen.RMAT(7, 8, 13)
+	sources := brandes.FirstKSources(ug, 0, 16)
+	want, _ := BC(ug, sources, Options{BatchSize: 8})
+	got := WeightedBC(graph.UnitWeights(ug), sources, WeightedOptions{})
+	if !approxEqual(got, want, 1e-9) {
+		t.Fatal("unit-weight MFBC differs from unweighted MFBC")
+	}
+}
+
+func TestWeightedMFBCSourceOutOfRangePanics(t *testing.T) {
+	g := graph.UnitWeights(gen.Path(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedBC(g, []uint32{7}, WeightedOptions{})
+}
+
+// Property: Bellman-Ford frontier distances match Dijkstra.
+func TestQuickWeightedFrontierDistances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomWeighted(rng, n, rng.Intn(4*n), 6)
+		s := uint32(rng.Intn(n))
+		got := WeightedBC(g, []uint32{s}, WeightedOptions{Workers: 1})
+		want := brandes.WeightedSequential(g, []uint32{s})
+		return approxEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package mrbcdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+// TestBruteForceBothSyncModes sweeps thousands of tiny random
+// configurations through both schedule-consistency schemes and checks
+// exact agreement with the sequential oracle. This is the regression
+// net for the cross-host scheduling subtleties DESIGN.md §5 describes.
+func TestBruteForceBothSyncModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long brute-force sweep")
+	}
+	for seed := int64(0); seed < 700; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(3*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		hosts := 2 + rng.Intn(2)
+		k := 1 + rng.Intn(3)
+		numSrc := 1 + rng.Intn(n)
+		sources := make([]uint32, numSrc)
+		for i, s := range rng.Perm(n)[:numSrc] {
+			sources[i] = uint32(s)
+		}
+		want := brandes.Sequential(g, sources)
+		for _, mode := range []SyncMode{ArbitrationSync, CandidateSync} {
+			for _, pt := range []*partition.Partitioning{
+				partition.EdgeCut(g, hosts), partition.CartesianCut(g, hosts),
+			} {
+				got, _ := Run(g, pt, sources, Options{BatchSize: k, Sync: mode})
+				for v := range got {
+					if math.Abs(got[v]-want[v]) > 1e-9 {
+						t.Fatalf("seed=%d n=%d hosts=%d k=%d mode=%d policy=%s: BC[%d]=%v want %v",
+							seed, n, hosts, k, mode, pt.Policy, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}

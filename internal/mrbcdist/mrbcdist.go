@@ -1,0 +1,558 @@
+// Package mrbcdist implements Min-Rounds BC on the D-Galois model
+// (Section 4 of the paper): one core.Engine per host over its
+// partition, BSP rounds that map 1:1 onto CONGEST rounds, and the
+// delayed-synchronization optimization — a proxy's (dist, σ) labels are
+// reduced and broadcast only in the round r = dsv + ℓrv(dsv, s)
+// dictated by the algorithm (the Proxy Synchronization Rule of §4.3),
+// and its dependency label only in round Asv = R − τsv of Algorithm 5.
+//
+// Sources are processed in batches of k (the batch size studied in
+// Figure 1); each batch costs at most k + H forward rounds and the
+// same again backward (Lemma 8).
+package mrbcdist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/core"
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+// SyncMode selects how the forward phase keeps the per-proxy schedules
+// of Algorithm 3 consistent across hosts. Both modes are exact; they
+// trade communication volume differently (an ablation DESIGN.md §5
+// calls out).
+type SyncMode int
+
+const (
+	// ArbitrationSync (default): proxies propose their locally-due
+	// (vertex, source) label; the master keeps only the
+	// lexicographically smallest proposal per vertex and synchronizes
+	// it. A losing proxy's schedule shifts by exactly one round,
+	// because the broadcast inserts the winning (already-sent) entry
+	// below the loser in its ordered list. Costs no extra messages.
+	ArbitrationSync SyncMode = iota
+	// CandidateSync additionally disseminates candidate distances as
+	// relaxations create them, keeping every proxy's ordered list
+	// bit-identical to the CONGEST list. Costs one (src, dist) pair
+	// per list change but reproduces CONGEST rounds exactly.
+	CandidateSync
+)
+
+// Options configures a distributed MRBC run.
+type Options struct {
+	// BatchSize is k, the number of sources per batch. Defaults to 32
+	// (the paper's small-graph setting, §5.2).
+	BatchSize int
+	// Sync selects the schedule-consistency scheme; defaults to
+	// ArbitrationSync.
+	Sync SyncMode
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.BatchSize > maxBatch {
+		o.BatchSize = maxBatch
+	}
+	return o
+}
+
+type hostState struct {
+	part   *partition.Part
+	engine *core.Engine
+
+	// Per-round staging.
+	flags     []core.Flag      // this host's locally-detected flags
+	synced    []core.Flag      // (v,s) synchronized this round, to relax/accumulate
+	cands     []core.Candidate // distance candidates created this round
+	flagSet   map[uint64]bool
+	candSet   map[uint64]uint32 // master-side candidate union: (v,s) -> min dist
+	proposals []proposal        // master-side buffered mirror proposals
+
+	// Per-round lookup tables, built once per round and shared by every
+	// destination's pack call (packs run once per host pair).
+	flagByV  map[uint32]core.Flag // vertex -> this host's due flag
+	bcastByV map[uint32]int       // vertex -> source to broadcast
+}
+
+// proposal is a proxy's round-r claim that (v, src) is due, with its
+// local label values; masters arbitrate proposals per vertex.
+type proposal struct {
+	v     uint32 // master-side local ID
+	src   int
+	dist  uint32
+	sigma float64
+	own   bool // the master's own proposal: its σ partial is already in the engine
+}
+
+// less orders proposals for the same vertex lexicographically by
+// (dist, src) — the order of the list Lv.
+func (p proposal) less(q proposal) bool {
+	if p.dist != q.dist {
+		return p.dist < q.dist
+	}
+	return p.src < q.src
+}
+
+// key packs (local vertex, source index) into one map key; source
+// indices are bounded by the batch size, capped at 2^20 in Run.
+func key(v uint32, s int) uint64 { return uint64(v)<<20 | uint64(s) }
+
+const maxBatch = 1 << 20
+
+// Run computes BC restricted to sources over the partitioned graph
+// using batched Min-Rounds BC, returning global scores and cluster
+// statistics.
+func Run(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	for _, s := range sources {
+		if int(s) >= n {
+			panic(fmt.Sprintf("mrbcdist: source %d out of range [0,%d)", s, n))
+		}
+	}
+	topo := gluon.NewTopology(pt)
+	cluster := dgalois.NewCluster(pt.NumHosts)
+	scores := make([]float64, n)
+	for start := 0; start < len(sources); start += opts.BatchSize {
+		end := start + opts.BatchSize
+		if end > len(sources) {
+			end = len(sources)
+		}
+		runBatch(cluster, topo, pt, sources[start:end], scores, opts)
+	}
+	return scores, cluster.Stats()
+}
+
+func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options) {
+	k := len(batch)
+	states := make([]*hostState, pt.NumHosts)
+	cluster.Compute(func(h int) {
+		p := pt.Parts[h]
+		st := &hostState{
+			part:     p,
+			engine:   core.NewEngine(p.Local, k),
+			flagSet:  make(map[uint64]bool),
+			candSet:  make(map[uint64]uint32),
+			flagByV:  make(map[uint32]core.Flag),
+			bcastByV: make(map[uint32]int),
+		}
+		for i, s := range batch {
+			if l, ok := p.LocalID(s); ok {
+				st.engine.InitSource(l, i, p.IsMaster[l])
+			}
+		}
+		states[h] = st
+	})
+
+	// ---- Forward phase (Algorithm 3 as BSP rounds). ----
+	R := 0
+	for r := 1; ; r++ {
+		cluster.BeginRound()
+		var activity int64
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.flags = st.engine.ForwardFlags(r, st.flags[:0])
+			st.synced = st.synced[:0]
+			clear(st.flagSet)
+			clear(st.flagByV)
+			clear(st.bcastByV)
+			for _, f := range st.flags {
+				st.flagByV[f.V] = f
+			}
+			p := int64(len(st.flags))
+			if st.engine.PendingUnsent() {
+				p++
+			}
+			atomic.AddInt64(&activity, p)
+		})
+		if activity == 0 {
+			break
+		}
+		R = r
+		syncForward(cluster, topo, states, r)
+		// Compute phase B: relax the synchronized entries locally,
+		// collecting the distance candidates the relaxations create.
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.cands = st.cands[:0]
+			for k := range st.candSet {
+				delete(st.candSet, k)
+			}
+			for _, f := range st.synced {
+				st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
+			}
+		})
+		// In CandidateSync mode, additionally disseminate candidate
+		// distances so every proxy's ordered list stays identical to
+		// the CONGEST list (ArbitrationSync instead resolves schedule
+		// ties at the master).
+		if opts.Sync == CandidateSync {
+			syncCandidates(cluster, topo, states)
+		}
+	}
+
+	// ---- Backward phase (Algorithm 5 as BSP rounds). ----
+	cluster.Compute(func(h int) { states[h].engine.StartBackward(R) })
+	maxBack := 0
+	for _, st := range states {
+		if b := st.engine.BackwardRounds(); b > maxBack {
+			maxBack = b
+		}
+	}
+	for r := 1; r <= maxBack; r++ {
+		cluster.BeginRound()
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.flags = st.engine.BackwardFlags(r, st.flags[:0])
+			st.synced = st.synced[:0]
+			clear(st.flagSet)
+			clear(st.flagByV)
+			clear(st.bcastByV)
+			for _, f := range st.flags {
+				st.flagByV[f.V] = f
+			}
+		})
+		syncBackward(cluster, topo, states)
+		cluster.Compute(func(h int) {
+			st := states[h]
+			for _, f := range st.synced {
+				st.engine.AccumulateIn(f.V, f.Src)
+			}
+		})
+	}
+
+	// Fold master dependencies into the global scores.
+	for _, st := range states {
+		for l, gid := range st.part.GlobalID {
+			if !st.part.IsMaster[l] {
+				continue
+			}
+			for i, s := range batch {
+				d := st.engine.Get(uint32(l), i)
+				if d.Dist != graph.InfDist && gid != s {
+					scores[gid] += d.Delta
+				}
+			}
+		}
+	}
+}
+
+// syncForward implements the round-r label synchronization: due
+// mirrors propose (src, dist, σ-partial) to masters; masters arbitrate
+// one winner per vertex (the lexicographically smallest proposal — in
+// CandidateSync mode at most one proposal per vertex exists, so
+// arbitration is a no-op), merge the winner's σ partials, apply the
+// finalized value, and broadcast (src, dist, σ) to every mirror.
+func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int) {
+	// Reduce: due mirror proxies -> master (proposals are buffered;
+	// nothing is merged until arbitration picks the winners).
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MirrorList(from, to)
+			if len(list) == 0 || len(st.flags) == 0 {
+				return nil
+			}
+			// At most one due source per vertex per round on one host,
+			// so a vertex-level bitvector suffices.
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if _, ok := st.flagByV[lid]; ok {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				f := st.flagByV[list[pos]]
+				d := st.engine.Get(f.V, f.Src)
+				w.U32(uint32(f.Src))
+				w.U32(d.Dist)
+				w.F64(d.Sigma)
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MasterList(from, to)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				st.proposals = append(st.proposals, proposal{
+					v:     list[pos],
+					src:   int(rd.U32()),
+					dist:  rd.U32(),
+					sigma: rd.F64(),
+				})
+			})
+		},
+	)
+
+	// Arbitration: per vertex, the lexicographically smallest proposal
+	// wins; losers are dropped (their hosts keep the entry unsent, and
+	// the winner's broadcast pushes their schedule to a later round).
+	// The winner's σ partials are merged and the label finalized.
+	cluster.Compute(func(h int) {
+		st := states[h]
+		for _, f := range st.flags {
+			if st.part.IsMaster[f.V] {
+				d := st.engine.Get(f.V, f.Src)
+				st.proposals = append(st.proposals, proposal{v: f.V, src: f.Src, dist: d.Dist, own: true})
+			}
+		}
+		winners := make(map[uint32]proposal, len(st.proposals))
+		for _, p := range st.proposals {
+			if cur, ok := winners[p.v]; !ok || p.less(cur) {
+				winners[p.v] = p
+			}
+		}
+		for _, w := range winners {
+			for _, p := range st.proposals {
+				if p.v != w.v || p.src != w.src || p.own {
+					continue
+				}
+				if p.dist != w.dist {
+					panic(fmt.Sprintf("mrbcdist: proposals for (%d,%d) disagree on distance", p.v, p.src))
+				}
+				st.engine.MergePartial(p.v, p.src, p.dist, p.sigma)
+			}
+			d := st.engine.Get(w.v, w.src)
+			st.engine.ApplySync(w.v, w.src, d.Dist, d.Sigma, r)
+			st.synced = append(st.synced, core.Flag{V: w.v, Src: w.src})
+			st.flagSet[key(w.v, w.src)] = true
+			st.bcastByV[w.v] = w.src
+		}
+		st.proposals = st.proposals[:0]
+	})
+
+	// Broadcast: masters -> all mirrors.
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MasterList(to, from)
+			if len(list) == 0 || len(st.flagSet) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if _, ok := st.bcastByV[lid]; ok {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				lid := list[pos]
+				src := st.bcastByV[lid]
+				d := st.engine.Get(lid, src)
+				w.U32(uint32(src))
+				w.U32(d.Dist)
+				w.F64(d.Sigma)
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MirrorList(to, from)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				lid := list[pos]
+				src := int(rd.U32())
+				dist := rd.U32()
+				sigma := rd.F64()
+				st.engine.ApplySync(lid, src, dist, sigma, r)
+				st.synced = append(st.synced, core.Flag{V: lid, Src: src})
+			})
+		},
+	)
+}
+
+// syncCandidates disseminates this round's distance candidates:
+// mirrors push (src, dist) lists to masters, masters merge (min) and
+// broadcast the merged candidates to every mirror. Only distances
+// travel — σ partials stay local until the pair's scheduled round —
+// so this preserves the delayed-synchronization optimization while
+// keeping every proxy's ordered list identical.
+func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
+	encode := func(list []uint32, byV map[uint32][]core.Candidate, dist func(c core.Candidate) uint32) []byte {
+		if len(list) == 0 || len(byV) == 0 {
+			return nil
+		}
+		marked := bitset.New(len(list))
+		for pos, lid := range list {
+			if _, ok := byV[lid]; ok {
+				marked.Set(pos)
+			}
+		}
+		return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			cs := byV[list[pos]]
+			w.U32(uint32(len(cs)))
+			for _, c := range cs {
+				w.U32(uint32(c.Src))
+				w.U32(dist(c))
+			}
+		})
+	}
+
+	// Reduce: mirror candidates -> masters.
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			if len(st.cands) == 0 {
+				return nil
+			}
+			byV := make(map[uint32][]core.Candidate)
+			for _, c := range st.cands {
+				byV[c.V] = append(byV[c.V], c)
+			}
+			return encode(topo.MirrorList(from, to), byV, func(c core.Candidate) uint32 { return c.Dist })
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MasterList(from, to)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				lid := list[pos]
+				cnt := int(rd.U32())
+				for i := 0; i < cnt; i++ {
+					src := int(rd.U32())
+					d := rd.U32()
+					st.engine.MergeCandidate(lid, src, d)
+					kk := key(lid, src)
+					if cur, ok := st.candSet[kk]; !ok || d < cur {
+						st.candSet[kk] = d
+					}
+				}
+			})
+		},
+	)
+
+	// Masters fold their own local candidates into the union.
+	cluster.Compute(func(h int) {
+		st := states[h]
+		for _, c := range st.cands {
+			if st.part.IsMaster[c.V] {
+				kk := key(c.V, c.Src)
+				if cur, ok := st.candSet[kk]; !ok || c.Dist < cur {
+					st.candSet[kk] = c.Dist
+				}
+			}
+		}
+	})
+
+	// Broadcast: merged candidates -> all mirrors, with the master's
+	// post-merge (minimum) distance.
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			if len(st.candSet) == 0 {
+				return nil
+			}
+			byV := make(map[uint32][]core.Candidate)
+			for kk := range st.candSet {
+				v := uint32(kk >> 20)
+				s := int(kk & (1<<20 - 1))
+				byV[v] = append(byV[v], core.Candidate{V: v, Src: s})
+			}
+			return encode(topo.MasterList(to, from), byV, func(c core.Candidate) uint32 {
+				return st.engine.Get(c.V, c.Src).Dist
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MirrorList(to, from)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				lid := list[pos]
+				cnt := int(rd.U32())
+				for i := 0; i < cnt; i++ {
+					src := int(rd.U32())
+					st.engine.MergeCandidate(lid, src, rd.U32())
+				}
+			})
+		},
+	)
+}
+
+// syncBackward synchronizes the dependency labels of backward-flagged
+// pairs: mirrors push δ partials (then reset them), masters sum and
+// broadcast the final dependency.
+func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MirrorList(from, to)
+			if len(list) == 0 || len(st.flags) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if _, ok := st.flagByV[lid]; ok {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				f := st.flagByV[list[pos]]
+				w.U32(uint32(f.Src))
+				w.F64(st.engine.DeltaPartial(f.V, f.Src))
+				// Hand the partial to the master; the broadcast below
+				// restores the final value.
+				st.engine.ApplyDeltaSync(f.V, f.Src, 0)
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MasterList(from, to)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				lid := list[pos]
+				src := int(rd.U32())
+				st.engine.AddDeltaPartial(lid, src, rd.F64())
+				st.flagSet[key(lid, src)] = true
+			})
+		},
+	)
+
+	cluster.Compute(func(h int) {
+		st := states[h]
+		for _, f := range st.flags {
+			if st.part.IsMaster[f.V] {
+				st.flagSet[key(f.V, f.Src)] = true
+			}
+		}
+		for kk := range st.flagSet {
+			v := uint32(kk >> 20)
+			s := int(kk & (1<<20 - 1))
+			st.synced = append(st.synced, core.Flag{V: v, Src: s})
+			st.bcastByV[v] = s
+		}
+	})
+
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MasterList(to, from)
+			if len(list) == 0 || len(st.flagSet) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if _, ok := st.bcastByV[lid]; ok {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				lid := list[pos]
+				src := st.bcastByV[lid]
+				w.U32(uint32(src))
+				w.F64(st.engine.DeltaPartial(lid, src))
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MirrorList(to, from)
+			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+				lid := list[pos]
+				src := int(rd.U32())
+				st.engine.ApplyDeltaSync(lid, src, rd.F64())
+				st.synced = append(st.synced, core.Flag{V: lid, Src: src})
+			})
+		},
+	)
+}

@@ -1,0 +1,234 @@
+package mrbcdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+func approxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchesBrandesAcrossHostsAndPolicies(t *testing.T) {
+	inputs := map[string]*graph.Graph{
+		"rmat":   gen.RMAT(7, 8, 3),
+		"grid":   gen.RoadGrid(8, 8, 3),
+		"ladder": gen.LadderDAG(10),
+		"er":     gen.ErdosRenyi(100, 500, 3),
+	}
+	for name, g := range inputs {
+		numSrc := 24
+		if n := g.NumVertices(); n < numSrc {
+			numSrc = n
+		}
+		sources := brandes.FirstKSources(g, 0, numSrc)
+		want := brandes.Sequential(g, sources)
+		for _, hosts := range []int{1, 2, 4, 6} {
+			for policy, pt := range map[string]*partition.Partitioning{
+				"edge-cut":  partition.EdgeCut(g, hosts),
+				"cartesian": partition.CartesianCut(g, hosts),
+			} {
+				got, _ := Run(g, pt, sources, Options{BatchSize: 8})
+				if !approxEqual(got, want, 1e-9) {
+					t.Fatalf("%s %s hosts=%d: BC mismatch", name, policy, hosts)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchSizeInvariance(t *testing.T) {
+	g := gen.RMAT(7, 8, 5)
+	pt := partition.CartesianCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 32)
+	want := brandes.Sequential(g, sources)
+	for _, k := range []int{1, 5, 16, 32} {
+		got, _ := Run(g, pt, sources, Options{BatchSize: k})
+		if !approxEqual(got, want, 1e-9) {
+			t.Fatalf("batch=%d: BC mismatch", k)
+		}
+	}
+}
+
+func TestRoundBoundPerBatch(t *testing.T) {
+	// Lemma 8 at the distributed level: forward+backward rounds per
+	// batch at most 2(k+H) plus the empty detection round.
+	g := gen.WebCrawl(6, 6, 2, 15, 7)
+	pt := partition.EdgeCut(g, 4)
+	k := 16
+	sources := brandes.FirstKSources(g, 0, k)
+	_, stats := Run(g, pt, sources, Options{BatchSize: k})
+	h := maxFiniteDistance(g, sources)
+	bound := 2*(k+h) + 1
+	if stats.Rounds > bound {
+		t.Fatalf("rounds = %d exceed 2(k+H)+1 = %d", stats.Rounds, bound)
+	}
+}
+
+func maxFiniteDistance(g *graph.Graph, sources []uint32) int {
+	var h uint32
+	for _, s := range sources {
+		for _, d := range g.BFS(s) {
+			if d != graph.InfDist && d > h {
+				h = d
+			}
+		}
+	}
+	return int(h)
+}
+
+func TestLargerBatchFewerRounds(t *testing.T) {
+	// Figure 1's effect at the distributed level.
+	g := gen.WebCrawl(6, 6, 3, 20, 9)
+	pt := partition.CartesianCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 32)
+	_, small := Run(g, pt, sources, Options{BatchSize: 4})
+	_, large := Run(g, pt, sources, Options{BatchSize: 32})
+	if large.Rounds >= small.Rounds {
+		t.Fatalf("batch 32 rounds %d should undercut batch 4 rounds %d", large.Rounds, small.Rounds)
+	}
+}
+
+func TestCommunicationVolumeTracked(t *testing.T) {
+	g := gen.RMAT(7, 8, 11)
+	pt := partition.CartesianCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 16)
+	_, stats := Run(g, pt, sources, Options{BatchSize: 16})
+	if stats.Bytes == 0 || stats.Messages == 0 {
+		t.Fatalf("multi-host run recorded no communication: %+v", stats)
+	}
+	// A single host exchanges nothing.
+	_, solo := Run(g, partition.EdgeCut(g, 1), sources, Options{BatchSize: 16})
+	if solo.Bytes != 0 || solo.Messages != 0 {
+		t.Fatalf("single-host run recorded communication: %+v", solo)
+	}
+}
+
+func TestDisconnectedSources(t *testing.T) {
+	// Sources in separate components must not deadlock or corrupt.
+	g := graph.FromEdges(8, [][2]uint32{{0, 1}, {1, 2}, {4, 5}, {5, 6}, {6, 7}, {7, 4}})
+	pt := partition.EdgeCut(g, 2)
+	sources := []uint32{0, 4, 3} // 3 is isolated
+	want := brandes.Sequential(g, sources)
+	got, _ := Run(g, pt, sources, Options{BatchSize: 3})
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("disconnected: got %v want %v", got, want)
+	}
+}
+
+func TestSourceOutOfRangePanics(t *testing.T) {
+	g := gen.Path(4)
+	pt := partition.EdgeCut(g, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(g, pt, []uint32{4}, Options{})
+}
+
+// Property: distributed MRBC equals Brandes for random graphs, host
+// counts, batch sizes, and policies.
+func TestQuickAgainstBrandes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(5*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		hosts := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(8)
+		numSrc := 1 + rng.Intn(n)
+		sources := make([]uint32, numSrc)
+		for i, s := range rng.Perm(n)[:numSrc] {
+			sources[i] = uint32(s)
+		}
+		var pt *partition.Partitioning
+		if seed%2 == 0 {
+			pt = partition.EdgeCut(g, hosts)
+		} else {
+			pt = partition.CartesianCut(g, hosts)
+		}
+		got, _ := Run(g, pt, sources, Options{BatchSize: k})
+		want := brandes.Sequential(g, sources)
+		return approxEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDistributedMRBC(b *testing.B) {
+	g := gen.RMAT(10, 8, 1)
+	pt := partition.CartesianCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Run(g, pt, sources, Options{BatchSize: 32})
+	}
+}
+
+func TestSyncModesAgreeAndArbitrationIsCheaper(t *testing.T) {
+	g := gen.RMAT(9, 8, 21)
+	pt := partition.CartesianCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 32)
+	arb, arbStats := Run(g, pt, sources, Options{BatchSize: 16, Sync: ArbitrationSync})
+	cand, candStats := Run(g, pt, sources, Options{BatchSize: 16, Sync: CandidateSync})
+	if !approxEqual(arb, cand, 1e-9) {
+		t.Fatal("sync modes disagree on scores")
+	}
+	// Arbitration avoids the candidate-dissemination traffic entirely.
+	if arbStats.Bytes >= candStats.Bytes {
+		t.Fatalf("arbitration bytes %d should undercut candidate-sync bytes %d",
+			arbStats.Bytes, candStats.Bytes)
+	}
+	// Arbitration may add a few tie-break rounds but stays within the
+	// k+H schedule plus slack.
+	if arbStats.Rounds > candStats.Rounds*2 {
+		t.Fatalf("arbitration rounds %d blew up vs candidate-sync %d",
+			arbStats.Rounds, candStats.Rounds)
+	}
+}
+
+func TestLargerScaleAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second stress test")
+	}
+	inputs := map[string]*graph.Graph{
+		"rmat2k":   gen.RMAT(11, 8, 71),
+		"webcrawl": gen.WebCrawl(10, 8, 6, 50, 72),
+		"grid":     gen.RoadGrid(40, 40, 73),
+	}
+	for name, g := range inputs {
+		sources := brandes.FirstKSources(g, 0, 32)
+		want := brandes.Parallel(g, sources, 4)
+		for _, mode := range []SyncMode{ArbitrationSync, CandidateSync} {
+			pt := partition.CartesianCut(g, 6)
+			got, stats := Run(g, pt, sources, Options{BatchSize: 16, Sync: mode})
+			if !approxEqual(got, want, 1e-9) {
+				t.Fatalf("%s mode=%d: BC mismatch at scale", name, mode)
+			}
+			if stats.Rounds == 0 || stats.Bytes == 0 {
+				t.Fatalf("%s: missing stats", name)
+			}
+		}
+	}
+}

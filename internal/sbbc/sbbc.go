@@ -1,0 +1,402 @@
+// Package sbbc implements Synchronous-Brandes BC (SBBC), the paper's
+// primary baseline (§5): the Brandes algorithm with level-by-level
+// breadth-first traversal, one source at a time, mapped onto the
+// D-Galois BSP model. Each BFS level is one BSP round in the forward
+// phase; each level of the dependency accumulation is one round in the
+// backward phase, so a source of eccentricity L costs about 2L+1
+// rounds — the number MRBC's pipelining collapses.
+package sbbc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+type hostState struct {
+	part  *partition.Part
+	dist  []uint32
+	sigma []float64
+	delta []float64
+
+	frontier   []uint32    // local vertices finalized at the previous level
+	inFrontier *bitset.Set // dedup for frontier construction
+	dirty      *bitset.Set // proxies updated in this round's compute
+	masterOut  *bitset.Set // masters whose value must broadcast
+	relaxed    int64       // activity counter for termination
+}
+
+// Options configures SBBC.
+type Options struct {
+	// DirectionOptimizing enables Beamer-style push/pull switching in
+	// the forward phase: when the frontier's out-edges outnumber the
+	// unvisited vertices' in-edges (scaled by Alpha), each host scans
+	// unvisited proxies pulling from the frontier instead of pushing
+	// along it. Both directions produce identical label partials, so
+	// hosts decide independently per round.
+	DirectionOptimizing bool
+	// Alpha is the push->pull switch threshold (default 4): pull when
+	// frontierOutEdges*Alpha > unvisitedInEdges.
+	Alpha int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 {
+		o.Alpha = 4
+	}
+	return o
+}
+
+// shouldPull applies the direction-optimization heuristic on this
+// host's local view.
+func (st *hostState) shouldPull(alpha int) bool {
+	local := st.part.Local
+	frontierOut := 0
+	for _, u := range st.frontier {
+		frontierOut += local.OutDegree(u)
+	}
+	unvisitedIn := 0
+	for w := 0; w < st.part.NumProxies(); w++ {
+		if st.dist[w] == graph.InfDist {
+			unvisitedIn += local.InDegree(uint32(w))
+		}
+	}
+	return frontierOut*alpha > unvisitedIn
+}
+
+// Run computes BC restricted to sources over the partitioned graph,
+// one source at a time, returning the scores (indexed by global vertex
+// ID) and the cluster execution statistics.
+func Run(g *graph.Graph, pt *partition.Partitioning, sources []uint32) ([]float64, dgalois.Stats) {
+	return RunOpts(g, pt, sources, Options{})
+}
+
+// RunOpts is Run with explicit options.
+func RunOpts(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	for _, s := range sources {
+		if int(s) >= n {
+			panic(fmt.Sprintf("sbbc: source %d out of range [0,%d)", s, n))
+		}
+	}
+	topo := gluon.NewTopology(pt)
+	cluster := dgalois.NewCluster(pt.NumHosts)
+	states := make([]*hostState, pt.NumHosts)
+	for h, p := range pt.Parts {
+		np := p.NumProxies()
+		p.Local.EnsureInEdges()
+		states[h] = &hostState{
+			part:       p,
+			dist:       make([]uint32, np),
+			sigma:      make([]float64, np),
+			delta:      make([]float64, np),
+			inFrontier: bitset.New(np),
+			dirty:      bitset.New(np),
+			masterOut:  bitset.New(np),
+		}
+	}
+	scores := make([]float64, n)
+	for _, s := range sources {
+		runSource(cluster, topo, states, s, scores, opts)
+	}
+	return scores, cluster.Stats()
+}
+
+func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options) {
+	// Initialize labels. Every proxy of the source holds its final
+	// value immediately (dist 0, σ 1): there is nothing to reduce for
+	// the source itself.
+	cluster.Compute(func(h int) {
+		st := states[h]
+		for i := range st.dist {
+			st.dist[i] = graph.InfDist
+			st.sigma[i] = 0
+			st.delta[i] = 0
+		}
+		st.frontier = st.frontier[:0]
+		st.inFrontier.Reset()
+		if l, ok := st.part.LocalID(src); ok {
+			st.dist[l] = 0
+			st.sigma[l] = 1
+			st.frontier = append(st.frontier, l)
+		}
+	})
+
+	// Forward phase: one BSP round per BFS level.
+	level := uint32(0)
+	for {
+		cluster.BeginRound()
+		level++
+		var active int64
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.dirty.Reset()
+			st.masterOut.Reset()
+			st.relaxed = 0
+			local := st.part.Local
+			if opts.DirectionOptimizing && st.shouldPull(opts.Alpha) {
+				// Pull: every unvisited proxy scans its local in-edges
+				// for frontier predecessors; yields the same partials
+				// as pushing along the frontier's out-edges.
+				for w := 0; w < st.part.NumProxies(); w++ {
+					if st.dist[w] != graph.InfDist {
+						continue
+					}
+					var acc float64
+					for _, u := range local.InNeighbors(uint32(w)) {
+						if st.dist[u] == level-1 {
+							acc += st.sigma[u]
+						}
+					}
+					if acc > 0 {
+						st.dist[w] = level
+						st.sigma[w] = acc
+						st.dirty.Set(w)
+						st.relaxed++
+					}
+				}
+			} else {
+				for _, u := range st.frontier {
+					su := st.sigma[u]
+					for _, w := range local.OutNeighbors(u) {
+						switch {
+						case st.dist[w] == graph.InfDist:
+							st.dist[w] = level
+							st.sigma[w] = su
+							st.dirty.Set(int(w))
+							st.relaxed++
+						case st.dist[w] == level:
+							st.sigma[w] += su
+							st.dirty.Set(int(w))
+							st.relaxed++
+						}
+					}
+				}
+			}
+			// Next frontier assembles from broadcasts and local master
+			// updates below.
+			st.frontier = st.frontier[:0]
+			st.inFrontier.Reset()
+			atomic.AddInt64(&active, st.relaxed)
+		})
+		if active == 0 {
+			break
+		}
+		syncForward(cluster, topo, states, level)
+	}
+	forwardLevels := level - 1 // last round found an empty frontier
+
+	// Backward phase: one BSP round per level, from the deepest level
+	// inward. Dependencies of level-L vertices are final when level L+1
+	// has been processed and synchronized.
+	for l := forwardLevels; l >= 1; l-- {
+		cluster.BeginRound()
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.dirty.Reset()
+			st.masterOut.Reset()
+			local := st.part.Local
+			for w := 0; w < st.part.NumProxies(); w++ {
+				if st.dist[w] != l {
+					continue
+				}
+				coeff := (1 + st.delta[w]) / st.sigma[w]
+				for _, v := range local.InNeighbors(uint32(w)) {
+					if st.dist[v] != graph.InfDist && st.dist[v]+1 == l {
+						st.delta[v] += st.sigma[v] * coeff
+						st.dirty.Set(int(v))
+					}
+				}
+			}
+		})
+		syncBackward(cluster, topo, states)
+	}
+
+	// Fold master dependencies into the scores.
+	cluster.Compute(func(h int) { _ = h })
+	for h, st := range states {
+		_ = h
+		for l, gid := range st.part.GlobalID {
+			if st.part.IsMaster[l] && gid != src && st.dist[l] != graph.InfDist {
+				scores[gid] += st.delta[l]
+			}
+		}
+	}
+}
+
+// syncForward reduces (min dist, σ-partial sum) from dirty mirrors to
+// masters and broadcasts finalized values to every mirror, rebuilding
+// the next frontier on each host.
+func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, level uint32) {
+	// Reduce: dirty mirrors -> masters.
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MirrorList(from, to)
+			if len(list) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if st.dirty.Test(int(lid)) {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				lid := list[pos]
+				w.U32(st.dist[lid])
+				w.F64(st.sigma[lid])
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MasterList(from, to)
+			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				lid := list[pos]
+				d := r.U32()
+				sg := r.F64()
+				switch {
+				case st.dist[lid] == graph.InfDist || d < st.dist[lid]:
+					st.dist[lid] = d
+					st.sigma[lid] = sg
+					st.masterOut.Set(int(lid))
+				case d == st.dist[lid]:
+					st.sigma[lid] += sg
+					st.masterOut.Set(int(lid))
+				}
+			})
+		},
+	)
+
+	// Masters that were relaxed locally must also broadcast.
+	cluster.Compute(func(h int) {
+		st := states[h]
+		st.dirty.ForEach(func(l int) bool {
+			if st.part.IsMaster[l] {
+				st.masterOut.Set(l)
+			}
+			return true
+		})
+		// Masters finalized this level join the frontier.
+		st.masterOut.ForEach(func(l int) bool {
+			if st.dist[l] == level && !st.inFrontier.Test(l) {
+				st.inFrontier.Set(l)
+				st.frontier = append(st.frontier, uint32(l))
+			}
+			return true
+		})
+	})
+
+	// Broadcast: masters -> all mirrors.
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MasterList(to, from) // from's local IDs of vertices mirrored on `to`
+			if len(list) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if st.masterOut.Test(int(lid)) {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				lid := list[pos]
+				w.U32(st.dist[lid])
+				w.F64(st.sigma[lid])
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MirrorList(to, from)
+			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				lid := list[pos]
+				st.dist[lid] = r.U32()
+				st.sigma[lid] = r.F64()
+				if st.dist[lid] == level && !st.inFrontier.Test(int(lid)) {
+					st.inFrontier.Set(int(lid))
+					st.frontier = append(st.frontier, lid)
+				}
+			})
+		},
+	)
+}
+
+// syncBackward reduces δ partials (sum) to masters and broadcasts the
+// finalized dependencies back to mirrors.
+func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MirrorList(from, to)
+			if len(list) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if st.dirty.Test(int(lid)) {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				lid := list[pos]
+				w.F64(st.delta[lid])
+				// The partial has been handed to the master; reset so a
+				// later broadcast can overwrite without double counting.
+				st.delta[lid] = 0
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MasterList(from, to)
+			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				lid := list[pos]
+				st.delta[lid] += r.F64()
+				st.masterOut.Set(int(lid))
+			})
+		},
+	)
+
+	cluster.Compute(func(h int) {
+		st := states[h]
+		st.dirty.ForEach(func(l int) bool {
+			if st.part.IsMaster[l] {
+				st.masterOut.Set(l)
+			}
+			return true
+		})
+	})
+
+	cluster.Exchange(
+		func(from, to int) []byte {
+			st := states[from]
+			list := topo.MasterList(to, from)
+			if len(list) == 0 {
+				return nil
+			}
+			marked := bitset.New(len(list))
+			for pos, lid := range list {
+				if st.masterOut.Test(int(lid)) {
+					marked.Set(pos)
+				}
+			}
+			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				w.F64(st.delta[list[pos]])
+			})
+		},
+		func(to, from int, data []byte) {
+			st := states[to]
+			list := topo.MirrorList(to, from)
+			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				st.delta[list[pos]] = r.F64()
+			})
+		},
+	)
+}

@@ -1,0 +1,189 @@
+package vprog
+
+import (
+	"math"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+// The standard D-Galois benchmark applications, expressed over the
+// vertex-program layer. BFS and ConnectedComponents are push programs;
+// PageRank is topology-driven with a sum reduction.
+
+// BFS computes hop distances from src over the partitioned graph.
+// Unreachable vertices get graph.InfDist.
+func BFS(g *graph.Graph, pt *partition.Partitioning, src uint32) ([]uint32, dgalois.Stats) {
+	labels, stats := RunPush(g, pt, PushProgram{
+		Init: func(gid uint32) (uint64, bool) {
+			if gid == src {
+				return 0, true
+			}
+			return math.MaxUint64, false
+		},
+		Relax:  func(l uint64) uint64 { return l + 1 },
+		Better: func(a, b uint64) bool { return a < b },
+	})
+	out := make([]uint32, len(labels))
+	for v, l := range labels {
+		if l == math.MaxUint64 {
+			out[v] = graph.InfDist
+		} else {
+			out[v] = uint32(l)
+		}
+	}
+	return out, stats
+}
+
+// ConnectedComponents labels every vertex v with the smallest vertex
+// ID that reaches v through directed label propagation (v itself
+// counts). On a graph with symmetric edges — pass g.Undirected() for
+// an arbitrary digraph — this is the classic weakly-connected-
+// components labeling, each vertex tagged with its component's
+// minimum ID.
+func ConnectedComponents(g *graph.Graph, pt *partition.Partitioning) ([]uint32, dgalois.Stats) {
+	labels, stats := RunPush(g, pt, PushProgram{
+		Init:   func(gid uint32) (uint64, bool) { return uint64(gid), true },
+		Relax:  func(l uint64) uint64 { return l },
+		Better: func(a, b uint64) bool { return a < b },
+	})
+	out := make([]uint32, len(labels))
+	for v, l := range labels {
+		out[v] = uint32(l)
+	}
+	return out, stats
+}
+
+// PageRankOptions configures PageRank.
+type PageRankOptions struct {
+	Damping    float64 // default 0.85
+	Iterations int     // default 20
+}
+
+// PageRank runs topology-driven PageRank (pull model: each vertex sums
+// contributions of its in-neighbors each iteration) on the partitioned
+// graph; contributions of a vertex's proxies are partial sums reduced
+// at the master and broadcast back, one reduce+broadcast per
+// iteration. Returns ranks per global vertex (summing to ~1 on graphs
+// without sinks).
+func PageRank(g *graph.Graph, pt *partition.Partitioning, opts PageRankOptions) ([]float64, dgalois.Stats) {
+	if opts.Damping <= 0 || opts.Damping >= 1 {
+		opts.Damping = 0.85
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 20
+	}
+	n := g.NumVertices()
+	validateHosts(pt, n)
+	topo := gluon.NewTopology(pt)
+	cluster := dgalois.NewCluster(pt.NumHosts)
+
+	type hostState struct {
+		part   *partition.Part
+		rank   []float64 // current rank (synced)
+		outDeg []float64 // global out-degree per proxy
+		acc    []float64 // partial contribution sums
+	}
+	states := make([]*hostState, pt.NumHosts)
+	cluster.Compute(func(h int) {
+		p := pt.Parts[h]
+		np := p.NumProxies()
+		st := &hostState{
+			part:   p,
+			rank:   make([]float64, np),
+			outDeg: make([]float64, np),
+			acc:    make([]float64, np),
+		}
+		for l, gid := range p.GlobalID {
+			st.rank[l] = 1 / float64(n)
+			st.outDeg[l] = float64(g.OutDegree(gid))
+		}
+		states[h] = st
+	})
+
+	marked := func(np int) *bitset.Set {
+		m := bitset.New(np)
+		m.Fill()
+		return m
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		cluster.BeginRound()
+		// Local partial sums along locally-owned in-edges.
+		cluster.Compute(func(h int) {
+			st := states[h]
+			local := st.part.Local
+			for i := range st.acc {
+				st.acc[i] = 0
+			}
+			for w := 0; w < st.part.NumProxies(); w++ {
+				for _, u := range local.InNeighbors(uint32(w)) {
+					if st.outDeg[u] > 0 {
+						st.acc[w] += st.rank[u] / st.outDeg[u]
+					}
+				}
+			}
+		})
+		// Reduce partial sums to masters (dense: every proxy may hold a
+		// partial), fold into the new rank, broadcast.
+		cluster.Exchange(
+			func(from, to int) []byte {
+				st := states[from]
+				list := topo.MirrorList(from, to)
+				if len(list) == 0 {
+					return nil
+				}
+				return gluon.EncodeUpdates(len(list), marked(len(list)), func(pos int, w *gluon.Writer) {
+					w.F64(st.acc[list[pos]])
+				})
+			},
+			func(to, from int, data []byte) {
+				st := states[to]
+				list := topo.MasterList(from, to)
+				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+					st.acc[list[pos]] += r.F64()
+				})
+			},
+		)
+		cluster.Compute(func(h int) {
+			st := states[h]
+			for l := range st.rank {
+				if st.part.IsMaster[l] {
+					st.rank[l] = (1-opts.Damping)/float64(n) + opts.Damping*st.acc[l]
+				}
+			}
+		})
+		cluster.Exchange(
+			func(from, to int) []byte {
+				st := states[from]
+				list := topo.MasterList(to, from)
+				if len(list) == 0 {
+					return nil
+				}
+				return gluon.EncodeUpdates(len(list), marked(len(list)), func(pos int, w *gluon.Writer) {
+					w.F64(st.rank[list[pos]])
+				})
+			},
+			func(to, from int, data []byte) {
+				st := states[to]
+				list := topo.MirrorList(to, from)
+				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+					st.rank[list[pos]] = r.F64()
+				})
+			},
+		)
+	}
+
+	out := make([]float64, n)
+	for _, st := range states {
+		for l, gid := range st.part.GlobalID {
+			if st.part.IsMaster[l] {
+				out[gid] = st.rank[l]
+			}
+		}
+	}
+	return out, cluster.Stats()
+}

@@ -1,0 +1,232 @@
+// Package vprog provides the general vertex-program layer of the
+// D-Galois model (§4.1: "D-Galois supports vertex programs: each
+// vertex in the graph has one or more labels which are initialized at
+// the beginning of the computation and updated by applying a
+// computation rule called an operator to the active vertices ... until
+// a global quiescence condition is reached").
+//
+// The BC algorithms in internal/sbbc and internal/mrbcdist need
+// custom synchronization rules and are hand-written; this package
+// covers the common data-driven pattern — push-style label propagation
+// with a selective reduction (BFS, connected components, SSSP-style
+// relaxations) — and a topology-driven iterative pattern with a sum
+// reduction (PageRank). Both run on the same cluster substrate and
+// Gluon synchronization as the BC implementations, exercising the
+// substrate's generality and serving as independent validation of the
+// proxy machinery.
+package vprog
+
+import (
+	"fmt"
+
+	"mrbc/internal/bitset"
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/partition"
+)
+
+// PushProgram describes a data-driven label-propagation program over a
+// single uint64 label per vertex with a "better of two" reduction
+// (min-style). Active vertices push candidate labels along their
+// out-edges; improved targets become active; execution reaches
+// quiescence when no label improves.
+type PushProgram struct {
+	// Init returns the initial label of a global vertex and whether the
+	// vertex starts active.
+	Init func(gid uint32) (label uint64, active bool)
+	// Relax produces the candidate label pushed along an out-edge given
+	// the source proxy's label.
+	Relax func(srcLabel uint64) uint64
+	// Better reports whether a strictly improves on b (the reduction
+	// keeps the better label; it must be a selective operation, i.e.,
+	// pick one of the two).
+	Better func(a, b uint64) bool
+}
+
+// RunPush executes the program over a partitioned graph and returns
+// the final label per global vertex plus the cluster statistics.
+func RunPush(g gview, pt *partition.Partitioning, prog PushProgram) ([]uint64, dgalois.Stats) {
+	if prog.Init == nil || prog.Relax == nil || prog.Better == nil {
+		panic("vprog: incomplete push program")
+	}
+	topo := gluon.NewTopology(pt)
+	cluster := dgalois.NewCluster(pt.NumHosts)
+	n := g.NumVertices()
+
+	type hostState struct {
+		part     *partition.Part
+		labels   []uint64
+		active   []uint32
+		inActive *bitset.Set
+		dirty    *bitset.Set
+		out      *bitset.Set
+	}
+	states := make([]*hostState, pt.NumHosts)
+	cluster.Compute(func(h int) {
+		p := pt.Parts[h]
+		np := p.NumProxies()
+		st := &hostState{
+			part:     p,
+			labels:   make([]uint64, np),
+			inActive: bitset.New(np),
+			dirty:    bitset.New(np),
+			out:      bitset.New(np),
+		}
+		for l, gid := range p.GlobalID {
+			label, active := prog.Init(gid)
+			st.labels[l] = label
+			if active {
+				st.active = append(st.active, uint32(l))
+			}
+		}
+		states[h] = st
+	})
+
+	for {
+		cluster.BeginRound()
+		var any bool
+		activity := make([]bool, pt.NumHosts)
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.dirty.Reset()
+			st.out.Reset()
+			local := st.part.Local
+			for _, u := range st.active {
+				cand := prog.Relax(st.labels[u])
+				for _, w := range local.OutNeighbors(u) {
+					if prog.Better(cand, st.labels[w]) {
+						st.labels[w] = cand
+						st.dirty.Set(int(w))
+					}
+				}
+			}
+			st.active = st.active[:0]
+			st.inActive.Reset()
+			activity[h] = st.dirty.Any()
+		})
+		for _, a := range activity {
+			any = any || a
+		}
+		if !any {
+			break
+		}
+
+		// Reduce dirty mirrors to masters with the Better reduction.
+		cluster.Exchange(
+			func(from, to int) []byte {
+				st := states[from]
+				list := topo.MirrorList(from, to)
+				if len(list) == 0 {
+					return nil
+				}
+				marked := bitset.New(len(list))
+				for pos, lid := range list {
+					if st.dirty.Test(int(lid)) {
+						marked.Set(pos)
+					}
+				}
+				return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+					w.U64(st.labels[list[pos]])
+				})
+			},
+			func(to, from int, data []byte) {
+				st := states[to]
+				list := topo.MasterList(from, to)
+				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+					lid := list[pos]
+					if v := r.U64(); prog.Better(v, st.labels[lid]) {
+						st.labels[lid] = v
+						st.out.Set(int(lid))
+					}
+				})
+			},
+		)
+
+		// Masters improved locally must broadcast too; activate the
+		// changed masters.
+		cluster.Compute(func(h int) {
+			st := states[h]
+			st.dirty.ForEach(func(l int) bool {
+				if st.part.IsMaster[l] {
+					st.out.Set(l)
+				}
+				return true
+			})
+			st.out.ForEach(func(l int) bool {
+				if !st.inActive.Test(l) {
+					st.inActive.Set(l)
+					st.active = append(st.active, uint32(l))
+				}
+				return true
+			})
+		})
+
+		// Broadcast master values to all mirrors; changed mirrors
+		// activate.
+		cluster.Exchange(
+			func(from, to int) []byte {
+				st := states[from]
+				list := topo.MasterList(to, from)
+				if len(list) == 0 {
+					return nil
+				}
+				marked := bitset.New(len(list))
+				for pos, lid := range list {
+					if st.out.Test(int(lid)) {
+						marked.Set(pos)
+					}
+				}
+				return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+					w.U64(st.labels[list[pos]])
+				})
+			},
+			func(to, from int, data []byte) {
+				st := states[to]
+				list := topo.MirrorList(to, from)
+				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+					lid := list[pos]
+					v := r.U64()
+					if v != st.labels[lid] {
+						st.labels[lid] = v
+						if !st.inActive.Test(int(lid)) {
+							st.inActive.Set(int(lid))
+							st.active = append(st.active, lid)
+						}
+					}
+				})
+			},
+		)
+	}
+
+	out := make([]uint64, n)
+	for _, st := range states {
+		for l, gid := range st.part.GlobalID {
+			if st.part.IsMaster[l] {
+				out[gid] = st.labels[l]
+			}
+		}
+	}
+	return out, cluster.Stats()
+}
+
+// gview is the slice of graph.Graph the package needs; breaking the
+// dependency keeps vprog usable in tests with lightweight fakes.
+type gview interface {
+	NumVertices() int
+}
+
+// validateHosts panics unless every global vertex has exactly one
+// master (defensive check used by PageRank's normalization).
+func validateHosts(pt *partition.Partitioning, n int) {
+	seen := make([]bool, n)
+	for _, p := range pt.Parts {
+		for l, gid := range p.GlobalID {
+			if p.IsMaster[l] {
+				if seen[gid] {
+					panic(fmt.Sprintf("vprog: vertex %d has two masters", gid))
+				}
+				seen[gid] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package vprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+	"mrbc/internal/partition"
+)
+
+func TestBFSMatchesSequential(t *testing.T) {
+	inputs := map[string]*graph.Graph{
+		"rmat": gen.RMAT(8, 8, 3),
+		"grid": gen.RoadGrid(12, 12, 3),
+		"path": gen.Path(30),
+	}
+	for name, g := range inputs {
+		want := g.BFS(0)
+		for _, hosts := range []int{1, 2, 4} {
+			for _, pt := range []*partition.Partitioning{
+				partition.EdgeCut(g, hosts), partition.CartesianCut(g, hosts),
+			} {
+				got, stats := BFS(g, pt, 0)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s %s hosts=%d: dist[%d] = %d, want %d",
+							name, pt.Policy, hosts, v, got[v], want[v])
+					}
+				}
+				if stats.Rounds == 0 {
+					t.Fatalf("%s: no rounds recorded", name)
+				}
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0..4} ring and {5..7} path, plus isolated 8.
+	b := graph.NewBuilder(9)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(uint32(i), uint32((i+1)%5))
+		b.AddEdge(uint32((i+1)%5), uint32(i))
+	}
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 5)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 6)
+	g := b.Build()
+	pt := partition.EdgeCut(g, 3)
+	comp, _ := ConnectedComponents(g, pt)
+	for v := 0; v < 5; v++ {
+		if comp[v] != 0 {
+			t.Fatalf("comp[%d] = %d, want 0", v, comp[v])
+		}
+	}
+	for v := 5; v < 8; v++ {
+		if comp[v] != 5 {
+			t.Fatalf("comp[%d] = %d, want 5", v, comp[v])
+		}
+	}
+	if comp[8] != 8 {
+		t.Fatalf("comp[8] = %d, want 8", comp[8])
+	}
+}
+
+// ccReference computes weakly-connected component minima sequentially.
+// Note ConnectedComponents propagates along directed edges only, so it
+// labels vertices with the minimum vertex that REACHES them through
+// directed label propagation... over the push program the label flows
+// along out-edges; repeated until fixpoint this yields, for each v, the
+// minimum u with a directed path u ->* v (including v itself).
+func ccReference(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	out := make([]uint32, n)
+	for v := range out {
+		out[v] = uint32(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		g.Edges(func(u, v uint32) {
+			if out[u] < out[v] {
+				out[v] = out[u]
+				changed = true
+			}
+		})
+	}
+	return out
+}
+
+func TestQuickCCAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		want := ccReference(g)
+		hosts := 1 + rng.Intn(4)
+		got, _ := ConnectedComponents(g, partition.CartesianCut(g, hosts))
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pagerankReference runs the same pull iteration sequentially.
+func pagerankReference(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for w := 0; w < n; w++ {
+			var acc float64
+			for _, u := range g.InNeighbors(uint32(w)) {
+				if d := g.OutDegree(u); d > 0 {
+					acc += rank[u] / float64(d)
+				}
+			}
+			next[w] = (1-damping)/float64(n) + damping*acc
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := gen.RMAT(8, 8, 9)
+	want := pagerankReference(g, 0.85, 15)
+	for _, hosts := range []int{1, 2, 4} {
+		pt := partition.CartesianCut(g, hosts)
+		got, stats := PageRank(g, pt, PageRankOptions{Damping: 0.85, Iterations: 15})
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-12*(1+want[v]) {
+				t.Fatalf("hosts=%d: rank[%d] = %v, want %v", hosts, v, got[v], want[v])
+			}
+		}
+		if stats.Rounds != 15 {
+			t.Fatalf("rounds = %d, want 15", stats.Rounds)
+		}
+	}
+}
+
+func TestPageRankDefaultsAndRanking(t *testing.T) {
+	// The hub of a star with back edges collects the highest rank.
+	g := gen.Star(50)
+	pt := partition.EdgeCut(g, 2)
+	ranks, _ := PageRank(g, pt, PageRankOptions{})
+	for v := 1; v < 50; v++ {
+		if ranks[v] >= ranks[0] {
+			t.Fatalf("leaf %d ranked above the hub", v)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {2, 3}})
+	pt := partition.EdgeCut(g, 2)
+	dist, _ := BFS(g, pt, 0)
+	if dist[0] != 0 || dist[1] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if dist[2] != graph.InfDist || dist[3] != graph.InfDist {
+		t.Fatalf("unreachable distances wrong: %v", dist)
+	}
+}
+
+func TestIncompleteProgramPanics(t *testing.T) {
+	g := gen.Path(3)
+	pt := partition.EdgeCut(g, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunPush(g, pt, PushProgram{})
+}
+
+func BenchmarkDistributedBFS(b *testing.B) {
+	g := gen.RMAT(11, 8, 1)
+	pt := partition.CartesianCut(g, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = BFS(g, pt, 0)
+	}
+}
+
+func BenchmarkDistributedPageRank(b *testing.B) {
+	g := gen.RMAT(10, 8, 1)
+	pt := partition.CartesianCut(g, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = PageRank(g, pt, PageRankOptions{Iterations: 10})
+	}
+}

@@ -1,0 +1,101 @@
+package worklist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ordered is a bucketed priority worklist modeled on the Galois
+// runtime's OBIM (ordered-by-integer-metric) scheduler, which the
+// Lonestar asynchronous algorithms use for label-correcting
+// relaxations: items carry an integer priority (e.g., tentative
+// distance) and workers preferentially serve the smallest non-empty
+// bucket. Priority inversions are tolerated — workers drain a grabbed
+// chunk even if smaller-priority work arrives meanwhile — trading
+// strict order for concurrency, exactly the OBIM bargain. Serving in
+// near-priority order bounds re-relaxations the way FIFO does for
+// unweighted BFS.
+type Ordered struct {
+	chunk int
+	mu    sync.Mutex
+	// buckets maps priority -> pending items. Sparse priorities are
+	// expected (weighted distances), hence a map plus a cached minimum.
+	buckets map[uint64][]uint64
+	minPrio uint64
+	minOK   bool
+	pending int64
+}
+
+// NewOrdered returns an ordered worklist; chunk bounds how many items
+// a worker grabs per lock acquisition.
+func NewOrdered(chunk int) *Ordered {
+	if chunk <= 0 {
+		panic("worklist: chunk size must be positive")
+	}
+	return &Ordered{chunk: chunk, buckets: make(map[uint64][]uint64)}
+}
+
+// Push adds an item with the given priority.
+func (o *Ordered) Push(priority uint64, item uint64) {
+	atomic.AddInt64(&o.pending, 1)
+	o.mu.Lock()
+	o.buckets[priority] = append(o.buckets[priority], item)
+	if !o.minOK || priority < o.minPrio {
+		o.minPrio, o.minOK = priority, true
+	}
+	o.mu.Unlock()
+}
+
+// PopChunk removes up to chunk items from the smallest non-empty
+// bucket, appending them to dst. Returns the extended slice; empty
+// growth means nothing was available (use Empty for termination).
+func (o *Ordered) PopChunk(dst []uint64) []uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.minOK {
+		return dst
+	}
+	b, ok := o.buckets[o.minPrio]
+	if !ok || len(b) == 0 {
+		// The cached minimum went stale; rescan.
+		o.rescanLocked()
+		if !o.minOK {
+			return dst
+		}
+		b = o.buckets[o.minPrio]
+	}
+	take := o.chunk
+	if take > len(b) {
+		take = len(b)
+	}
+	dst = append(dst, b[len(b)-take:]...)
+	b = b[:len(b)-take]
+	if len(b) == 0 {
+		delete(o.buckets, o.minPrio)
+		o.rescanLocked()
+	} else {
+		o.buckets[o.minPrio] = b
+	}
+	atomic.AddInt64(&o.pending, -int64(take))
+	return dst
+}
+
+// rescanLocked recomputes the cached minimum; caller holds the lock.
+func (o *Ordered) rescanLocked() {
+	o.minOK = false
+	for p, items := range o.buckets {
+		if len(items) == 0 {
+			delete(o.buckets, p)
+			continue
+		}
+		if !o.minOK || p < o.minPrio {
+			o.minPrio, o.minOK = p, true
+		}
+	}
+}
+
+// Empty reports whether no items remain.
+func (o *Ordered) Empty() bool { return atomic.LoadInt64(&o.pending) == 0 }
+
+// Pending returns the number of unpopped items.
+func (o *Ordered) Pending() int64 { return atomic.LoadInt64(&o.pending) }

@@ -1,0 +1,116 @@
+package worklist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestOrderedServesSmallestFirst(t *testing.T) {
+	o := NewOrdered(4)
+	o.Push(5, 50)
+	o.Push(1, 10)
+	o.Push(3, 30)
+	o.Push(1, 11)
+	got := o.PopChunk(nil)
+	// Chunk 4 from the minimum bucket (priority 1) first: both items.
+	if len(got) != 2 {
+		t.Fatalf("first chunk = %v", got)
+	}
+	for _, x := range got {
+		if x != 10 && x != 11 {
+			t.Fatalf("wrong priority served first: %v", got)
+		}
+	}
+	got = o.PopChunk(nil)
+	if len(got) != 1 || got[0] != 30 {
+		t.Fatalf("second chunk = %v", got)
+	}
+	got = o.PopChunk(nil)
+	if len(got) != 1 || got[0] != 50 {
+		t.Fatalf("third chunk = %v", got)
+	}
+	if !o.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestOrderedChunkBounds(t *testing.T) {
+	o := NewOrdered(3)
+	for i := 0; i < 10; i++ {
+		o.Push(7, uint64(i))
+	}
+	if got := o.PopChunk(nil); len(got) != 3 {
+		t.Fatalf("chunk = %d items", len(got))
+	}
+	if o.Pending() != 7 {
+		t.Fatalf("pending = %d", o.Pending())
+	}
+}
+
+func TestOrderedInterleavedPushPop(t *testing.T) {
+	o := NewOrdered(2)
+	o.Push(9, 90)
+	_ = o.PopChunk(nil) // drains priority 9
+	o.Push(2, 20)       // smaller priority arrives later
+	got := o.PopChunk(nil)
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOrderedConcurrent(t *testing.T) {
+	o := NewOrdered(8)
+	const total = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				o.Push(uint64(i%17), uint64(w*(total/4)+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var mu sync.Mutex
+	var all []uint64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []uint64
+			for {
+				buf = o.PopChunk(buf[:0])
+				if len(buf) == 0 {
+					if o.Empty() {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				all = append(all, buf...)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(all) != total {
+		t.Fatalf("popped %d items, want %d", len(all), total)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != uint64(i) {
+			t.Fatalf("missing/duplicate item at %d: %d", i, v)
+		}
+	}
+}
+
+func TestOrderedBadChunkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOrdered(0)
+}

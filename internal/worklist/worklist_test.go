@@ -1,0 +1,129 @@
+package worklist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestSingleWorkerFIFOish(t *testing.T) {
+	l := New(4)
+	h := l.Handle()
+	for i := uint64(0); i < 10; i++ {
+		h.Push(i)
+	}
+	if l.Pending() != 10 {
+		t.Fatalf("pending = %d", l.Pending())
+	}
+	seen := map[uint64]bool{}
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate item %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("popped %d items, want 10", len(seen))
+	}
+	if !l.Empty() {
+		t.Fatal("list should be empty")
+	}
+}
+
+func TestFlushMakesWorkVisible(t *testing.T) {
+	l := New(100) // big chunks: nothing auto-flushes
+	producer := l.Handle()
+	consumer := l.Handle()
+	producer.Push(7)
+	if _, ok := consumer.Pop(); ok {
+		t.Fatal("consumer saw unflushed local work")
+	}
+	producer.Flush()
+	v, ok := consumer.Pop()
+	if !ok || v != 7 {
+		t.Fatalf("Pop after Flush = (%d,%v)", v, ok)
+	}
+}
+
+func TestBadChunkSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+	l := New(16)
+
+	// Phase 1: parallel push.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := l.Handle()
+			for i := 0; i < perWorker; i++ {
+				h.Push(uint64(w*perWorker + i))
+			}
+			h.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Pending(); got != workers*perWorker {
+		t.Fatalf("pending = %d, want %d", got, workers*perWorker)
+	}
+
+	// Phase 2: parallel pop; every item appears exactly once.
+	results := make(chan []uint64, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			h := l.Handle()
+			var mine []uint64
+			for {
+				v, ok := h.Pop()
+				if !ok {
+					break
+				}
+				mine = append(mine, v)
+			}
+			results <- mine
+		}()
+	}
+	var all []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, <-results...)
+	}
+	if len(all) != workers*perWorker {
+		t.Fatalf("popped %d items, want %d", len(all), workers*perWorker)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != uint64(i) {
+			t.Fatalf("item %d missing or duplicated (saw %d)", i, v)
+		}
+	}
+	if !l.Empty() {
+		t.Fatal("list should be empty after draining")
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	l := New(64)
+	h := l.Handle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Push(uint64(i))
+		if i%2 == 1 {
+			h.Pop()
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package mrbc
+
+import "testing"
+
+func TestWeightedEnginesAgree(t *testing.T) {
+	// A weighted road-ish graph: shortest routes follow low weights.
+	g := FromWeightedEdges(6, []WeightedEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 1, V: 2, Weight: 1},
+		{U: 0, V: 3, Weight: 5}, {U: 3, V: 2, Weight: 5},
+		{U: 2, V: 4, Weight: 2}, {U: 4, V: 5, Weight: 2},
+		{U: 1, V: 4, Weight: 9},
+	})
+	sources := []uint32{0, 1, 2, 3, 4, 5}
+	ref, err := BetweennessWeighted(g, sources, Options{Algorithm: Brandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{ABBC, MFBC, Brandes} {
+		res, err := BetweennessWeighted(g, sources, Options{Algorithm: alg, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(res.Scores, ref.Scores) {
+			t.Fatalf("%s: weighted scores differ", alg)
+		}
+	}
+}
+
+func TestWeightedUnsupportedAlgorithm(t *testing.T) {
+	g := UnitWeights(pathGraph(3))
+	if _, err := BetweennessWeighted(g, []uint32{0}, Options{Algorithm: MRBC}); err == nil {
+		t.Fatal("MRBC should reject weighted graphs")
+	}
+	if _, err := BetweennessWeighted(g, []uint32{9}, Options{}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestUnitWeightsMatchUnweighted(t *testing.T) {
+	g := GenerateRMAT(7, 8, 11)
+	sources := Sources(g, 0, 16)
+	unweighted, err := Betweenness(g, sources, Options{Algorithm: Brandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := BetweennessWeighted(UnitWeights(g), sources, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(unweighted.Scores, weighted.Scores) {
+		t.Fatal("unit weights changed BC")
+	}
+}
+
+func TestApproximateBetweennessExported(t *testing.T) {
+	g := GenerateRMAT(7, 8, 5)
+	exact, err := Betweenness(g, AllSources(g), Options{Algorithm: Brandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, used := ApproximateBetweenness(g, ApproxOptions{Samples: g.NumVertices(), Seed: 1})
+	if used != g.NumVertices() {
+		t.Fatalf("used = %d", used)
+	}
+	if !approx(est, exact.Scores) {
+		t.Fatal("full-sample estimate should be exact")
+	}
+}
