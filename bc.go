@@ -107,8 +107,14 @@ type Options struct {
 	Partition PartitionPolicy
 	// BatchSize is k for batched algorithms (MRBC, MFBC); default 32.
 	BatchSize int
-	// Workers bounds shared-memory parallelism (ABBC, MFBC, parallel
-	// Brandes); default GOMAXPROCS.
+	// Workers bounds shared-memory parallelism. For ABBC, MFBC, and
+	// parallel Brandes it is the worker-goroutine count. Shared-memory
+	// MRBC has two composable levels: Workers sets the batch-level
+	// parallelism (whole batches run concurrently on private engines),
+	// and each batch additionally splits its per-round compute phase
+	// across GOMAXPROCS/Workers goroutines (intra-batch parallelism;
+	// see core.Options). When Workers == 0 the intra-batch level
+	// defaults to GOMAXPROCS, so a single batch still uses every core.
 	Workers int
 	// ChunkSize is the ABBC worklist chunk size; default 8 (the paper
 	// uses 64 for road networks).
@@ -167,6 +173,9 @@ func Betweenness(g *Graph, sources []uint32, opts Options) (*Result, error) {
 		res.Rounds = stats.ForwardIterations + stats.BackwardIterations
 	case MRBC:
 		if opts.Hosts <= 1 {
+			// Workers maps to batch-level parallelism; leaving
+			// core.Options.Workers zero lets each batch default its
+			// intra-batch workers to GOMAXPROCS/Parallelism.
 			scores, stats := core.BC(g, sources, core.Options{
 				BatchSize:   opts.BatchSize,
 				Parallelism: opts.Workers,

@@ -30,6 +30,24 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// WordsFor returns the number of backing words a set of capacity n uses,
+// for callers that slab-allocate storage for many sets (see FromWords).
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// FromWords returns a set of capacity n backed by the given slice, whose
+// length must be exactly WordsFor(n). The caller owns the storage; this
+// lets engines carve thousands of small sets out of one allocation. The
+// words are used as-is (pass a zeroed slice for an empty set).
+func FromWords(words []uint64, n int) Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitset: %d backing words for capacity %d, need %d", len(words), n, WordsFor(n)))
+	}
+	return Set{words: words, n: n}
+}
+
 // Len returns the capacity in bits.
 func (s *Set) Len() int { return s.n }
 
@@ -137,6 +155,21 @@ func (s *Set) Difference(o *Set) {
 	for i, w := range o.words {
 		s.words[i] &^= w
 	}
+}
+
+// FirstAndNot returns the smallest index set in s but not in o, or -1
+// if s \ o is empty. It allocates nothing; o may have any capacity
+// (bits beyond o's capacity are treated as clear).
+func (s *Set) FirstAndNot(o *Set) int {
+	for i, w := range s.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+		}
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // Equal reports whether s and o contain exactly the same bits. Sets of

@@ -370,3 +370,31 @@ func TestWordsExposesBacking(t *testing.T) {
 		t.Fatalf("Words = %v", w)
 	}
 }
+
+func TestFirstAndNot(t *testing.T) {
+	s := New(200)
+	o := New(200)
+	if got := s.FirstAndNot(o); got != -1 {
+		t.Fatalf("empty FirstAndNot = %d, want -1", got)
+	}
+	s.Set(5)
+	s.Set(64)
+	s.Set(130)
+	if got := s.FirstAndNot(o); got != 5 {
+		t.Fatalf("FirstAndNot = %d, want 5", got)
+	}
+	o.Set(5)
+	if got := s.FirstAndNot(o); got != 64 {
+		t.Fatalf("FirstAndNot = %d, want 64", got)
+	}
+	o.Set(64)
+	o.Set(130)
+	if got := s.FirstAndNot(o); got != -1 {
+		t.Fatalf("fully covered FirstAndNot = %d, want -1", got)
+	}
+	// o may be shorter than s: bits beyond its capacity read as clear.
+	short := New(10)
+	if got := s.FirstAndNot(short); got != 5 {
+		t.Fatalf("short-other FirstAndNot = %d, want 5", got)
+	}
+}

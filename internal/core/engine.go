@@ -25,6 +25,16 @@ import (
 // σsv is ready to be sent using dsv in the map, the current round
 // number, and the number of already sent dependencies").
 //
+// Because the schedule r = dsv + ℓrv(dsv, s) is known the moment an
+// entry is created or improved, flag discovery does not need a per-round
+// scan over all vertices: the engine keeps a round-indexed bucket
+// scheduler (a calendar queue with lazy deletion) that moves a vertex
+// between round buckets whenever its first-unsent entry changes, making
+// ForwardFlags O(|flags| + stale entries) per round. The buckets are
+// additionally sharded by vertex ownership (v mod shards) so that the
+// shared-memory runner can execute the per-round compute phase on
+// multiple goroutines without locks or atomics on the hot path.
+//
 // The engine holds one host's local view. The distributed
 // implementation (internal/mrbcdist) runs one engine per host and uses
 // Gluon-style reductions between rounds; the shared-memory runner
@@ -46,35 +56,115 @@ type Flag struct {
 	Src int
 }
 
+// shardAlloc is a shard-local slab allocator for the per-vertex distance
+// maps: the source bitsets (recycled through a free list) and the
+// fixed-capacity dists/sets slices a vertex's map lives in. It replaces
+// per-entry heap allocations on the hot relax path with amortized-zero
+// allocation, and being per-shard it needs no locks under the parallel
+// compute phase. Storage is carved lazily, so engines whose activity
+// touches few vertices (per-host distributed engines) stay cheap.
+type shardAlloc struct {
+	k   int
+	wps int // words per set
+	// bitset slabs + free list.
+	freeSets   []*bitset.Set
+	setStructs []bitset.Set // unused pre-initialized sets of the current slab
+	// distMap slice slabs. A vertex holds at most k distinct distances,
+	// so every map gets capacity-k slices once, on first touch.
+	mapDists []uint32
+	mapSets  []*bitset.Set
+}
+
+const allocSlabVertices = 256
+
+func (a *shardAlloc) init(k int) {
+	a.k = k
+	a.wps = bitset.WordsFor(k)
+}
+
+func (a *shardAlloc) getSet() *bitset.Set {
+	if n := len(a.freeSets); n > 0 {
+		s := a.freeSets[n-1]
+		a.freeSets = a.freeSets[:n-1]
+		return s
+	}
+	if len(a.setStructs) == 0 {
+		a.setStructs = make([]bitset.Set, allocSlabVertices)
+		words := make([]uint64, allocSlabVertices*a.wps)
+		for i := range a.setStructs {
+			a.setStructs[i] = bitset.FromWords(words[i*a.wps:(i+1)*a.wps], a.k)
+		}
+	}
+	s := &a.setStructs[0]
+	a.setStructs = a.setStructs[1:]
+	return s
+}
+
+func (a *shardAlloc) putSet(s *bitset.Set) {
+	a.freeSets = append(a.freeSets, s) // freed sets are empty (last bit cleared)
+}
+
+// carveMap returns empty dists/sets slices with capacity k for one
+// vertex's distance map.
+func (a *shardAlloc) carveMap() ([]uint32, []*bitset.Set) {
+	if len(a.mapDists) < a.k {
+		a.mapDists = make([]uint32, allocSlabVertices*a.k)
+		a.mapSets = make([]*bitset.Set, allocSlabVertices*a.k)
+	}
+	d, s := a.mapDists[:0:a.k], a.mapSets[:0:a.k]
+	a.mapDists = a.mapDists[a.k:]
+	a.mapSets = a.mapSets[a.k:]
+	return d, s
+}
+
 // distMap is the flat sorted distance -> source-bitvector map Mv.
 type distMap struct {
 	dists []uint32
 	sets  []*bitset.Set
 }
 
-func (m *distMap) add(k int, s int, d uint32) {
-	i := sort.Search(len(m.dists), func(i int) bool { return m.dists[i] >= d })
-	if i < len(m.dists) && m.dists[i] == d {
+func (m *distMap) add(a *shardAlloc, s int, d uint32) {
+	if m.dists == nil {
+		m.dists, m.sets = a.carveMap()
+	}
+	// Fast path: relaxations mostly reach a vertex at nondecreasing
+	// distances, so the entry is usually at (or appends past) the tail.
+	n := len(m.dists)
+	i := n
+	if n > 0 {
+		if last := m.dists[n-1]; last == d {
+			m.sets[n-1].Set(s)
+			return
+		} else if last > d {
+			i = sort.Search(n, func(i int) bool { return m.dists[i] >= d })
+		}
+	}
+	if i < n && m.dists[i] == d {
 		m.sets[i].Set(s)
 		return
 	}
+	set := a.getSet()
+	set.Set(s)
 	m.dists = append(m.dists, 0)
 	m.sets = append(m.sets, nil)
 	copy(m.dists[i+1:], m.dists[i:])
 	copy(m.sets[i+1:], m.sets[i:])
 	m.dists[i] = d
-	set := bitset.New(k)
-	set.Set(s)
 	m.sets[i] = set
 }
 
-func (m *distMap) remove(s int, d uint32) {
-	i := sort.Search(len(m.dists), func(i int) bool { return m.dists[i] >= d })
-	if i >= len(m.dists) || m.dists[i] != d || !m.sets[i].Test(s) {
+func (m *distMap) remove(a *shardAlloc, s int, d uint32) {
+	n := len(m.dists)
+	i := n - 1
+	if i < 0 || m.dists[i] != d { // tail fast path, else binary search
+		i = sort.Search(n, func(i int) bool { return m.dists[i] >= d })
+	}
+	if i >= n || m.dists[i] != d || !m.sets[i].Test(s) {
 		panic(fmt.Sprintf("core: distMap missing (d=%d, s=%d)", d, s))
 	}
 	m.sets[i].Clear(s)
 	if m.sets[i].None() {
+		a.putSet(m.sets[i])
 		m.dists = append(m.dists[:i], m.dists[i+1:]...)
 		m.sets = append(m.sets[:i], m.sets[i+1:]...)
 	}
@@ -82,10 +172,10 @@ func (m *distMap) remove(s int, d uint32) {
 
 // vertexState is the per-vertex label set of Section 4.2/4.3.
 type vertexState struct {
-	data []SrcData // Av
-	dmap distMap   // Mv
-	sent *bitset.Set
-	tau  []int32 // round each source's labels were synchronized (finalized)
+	data []SrcData  // Av
+	dmap distMap    // Mv
+	sent bitset.Set // backed by the engine's slab (see NewEngineOpts)
+	tau  []int32    // round each source's labels were synchronized (finalized)
 
 	// Incremental schedule state. Per vertex, synchronizations happen
 	// in strictly increasing lexicographic (dist, source) order — the
@@ -115,25 +205,43 @@ func (st *vertexState) noteUnsent(s int, d uint32) {
 	}
 }
 
-// advanceFU rescans the ordered list for the new first unsent entry
-// after the previous one was synchronized. Runs once per sync.
+// advanceFU finds the new first unsent entry after the previous one was
+// synchronized. Sends are lexicographically monotone — every entry
+// below the one just sent is already sent — so the scan resumes at the
+// distance bucket of the previous first-unsent entry instead of
+// position 0, and within each bucket the first unsent source is found
+// by one bitset difference.
 func (st *vertexState) advanceFU() {
-	for i, d := range st.dmap.dists {
-		set := st.dmap.sets[i]
-		found := -1
-		set.ForEach(func(s int) bool {
-			if !st.sent.Test(s) {
-				found = s
-				return false
-			}
-			return true
-		})
-		if found >= 0 {
-			st.fuDist, st.fuSrc = d, int32(found)
+	prev := st.fuDist
+	i := sort.Search(len(st.dmap.dists), func(i int) bool { return st.dmap.dists[i] >= prev })
+	for ; i < len(st.dmap.dists); i++ {
+		if s := st.dmap.sets[i].FirstAndNot(&st.sent); s >= 0 {
+			st.fuDist, st.fuSrc = st.dmap.dists[i], int32(s)
 			return
 		}
 	}
 	st.fuSrc = -1
+}
+
+// engineShard holds one ownership shard's scheduler state. Parallel
+// workers own disjoint shards (owner = v mod shards), so nothing here
+// needs locks or atomics; the trailing pad keeps the frequently-written
+// pending counter of adjacent shards on different cache lines.
+type engineShard struct {
+	// buckets[r-1] holds vertices tentatively due in forward round r.
+	// Deletion is lazy: a vertex is re-appended when its due round
+	// changes, and collection skips copies whose round no longer
+	// matches sched[v].
+	buckets [][]uint32
+	// freeBuckets recycles the slices of collected rounds.
+	freeBuckets [][]uint32
+	// backByRound[r-1] holds the Algorithm 5 flags of backward round r.
+	backByRound [][]Flag
+	// alloc hands out the shard's distMap bitsets.
+	alloc shardAlloc
+	// pending counts (v,s) pairs inserted but not yet synchronized.
+	pending int64
+	_       [56]byte
 }
 
 // Engine is one host's MRBC state over a local graph.
@@ -142,30 +250,83 @@ type Engine struct {
 	k  int
 	st []vertexState
 
-	pendingUnsent int // count of (v,s) pairs inserted but not yet synced
-	totalR        int // forward termination round, set by StartBackward
-	// backByRound[r-1] holds the Algorithm 5 flags of backward round r.
-	backByRound [][]Flag
+	scan   bool          // legacy O(n)-scan flag discovery (baseline)
+	shards []engineShard // ownership shards; len >= 1
+	// sched[v] is the forward round vertex v is currently enqueued
+	// for (bucket mode), or -1 when it has no unsent entry / was
+	// collected this round. Only v's owner mutates sched[v].
+	sched    []int32
+	fwdRound int // last collected forward round, for schedule sanity checks
+	totalR   int // forward termination round, set by StartBackward
 }
 
-// NewEngine creates an engine for k sources over the local graph g.
-// The graph's in-edge view is required for the backward phase and is
-// built eagerly.
+// EngineOpts configures optional Engine behavior.
+type EngineOpts struct {
+	// Shards partitions vertices by ownership (v mod Shards) so that
+	// the per-round compute phase can run on Shards goroutines with
+	// every label write, scheduler move, and pending-counter update
+	// staying inside the owning shard. 0 or 1 means a single shard
+	// (single-threaded use, e.g. one engine per simulated host).
+	Shards int
+	// Scan selects the seed O(n)-per-round vertex scan for forward
+	// flag discovery instead of the bucket scheduler. Kept as the
+	// baseline for benchmarks and cross-engine equivalence tests.
+	Scan bool
+}
+
+// NewEngine creates an engine for k sources over the local graph g with
+// default options (bucket scheduler, one shard). The graph's in-edge
+// view is required for the backward phase and is built eagerly.
 func NewEngine(g *graph.Graph, k int) *Engine {
+	return NewEngineOpts(g, k, EngineOpts{})
+}
+
+// NewEngineOpts creates an engine with explicit scheduler options.
+func NewEngineOpts(g *graph.Graph, k int, opts EngineOpts) *Engine {
 	if k <= 0 {
 		panic("core: batch size must be positive")
 	}
 	g.EnsureInEdges()
-	e := &Engine{g: g, k: k, st: make([]vertexState, g.NumVertices())}
+	n := g.NumVertices()
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	e := &Engine{
+		g:      g,
+		k:      k,
+		st:     make([]vertexState, n),
+		scan:   opts.Scan,
+		shards: make([]engineShard, shards),
+	}
+	for i := range e.shards {
+		e.shards[i].alloc.init(k)
+	}
+	// Per-vertex storage is carved out of three slabs rather than 3n
+	// small allocations: the dense label arrays Av, the sync rounds τ,
+	// and the sent bitvectors.
+	data := make([]SrcData, n*k)
+	for i := range data {
+		data[i].Dist = graph.InfDist
+	}
+	tau := make([]int32, n*k)
+	wps := bitset.WordsFor(k)
+	sentWords := make([]uint64, n*wps)
 	for v := range e.st {
 		st := &e.st[v]
-		st.data = make([]SrcData, k)
-		for s := range st.data {
-			st.data[s].Dist = graph.InfDist
-		}
-		st.sent = bitset.New(k)
-		st.tau = make([]int32, k)
+		st.data = data[v*k : (v+1)*k : (v+1)*k]
+		st.tau = tau[v*k : (v+1)*k : (v+1)*k]
+		st.sent = bitset.FromWords(sentWords[v*wps:(v+1)*wps], k)
 		st.fuSrc = -1
+	}
+	if !e.scan {
+		e.sched = make([]int32, n)
+		for v := range e.sched {
+			e.sched[v] = -1
+		}
 	}
 	return e
 }
@@ -176,8 +337,53 @@ func (e *Engine) K() int { return e.k }
 // Graph returns the engine's local graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
+// NumShards returns the number of vertex-ownership shards.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
 // Get returns the current labels of (v, s).
 func (e *Engine) Get(v uint32, s int) SrcData { return e.st[v].data[s] }
+
+func (e *Engine) shardOf(v uint32) int { return int(v) % len(e.shards) }
+
+// reschedule records v's current due round in the bucket scheduler
+// after a mutation that may have changed it. Stale copies left in old
+// buckets (lazy deletion) are skipped at collection because sched[v]
+// no longer names their round.
+func (e *Engine) reschedule(v uint32) {
+	if e.scan {
+		return
+	}
+	st := &e.st[v]
+	if st.fuSrc < 0 {
+		e.sched[v] = -1
+		return
+	}
+	due := int32(st.fuDist) + int32(st.sentCount) + 1
+	if e.sched[v] == due {
+		return
+	}
+	// A due round equal to the current round is legitimate: a master
+	// merging mirror partials during arbitration touches the very
+	// entry it synchronizes moments later, which reschedules it past
+	// the round. Strictly past rounds mean the schedule derivation
+	// broke.
+	if int(due) < e.fwdRound {
+		panic(fmt.Sprintf("core: vertex %d scheduled into past round %d (current %d)", v, due, e.fwdRound))
+	}
+	e.sched[v] = due
+	sh := &e.shards[e.shardOf(v)]
+	for len(sh.buckets) < int(due) {
+		sh.buckets = append(sh.buckets, nil)
+	}
+	b := sh.buckets[due-1]
+	if b == nil {
+		if n := len(sh.freeBuckets); n > 0 { // recycle a collected round's slice
+			b = sh.freeBuckets[n-1]
+			sh.freeBuckets = sh.freeBuckets[:n-1]
+		}
+	}
+	sh.buckets[due-1] = append(b, v)
+}
 
 // InitSource marks local vertex v as source s. withSigma controls the
 // initial σ: the master proxy carries σ=1 while mirror proxies carry 0
@@ -187,13 +393,15 @@ func (e *Engine) InitSource(v uint32, s int, withSigma bool) {
 	if st.data[s].Dist != graph.InfDist {
 		panic(fmt.Sprintf("core: vertex %d already initialized for source %d", v, s))
 	}
+	sh := &e.shards[e.shardOf(v)]
 	st.data[s].Dist = 0
 	if withSigma {
 		st.data[s].Sigma = 1
 	}
-	st.dmap.add(e.k, s, 0)
+	st.dmap.add(&sh.alloc, s, 0)
 	st.noteUnsent(s, 0)
-	e.pendingUnsent++
+	sh.pending++
+	e.reschedule(v)
 }
 
 // nextDue returns the scheduled round and source of v's first unsent
@@ -211,16 +419,77 @@ func (e *Engine) nextDue(v uint32) (round int, src int) {
 // ForwardFlags appends to dst the (vertex, source) pairs scheduled to
 // synchronize in round r under this host's local view, implementing the
 // proxy synchronization rule. At most one flag per vertex per round.
+//
+// In bucket mode collection consumes round r's buckets: call it (or
+// forwardFlagsShard for every shard) exactly once per round, in
+// nondecreasing round order.
 func (e *Engine) ForwardFlags(r int, dst []Flag) []Flag {
-	for v := range e.st {
-		due, src := e.nextDue(uint32(v))
-		if due == r {
-			dst = append(dst, Flag{V: uint32(v), Src: src})
-		} else if due > 0 && due < r {
-			panic(fmt.Sprintf("core: vertex %d missed its scheduled round %d (now %d)", v, due, r))
+	if e.scan {
+		for v := range e.st {
+			due, src := e.nextDue(uint32(v))
+			if due == r {
+				dst = append(dst, Flag{V: uint32(v), Src: src})
+			} else if due > 0 && due < r {
+				panic(fmt.Sprintf("core: vertex %d missed its scheduled round %d (now %d)", v, due, r))
+			}
 		}
+		return dst
+	}
+	e.fwdRound = r
+	for sh := range e.shards {
+		dst = e.forwardFlagsShard(r, sh, dst)
 	}
 	return dst
+}
+
+// forwardFlagsShard collects the round-r flags of one ownership shard,
+// consuming the shard's round-r bucket. Safe to call concurrently for
+// distinct shards; e.fwdRound must have been set to r beforehand.
+func (e *Engine) forwardFlagsShard(r, shard int, dst []Flag) []Flag {
+	sh := &e.shards[shard]
+	if r > len(sh.buckets) {
+		return dst
+	}
+	for _, v := range sh.buckets[r-1] {
+		if e.sched[v] != int32(r) {
+			continue // stale lazily-deleted copy
+		}
+		due, src := e.nextDue(v)
+		if due != r {
+			panic(fmt.Sprintf("core: scheduler desync: vertex %d in bucket %d but due %d", v, r, due))
+		}
+		e.sched[v] = -1
+		dst = append(dst, Flag{V: v, Src: src})
+	}
+	if b := sh.buckets[r-1]; cap(b) > 0 {
+		sh.freeBuckets = append(sh.freeBuckets, b[:0])
+	}
+	sh.buckets[r-1] = nil
+	return dst
+}
+
+// NextForwardRound returns the next round after r in which any vertex
+// may be due, letting the caller jump over empty rounds. A scan-mode
+// engine advances one round at a time; a bucketed engine returns the
+// round of the next non-empty bucket (which may hold only stale
+// entries, yielding zero flags), or -1 when nothing is scheduled.
+func (e *Engine) NextForwardRound(r int) int {
+	if e.scan {
+		return r + 1
+	}
+	best := -1
+	for i := range e.shards {
+		b := e.shards[i].buckets
+		for j := r; j < len(b); j++ {
+			if len(b[j]) > 0 {
+				if best < 0 || j+1 < best {
+					best = j + 1
+				}
+				break
+			}
+		}
+	}
+	return best
 }
 
 // ApplySync installs the reduced-and-broadcast final labels for (v, s)
@@ -228,16 +497,17 @@ func (e *Engine) ForwardFlags(r int, dst []Flag) []Flag {
 // hosts that had no local entry, a stale entry, or the final entry.
 func (e *Engine) ApplySync(v uint32, s int, dist uint32, sigma float64, r int) {
 	st := &e.st[v]
+	sh := &e.shards[e.shardOf(v)]
 	cur := st.data[s].Dist
 	switch {
 	case cur == graph.InfDist:
-		st.dmap.add(e.k, s, dist)
-		e.pendingUnsent++
+		st.dmap.add(&sh.alloc, s, dist)
+		sh.pending++
 	case cur < dist:
 		panic(fmt.Sprintf("core: sync for (%d,%d) with dist %d worse than local %d", v, s, dist, cur))
 	case cur > dist:
-		st.dmap.remove(s, cur)
-		st.dmap.add(e.k, s, dist)
+		st.dmap.remove(&sh.alloc, s, cur)
+		st.dmap.add(&sh.alloc, s, dist)
 	}
 	st.data[s].Dist = dist
 	st.data[s].Sigma = sigma
@@ -250,7 +520,8 @@ func (e *Engine) ApplySync(v uint32, s int, dist uint32, sigma float64, r int) {
 	if st.fuSrc == int32(s) {
 		st.advanceFU()
 	}
-	e.pendingUnsent--
+	sh.pending--
+	e.reschedule(v)
 }
 
 // Candidate records a (vertex, source, dist) ordered-list update that
@@ -271,6 +542,51 @@ type Candidate struct {
 	Dist uint32
 }
 
+// applyRelax folds one relaxation contribution (distance cand, σ-part
+// sigma) from a just-synchronized in-neighbor into w's labels: the
+// target-vertex half of RelaxOut (Steps 13-17 of Algorithm 3). It
+// touches only w's shard, so workers owning disjoint shards may call
+// it concurrently. Reports whether w's ordered list changed (insert or
+// improvement), i.e. whether a distributed run must disseminate a
+// candidate.
+func (e *Engine) applyRelax(w uint32, s int, cand uint32, sigma float64) bool {
+	st := &e.st[w]
+	cur := st.data[s].Dist
+	switch {
+	case cur == graph.InfDist:
+		sh := &e.shards[e.shardOf(w)]
+		st.data[s].Dist = cand
+		st.data[s].Sigma = sigma
+		st.dmap.add(&sh.alloc, s, cand)
+		st.noteUnsent(s, cand)
+		sh.pending++
+		e.reschedule(w)
+		return true
+	case cur == cand:
+		if st.sent.Test(s) {
+			// A σ contribution arriving after (w,s) synchronized
+			// would mean a predecessor finalized after its
+			// successor, violating the pipelining invariant.
+			panic(fmt.Sprintf("core: late sigma contribution to sent entry (%d,%d)", w, s))
+		}
+		st.data[s].Sigma += sigma
+	case cur > cand:
+		if st.sent.Test(s) {
+			panic(fmt.Sprintf("core: improvement for sent entry (%d,%d)", w, s))
+		}
+		sh := &e.shards[e.shardOf(w)]
+		st.dmap.remove(&sh.alloc, s, cur)
+		st.dmap.add(&sh.alloc, s, cand)
+		st.data[s].Dist = cand
+		st.data[s].Sigma = sigma
+		st.noteUnsent(s, cand)
+		e.reschedule(w)
+		return true
+	}
+	// cur < cand: the contribution is to a non-shortest path.
+	return false
+}
+
 // RelaxOut performs the compute phase for a synchronized (v, s): it
 // relaxes every locally-owned out-edge of v, accumulating distance and
 // σ partials into the targets' proxies (Steps 11-17 of Algorithm 3, as
@@ -281,37 +597,22 @@ func (e *Engine) RelaxOut(v uint32, s int, cands []Candidate) []Candidate {
 	src := e.st[v].data[s]
 	cand := src.Dist + 1
 	for _, w := range e.g.OutNeighbors(v) {
-		st := &e.st[w]
-		cur := st.data[s].Dist
-		switch {
-		case cur == graph.InfDist:
-			st.data[s].Dist = cand
-			st.data[s].Sigma = src.Sigma
-			st.dmap.add(e.k, s, cand)
-			st.noteUnsent(s, cand)
-			e.pendingUnsent++
-			cands = append(cands, Candidate{V: w, Src: s, Dist: cand})
-		case cur == cand:
-			if st.sent.Test(s) {
-				// A σ contribution arriving after (w,s) synchronized
-				// would mean a predecessor finalized after its
-				// successor, violating the pipelining invariant.
-				panic(fmt.Sprintf("core: late sigma contribution to sent entry (%d,%d)", w, s))
-			}
-			st.data[s].Sigma += src.Sigma
-		case cur > cand:
-			if st.sent.Test(s) {
-				panic(fmt.Sprintf("core: improvement for sent entry (%d,%d)", w, s))
-			}
-			st.dmap.remove(s, cur)
-			st.dmap.add(e.k, s, cand)
-			st.data[s].Dist = cand
-			st.data[s].Sigma = src.Sigma
-			st.noteUnsent(s, cand)
+		if e.applyRelax(w, s, cand, src.Sigma) {
 			cands = append(cands, Candidate{V: w, Src: s, Dist: cand})
 		}
 	}
 	return cands
+}
+
+// RelaxOutLocal is RelaxOut without candidate collection, for runs that
+// have no other proxies to inform (the shared-memory path and
+// arbitration-mode distributed runs). It allocates nothing.
+func (e *Engine) RelaxOutLocal(v uint32, s int) {
+	src := e.st[v].data[s]
+	cand := src.Dist + 1
+	for _, w := range e.g.OutNeighbors(v) {
+		e.applyRelax(w, s, cand, src.Sigma)
+	}
 }
 
 // MergeCandidate installs a candidate distance received from another
@@ -321,24 +622,27 @@ func (e *Engine) RelaxOut(v uint32, s int, cands []Candidate) []Candidate {
 // Reports whether the local list changed.
 func (e *Engine) MergeCandidate(v uint32, s int, dist uint32) bool {
 	st := &e.st[v]
+	sh := &e.shards[e.shardOf(v)]
 	cur := st.data[s].Dist
 	switch {
 	case cur == graph.InfDist:
 		st.data[s].Dist = dist
 		st.data[s].Sigma = 0
-		st.dmap.add(e.k, s, dist)
+		st.dmap.add(&sh.alloc, s, dist)
 		st.noteUnsent(s, dist)
-		e.pendingUnsent++
+		sh.pending++
+		e.reschedule(v)
 		return true
 	case cur > dist:
 		if st.sent.Test(s) {
 			panic(fmt.Sprintf("core: candidate improves sent entry (%d,%d)", v, s))
 		}
-		st.dmap.remove(s, cur)
-		st.dmap.add(e.k, s, dist)
+		st.dmap.remove(&sh.alloc, s, cur)
+		st.dmap.add(&sh.alloc, s, dist)
 		st.data[s].Dist = dist
 		st.data[s].Sigma = 0 // stale-distance partials are discarded
 		st.noteUnsent(s, dist)
+		e.reschedule(v)
 		return true
 	default:
 		// cur <= dist: the local list already reflects (or beats) it.
@@ -355,11 +659,13 @@ func (e *Engine) MergePartial(v uint32, s int, dist uint32, sigma float64) {
 	cur := st.data[s].Dist
 	switch {
 	case cur == graph.InfDist:
+		sh := &e.shards[e.shardOf(v)]
 		st.data[s].Dist = dist
 		st.data[s].Sigma = sigma
-		st.dmap.add(e.k, s, dist)
+		st.dmap.add(&sh.alloc, s, dist)
 		st.noteUnsent(s, dist)
-		e.pendingUnsent++
+		sh.pending++
+		e.reschedule(v)
 	case cur == dist:
 		if st.sent.Test(s) {
 			panic(fmt.Sprintf("core: partial for already-synchronized (%d,%d)", v, s))
@@ -369,11 +675,13 @@ func (e *Engine) MergePartial(v uint32, s int, dist uint32, sigma float64) {
 		if st.sent.Test(s) {
 			panic(fmt.Sprintf("core: improvement for already-synchronized (%d,%d)", v, s))
 		}
-		st.dmap.remove(s, cur)
-		st.dmap.add(e.k, s, dist)
+		sh := &e.shards[e.shardOf(v)]
+		st.dmap.remove(&sh.alloc, s, cur)
+		st.dmap.add(&sh.alloc, s, dist)
 		st.data[s].Dist = dist
 		st.data[s].Sigma = sigma
 		st.noteUnsent(s, dist)
+		e.reschedule(v)
 	}
 	// cur < dist: the incoming partial is at a non-minimal distance and
 	// contributes nothing.
@@ -388,27 +696,63 @@ func (e *Engine) AddDeltaPartial(v uint32, s int, delta float64) {
 // PendingUnsent reports whether any finite-distance entry on this host
 // has not yet been synchronized; used for global termination detection
 // (Lemma 8).
-func (e *Engine) PendingUnsent() bool { return e.pendingUnsent > 0 }
+func (e *Engine) PendingUnsent() bool {
+	for i := range e.shards {
+		if e.shards[i].pending > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // StartBackward switches to the accumulation phase (Algorithm 5) given
 // the forward termination round R. The whole backward schedule is
 // known up front (source s synchronizes in round Asv = R - τsv + 1),
-// so it is bucketed by round once; BackwardFlags then costs O(|flags|)
-// per round.
+// so it is bucketed by round once, per ownership shard; BackwardFlags
+// then costs O(|flags|) per round.
 func (e *Engine) StartBackward(R int) {
 	e.totalR = R
-	e.backByRound = e.backByRound[:0]
+	// Counting pass: exact per-(shard, round) sizes, so each shard's
+	// flags live in one arena instead of append-grown round slices.
+	nsh := len(e.shards)
+	counts := make([][]int32, nsh)
+	totals := make([]int, nsh)
 	for v := range e.st {
 		st := &e.st[v]
+		sh := e.shardOf(uint32(v))
+		cnt := counts[sh]
 		for s := 0; s < e.k; s++ {
 			if st.data[s].Dist == graph.InfDist {
 				continue
 			}
 			r := R - int(st.tau[s]) + 1
-			for len(e.backByRound) < r {
-				e.backByRound = append(e.backByRound, nil)
+			for len(cnt) < r {
+				cnt = append(cnt, 0)
 			}
-			e.backByRound[r-1] = append(e.backByRound[r-1], Flag{V: uint32(v), Src: s})
+			cnt[r-1]++
+			totals[sh]++
+		}
+		counts[sh] = cnt
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		arena := make([]Flag, totals[i])
+		sh.backByRound = make([][]Flag, len(counts[i]))
+		off := 0
+		for r, c := range counts[i] {
+			sh.backByRound[r] = arena[off : off : off+int(c)]
+			off += int(c)
+		}
+	}
+	for v := range e.st {
+		st := &e.st[v]
+		sh := &e.shards[e.shardOf(uint32(v))]
+		for s := 0; s < e.k; s++ {
+			if st.data[s].Dist == graph.InfDist {
+				continue
+			}
+			r := R - int(st.tau[s]) + 1
+			sh.backByRound[r-1] = append(sh.backByRound[r-1], Flag{V: uint32(v), Src: s})
 		}
 	}
 }
@@ -416,15 +760,33 @@ func (e *Engine) StartBackward(R int) {
 // BackwardFlags appends the (vertex, source) pairs whose dependency
 // value synchronizes in backward round r.
 func (e *Engine) BackwardFlags(r int, dst []Flag) []Flag {
-	if r < 1 || r > len(e.backByRound) {
+	for sh := range e.shards {
+		dst = e.backwardFlagsShard(r, sh, dst)
+	}
+	return dst
+}
+
+// backwardFlagsShard appends one shard's backward round-r flags. Safe
+// to call concurrently for distinct shards.
+func (e *Engine) backwardFlagsShard(r, shard int, dst []Flag) []Flag {
+	sh := &e.shards[shard]
+	if r < 1 || r > len(sh.backByRound) {
 		return dst
 	}
-	return append(dst, e.backByRound[r-1]...)
+	return append(dst, sh.backByRound[r-1]...)
 }
 
 // BackwardRounds returns the number of rounds the backward phase needs:
 // the largest Asv across this host.
-func (e *Engine) BackwardRounds() int { return len(e.backByRound) }
+func (e *Engine) BackwardRounds() int {
+	max := 0
+	for i := range e.shards {
+		if b := len(e.shards[i].backByRound); b > max {
+			max = b
+		}
+	}
+	return max
+}
 
 // DeltaPartial returns this host's current δ partial for (v, s).
 func (e *Engine) DeltaPartial(v uint32, s int) float64 { return e.st[v].data[s].Delta }

@@ -146,36 +146,55 @@ func TestEngineZeroBatchSizePanics(t *testing.T) {
 
 func TestDistMapOrdering(t *testing.T) {
 	var m distMap
-	k := 8
-	m.add(k, 3, 5)
-	m.add(k, 1, 2)
-	m.add(k, 4, 5)
-	m.add(k, 0, 9)
+	var a shardAlloc
+	a.init(8)
+	m.add(&a, 3, 5)
+	m.add(&a, 1, 2)
+	m.add(&a, 4, 5)
+	m.add(&a, 0, 9)
 	if len(m.dists) != 3 || m.dists[0] != 2 || m.dists[1] != 5 || m.dists[2] != 9 {
 		t.Fatalf("dists = %v", m.dists)
 	}
 	if !m.sets[1].Test(3) || !m.sets[1].Test(4) {
 		t.Fatal("distance-5 set wrong")
 	}
-	m.remove(3, 5)
+	m.remove(&a, 3, 5)
 	if m.sets[1].Test(3) {
 		t.Fatal("remove failed")
 	}
-	m.remove(4, 5)
+	m.remove(&a, 4, 5)
 	if len(m.dists) != 2 {
 		t.Fatal("empty distance bucket not removed")
 	}
 }
 
+func TestDistMapRecyclesSets(t *testing.T) {
+	var m distMap
+	var a shardAlloc
+	a.init(4)
+	m.add(&a, 1, 3)
+	freed := m.sets[0]
+	m.remove(&a, 1, 3)
+	m.add(&a, 2, 7)
+	if m.sets[0] != freed {
+		t.Fatal("expected the freed set to be recycled")
+	}
+	if m.sets[0].Test(1) || !m.sets[0].Test(2) {
+		t.Fatal("recycled set has stale bits")
+	}
+}
+
 func TestDistMapRemoveMissingPanics(t *testing.T) {
 	var m distMap
-	m.add(4, 1, 3)
+	var a shardAlloc
+	a.init(4)
+	m.add(&a, 1, 3)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	m.remove(2, 3)
+	m.remove(&a, 2, 3)
 }
 
 // Property: engine BC equals Brandes on random graphs with random

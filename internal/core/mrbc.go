@@ -2,21 +2,54 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"mrbc/internal/graph"
 )
 
+// SchedulerKind selects the engine's forward flag-discovery structure.
+type SchedulerKind int
+
+const (
+	// BucketScheduler (default) indexes vertices by due round in a
+	// calendar queue with lazy deletion: ForwardFlags costs
+	// O(|flags| + stale entries) per round and empty rounds are
+	// skipped entirely.
+	BucketScheduler SchedulerKind = iota
+	// ScanScheduler is the seed behavior: every round scans all n
+	// vertices for due entries. Kept as a baseline for benchmarks and
+	// equivalence tests; forces Workers to 1.
+	ScanScheduler
+)
+
 // Options configures a batched MRBC run.
+//
+// Parallelism and Workers are the two independent levels of
+// shared-memory parallelism:
+//
+//   - Parallelism (batch-level) runs whole batches concurrently, each
+//     on its own engine with a private score vector — the
+//     source-level parallelism of the paper's single-host runs.
+//   - Workers (intra-batch) splits each round's compute phase of one
+//     batch across goroutines by vertex ownership (see parallel.go) —
+//     useful when there are few batches (or one) but many cores.
 type Options struct {
 	// BatchSize is k, the number of sources processed simultaneously
 	// (Figure 1 studies its effect). Defaults to 32, the paper's
 	// small-graph setting.
 	BatchSize int
 	// Parallelism runs up to this many batches concurrently, each on
-	// its own engine (source-level parallelism, the way the paper's
-	// single-host runs use all 48 cores). Defaults to 1 (sequential).
+	// its own engine. Defaults to 1 (sequential batches).
 	Parallelism int
+	// Workers is the intra-batch worker count per batch. 0 defaults
+	// to GOMAXPROCS/Parallelism (at least 1), so the two levels
+	// compose without oversubscribing; 1 disables intra-batch
+	// parallelism.
+	Workers int
+	// Scheduler selects the flag-discovery structure; defaults to
+	// BucketScheduler.
+	Scheduler SchedulerKind
 }
 
 const defaultBatchSize = 32
@@ -27,6 +60,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / o.Parallelism
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.Scheduler == ScanScheduler {
+		// The scan path predates vertex-ownership sharding and is
+		// single-threaded within a batch.
+		o.Workers = 1
 	}
 	return o
 }
@@ -77,7 +121,7 @@ func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
 		scores := make([]float64, n)
 		var stats RunStats
 		for _, b := range batches {
-			runBatch(g, b, scores, &stats)
+			runBatch(g, b, scores, &stats, opts)
 		}
 		return scores, stats
 	}
@@ -103,7 +147,7 @@ func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
 			local := make([]float64, n)
 			partials[w] = local
 			for b := range next {
-				runBatch(g, b, local, &partStats[w])
+				runBatch(g, b, local, &partStats[w], opts)
 			}
 		}(w)
 	}
@@ -124,32 +168,34 @@ func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
 
 // runBatch executes one k-source batch: the forward k-SSP phase of
 // Algorithm 3 with global termination detection (Lemma 8), then the
-// backward accumulation phase of Algorithm 5.
-func runBatch(g *graph.Graph, batch []uint32, scores []float64, stats *RunStats) {
+// backward accumulation phase of Algorithm 5. opts must already have
+// defaults applied.
+func runBatch(g *graph.Graph, batch []uint32, scores []float64, stats *RunStats, opts Options) {
 	stats.Batches++
-	e := NewEngine(g, len(batch))
+	if opts.Workers > 1 {
+		e := NewEngineOpts(g, len(batch), EngineOpts{Shards: opts.Workers})
+		if e.NumShards() > 1 {
+			for i, s := range batch {
+				e.InitSource(s, i, true)
+			}
+			pr := newParRun(e)
+			defer pr.close()
+			R := pr.forward(stats)
+			stats.ForwardRounds += R
+			stats.BackwardRounds += pr.backward(R, stats)
+			pr.fold(batch, scores)
+			return
+		}
+		// Tiny graph collapsed to one shard: fall through sequential.
+	}
+	e := NewEngineOpts(g, len(batch), EngineOpts{Scan: opts.Scheduler == ScanScheduler})
 	for i, s := range batch {
 		e.InitSource(s, i, true)
 	}
 
 	// Forward phase.
 	var flags []Flag
-	R := 0
-	for r := 1; ; r++ {
-		flags = e.ForwardFlags(r, flags[:0])
-		if len(flags) == 0 && !e.PendingUnsent() {
-			R = r - 1
-			break
-		}
-		for _, f := range flags {
-			d := e.Get(f.V, f.Src)
-			e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
-		}
-		for _, f := range flags {
-			_ = e.RelaxOut(f.V, f.Src, nil)
-		}
-		stats.LabelsSynced += int64(len(flags))
-	}
+	R := forwardPhase(e, &flags, stats)
 	stats.ForwardRounds += R
 
 	// Backward phase.
@@ -178,36 +224,78 @@ func runBatch(g *graph.Graph, batch []uint32, scores []float64, stats *RunStats)
 	}
 }
 
-// APSPBatch exposes the forward phase only: distances and shortest-path
-// counts from each source in the batch, for library users who need
-// k-SSP rather than BC.
-func APSPBatch(g *graph.Graph, batch []uint32) (dist [][]uint32, sigma [][]float64, stats RunStats) {
-	if len(batch) == 0 {
-		return nil, nil, stats
-	}
-	e := NewEngine(g, len(batch))
-	for i, s := range batch {
-		if int(s) >= g.NumVertices() {
-			panic(fmt.Sprintf("core: source %d out of range", s))
-		}
-		e.InitSource(s, i, true)
-	}
-	var flags []Flag
+// forwardPhase runs the sequential forward loop on e to quiescence,
+// returning the termination round R. A bucketed engine jumps over
+// empty rounds via NextForwardRound; a scan engine advances one round
+// at a time and terminates on the first idle round.
+func forwardPhase(e *Engine, flagsBuf *[]Flag, stats *RunStats) int {
+	flags := *flagsBuf
 	R := 0
-	for r := 1; ; r++ {
-		flags = e.ForwardFlags(r, flags[:0])
-		if len(flags) == 0 && !e.PendingUnsent() {
-			R = r - 1
-			break
+	for r := 0; ; {
+		r = e.NextForwardRound(r)
+		if r < 0 {
+			if e.PendingUnsent() {
+				panic("core: forward phase terminated with pending unsent labels")
+			}
+			break // bucketed: nothing scheduled anywhere
 		}
+		flags = e.ForwardFlags(r, flags[:0])
+		if len(flags) == 0 {
+			if !e.PendingUnsent() {
+				break
+			}
+			continue
+		}
+		R = r
 		for _, f := range flags {
 			d := e.Get(f.V, f.Src)
 			e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
 		}
 		for _, f := range flags {
-			_ = e.RelaxOut(f.V, f.Src, nil)
+			e.RelaxOutLocal(f.V, f.Src)
 		}
 		stats.LabelsSynced += int64(len(flags))
+	}
+	*flagsBuf = flags
+	return R
+}
+
+// APSPBatch exposes the forward phase only: distances and shortest-path
+// counts from each source in the batch, for library users who need
+// k-SSP rather than BC. It uses default Options (bucket scheduler,
+// GOMAXPROCS intra-batch workers).
+func APSPBatch(g *graph.Graph, batch []uint32) (dist [][]uint32, sigma [][]float64, stats RunStats) {
+	return APSPBatchOpts(g, batch, Options{})
+}
+
+// APSPBatchOpts is APSPBatch with explicit scheduler/worker options.
+func APSPBatchOpts(g *graph.Graph, batch []uint32, opts Options) (dist [][]uint32, sigma [][]float64, stats RunStats) {
+	if len(batch) == 0 {
+		return nil, nil, stats
+	}
+	opts = opts.withDefaults()
+	for _, s := range batch {
+		if int(s) >= g.NumVertices() {
+			panic(fmt.Sprintf("core: source %d out of range", s))
+		}
+	}
+	var e *Engine
+	if opts.Workers > 1 {
+		e = NewEngineOpts(g, len(batch), EngineOpts{Shards: opts.Workers})
+	} else {
+		e = NewEngineOpts(g, len(batch), EngineOpts{Scan: opts.Scheduler == ScanScheduler})
+	}
+	for i, s := range batch {
+		e.InitSource(s, i, true)
+	}
+	var R int
+	if e.NumShards() > 1 {
+		pr := newParRun(e)
+		defer pr.close()
+		R = pr.forward(&stats)
+	} else {
+		var flags []Flag
+		R = forwardPhase(e, &flags, &stats)
 	}
 	stats.Batches = 1
 	stats.ForwardRounds = R

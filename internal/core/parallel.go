@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mrbc/internal/graph"
+)
+
+// This file implements the intra-batch parallel compute phase of the
+// shared-memory runner: the flags of each round are partitioned across
+// workers by vertex ownership (v mod workers, the engine's shard map),
+// and every round runs as two barrier-separated phases:
+//
+//  1. generate: each worker collects and synchronizes its own shard's
+//     due flags (all label writes are shard-local), then walks the
+//     flagged vertices' out-edges and stages one relaxUpdate per edge
+//     into a per-(worker, target-shard) outbox.
+//  2. apply: each worker drains the outboxes addressed to its shard and
+//     applies them to the target vertices it owns.
+//
+// No atomics or locks sit on the hot path: every label, scheduler
+// bucket, and pending counter is written only by its owner, and the
+// pool barrier orders generation before application. Applying inboxes
+// in worker order keeps results deterministic for a fixed worker count
+// (floating-point sums reorder relative to the sequential engine, but
+// distances, σ counts, schedules, and round counts are exact).
+//
+// The backward phase works the same way with in-edge ownership: workers
+// generate δ contributions m·σu for their shard's flagged vertices and
+// route them to the owner of each in-neighbor u. Predecessors always
+// synchronize in strictly later backward rounds than their successors
+// (Asu > Asv when du < dv), so reads of δv during generation never race
+// with the δ writes of the same round.
+
+// relaxUpdate is one staged forward contribution to target vertex w.
+type relaxUpdate struct {
+	w     uint32
+	src   int32
+	dist  uint32
+	sigma float64
+}
+
+// deltaUpdate is one staged backward δ contribution to predecessor u.
+type deltaUpdate struct {
+	u   uint32
+	src int32
+	val float64
+}
+
+// pool runs one callback per shard per phase on a fixed set of
+// goroutines, with a barrier at the end of each phase.
+type pool struct {
+	tasks chan poolTask
+	n     int
+}
+
+type poolTask struct {
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
+func newPool(n int) *pool {
+	p := &pool{tasks: make(chan poolTask, n), n: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.shard)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(shard) for every shard and waits for all to finish.
+func (p *pool) run(fn func(shard int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.n)
+	for s := 0; s < p.n; s++ {
+		p.tasks <- poolTask{fn: fn, shard: s, wg: &wg}
+	}
+	wg.Wait()
+}
+
+func (p *pool) close() { close(p.tasks) }
+
+// parRun drives one batch on a sharded engine with w workers.
+type parRun struct {
+	e *Engine
+	p *pool
+	w int
+	// flags[shard] holds the current round's flags of that shard.
+	flags [][]Flag
+	// relaxOut[from][to] / deltaOut[from][to] are the per-worker-pair
+	// outboxes; scratch is reused across rounds.
+	relaxOut [][][]relaxUpdate
+	deltaOut [][][]deltaUpdate
+}
+
+func newParRun(e *Engine) *parRun {
+	w := e.NumShards()
+	pr := &parRun{
+		e:        e,
+		p:        newPool(w),
+		w:        w,
+		flags:    make([][]Flag, w),
+		relaxOut: make([][][]relaxUpdate, w),
+		deltaOut: make([][][]deltaUpdate, w),
+	}
+	for i := 0; i < w; i++ {
+		pr.relaxOut[i] = make([][]relaxUpdate, w)
+		pr.deltaOut[i] = make([][]deltaUpdate, w)
+	}
+	return pr
+}
+
+func (pr *parRun) close() { pr.p.close() }
+
+// forward runs the parallel forward phase (Algorithm 3) to quiescence
+// and returns the termination round R.
+func (pr *parRun) forward(stats *RunStats) int {
+	e := pr.e
+	R := 0
+	for r := 0; ; {
+		r = e.NextForwardRound(r)
+		if r < 0 {
+			break
+		}
+		e.fwdRound = r
+		// Phase 1: collect + synchronize own flags, generate staged
+		// out-edge contributions.
+		pr.p.run(func(sh int) {
+			flags := e.forwardFlagsShard(r, sh, pr.flags[sh][:0])
+			pr.flags[sh] = flags
+			for _, f := range flags {
+				d := e.Get(f.V, f.Src)
+				e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
+			}
+			out := pr.relaxOut[sh]
+			for _, f := range flags {
+				src := e.st[f.V].data[f.Src]
+				cand := src.Dist + 1
+				for _, w := range e.g.OutNeighbors(f.V) {
+					t := e.shardOf(w)
+					out[t] = append(out[t], relaxUpdate{w: w, src: int32(f.Src), dist: cand, sigma: src.Sigma})
+				}
+			}
+		})
+		total := 0
+		for sh := range pr.flags {
+			total += len(pr.flags[sh])
+		}
+		if total > 0 {
+			R = r
+			stats.LabelsSynced += int64(total)
+		}
+		// Phase 2: apply staged contributions to owned targets, in
+		// worker order for determinism.
+		pr.p.run(func(sh int) {
+			for from := 0; from < pr.w; from++ {
+				ups := pr.relaxOut[from][sh]
+				for _, u := range ups {
+					e.applyRelax(u.w, int(u.src), u.dist, u.sigma)
+				}
+				pr.relaxOut[from][sh] = ups[:0]
+			}
+		})
+	}
+	if e.PendingUnsent() {
+		panic("core: parallel forward phase terminated with pending unsent labels")
+	}
+	return R
+}
+
+// backward runs the parallel accumulation phase (Algorithm 5) and
+// returns the number of backward rounds.
+func (pr *parRun) backward(R int, stats *RunStats) int {
+	e := pr.e
+	e.StartBackward(R)
+	back := e.BackwardRounds()
+	for r := 1; r <= back; r++ {
+		// Phase 1: generate δ contributions along in-edges. Reads of
+		// other shards (σu, du) touch labels frozen since the forward
+		// phase; δv of a flagged vertex was last written in an earlier
+		// round's apply phase.
+		pr.p.run(func(sh int) {
+			flags := e.backwardFlagsShard(r, sh, pr.flags[sh][:0])
+			pr.flags[sh] = flags
+			out := pr.deltaOut[sh]
+			for _, f := range flags {
+				st := &e.st[f.V]
+				if st.data[f.Src].Sigma == 0 {
+					panic(fmt.Sprintf("core: zero sigma at (%d,%d) during accumulation", f.V, f.Src))
+				}
+				m := (1 + st.data[f.Src].Delta) / st.data[f.Src].Sigma
+				dv := st.data[f.Src].Dist
+				for _, u := range e.g.InNeighbors(f.V) {
+					pu := &e.st[u]
+					du := pu.data[f.Src].Dist
+					if du != graph.InfDist && du+1 == dv {
+						t := e.shardOf(u)
+						out[t] = append(out[t], deltaUpdate{u: u, src: int32(f.Src), val: pu.data[f.Src].Sigma * m})
+					}
+				}
+			}
+		})
+		for sh := range pr.flags {
+			stats.LabelsSynced += int64(len(pr.flags[sh]))
+		}
+		// Phase 2: apply δ contributions to owned predecessors.
+		pr.p.run(func(sh int) {
+			for from := 0; from < pr.w; from++ {
+				ups := pr.deltaOut[from][sh]
+				for _, u := range ups {
+					e.st[u.u].data[u.src].Delta += u.val
+				}
+				pr.deltaOut[from][sh] = ups[:0]
+			}
+		})
+	}
+	return back
+}
+
+// fold adds the batch's dependency values into the global scores,
+// partitioned by contiguous vertex ranges.
+func (pr *parRun) fold(batch []uint32, scores []float64) {
+	e := pr.e
+	n := e.g.NumVertices()
+	pr.p.run(func(sh int) {
+		lo, hi := n*sh/pr.w, n*(sh+1)/pr.w
+		for v := lo; v < hi; v++ {
+			for i, s := range batch {
+				d := e.st[v].data[i]
+				if d.Dist != graph.InfDist && uint32(v) != s {
+					scores[v] += d.Delta
+				}
+			}
+		}
+	})
+}

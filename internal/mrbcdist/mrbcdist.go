@@ -178,16 +178,24 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		}
 		R = r
 		syncForward(cluster, topo, states, r)
-		// Compute phase B: relax the synchronized entries locally,
-		// collecting the distance candidates the relaxations create.
+		// Compute phase B: relax the synchronized entries locally. Only
+		// CandidateSync disseminates the distance candidates the
+		// relaxations create, so only it pays to collect them;
+		// ArbitrationSync uses the allocation-free local path.
 		cluster.Compute(func(h int) {
 			st := states[h]
 			st.cands = st.cands[:0]
 			for k := range st.candSet {
 				delete(st.candSet, k)
 			}
-			for _, f := range st.synced {
-				st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
+			if opts.Sync == CandidateSync {
+				for _, f := range st.synced {
+					st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
+				}
+			} else {
+				for _, f := range st.synced {
+					st.engine.RelaxOutLocal(f.V, f.Src)
+				}
 			}
 		})
 		// In CandidateSync mode, additionally disseminate candidate
