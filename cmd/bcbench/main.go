@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | engine | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | engine | faults | all")
 		scaleName = flag.String("scale", "full", "workload scale: full | tiny")
 		only      = flag.String("input", "", "restrict to a single input by name")
 	)
@@ -66,6 +66,10 @@ func main() {
 			// Engine-variant comparison (JSON); not part of the paper's
 			// evaluation, so not included in "all".
 			fmt.Println(bench.FormatEngineBench(bench.EngineBench(scale)))
+		case "faults":
+			// Reliable-transport overhead (JSON); not part of the
+			// paper's evaluation, so not included in "all".
+			fmt.Println(bench.FormatFaultBench(bench.FaultBench(scale)))
 		default:
 			fmt.Fprintf(os.Stderr, "bcbench: unknown experiment %q\n", name)
 			os.Exit(1)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+// traceForward runs the forward phase on a fresh engine and records,
+// for every non-empty round, the set of forward flags (sorted by
+// (vertex, source) so engine-internal iteration order is irrelevant).
+func traceForward(g *graph.Graph, batch []uint32, scan bool) map[int][]Flag {
+	e := NewEngineOpts(g, len(batch), EngineOpts{Scan: scan})
+	for i, s := range batch {
+		e.InitSource(s, i, true)
+	}
+	trace := make(map[int][]Flag)
+	var flags []Flag
+	for r := 0; ; {
+		r = e.NextForwardRound(r)
+		if r < 0 {
+			break
+		}
+		flags = e.ForwardFlags(r, flags[:0])
+		if len(flags) == 0 {
+			if !e.PendingUnsent() {
+				break
+			}
+			continue
+		}
+		fs := append([]Flag(nil), flags...)
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].V != fs[j].V {
+				return fs[i].V < fs[j].V
+			}
+			return fs[i].Src < fs[j].Src
+		})
+		trace[r] = fs
+		for _, f := range flags {
+			d := e.Get(f.V, f.Src)
+			e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
+		}
+		for _, f := range flags {
+			e.RelaxOutLocal(f.V, f.Src)
+		}
+	}
+	return trace
+}
+
+// graphFromSeed derives a small random graph and source batch from a
+// single seed, cycling through generator families so the property is
+// checked on varied topologies (sparse random, power-law, grid-like,
+// long-diameter DAG).
+func graphFromSeed(seed uint64) (*graph.Graph, []uint32) {
+	var g *graph.Graph
+	switch seed % 4 {
+	case 0:
+		g = gen.ErdosRenyi(40+int(seed%25), 160, int64(seed))
+	case 1:
+		g = gen.RMAT(5, 8, int64(seed))
+	case 2:
+		g = gen.RoadGrid(5, 5, int64(seed))
+	default:
+		g = gen.LadderDAG(6 + int(seed%10))
+	}
+	k := 8
+	if n := g.NumVertices(); n < k {
+		k = n
+	}
+	batch := make([]uint32, k)
+	stride := uint32(g.NumVertices() / k)
+	if stride == 0 {
+		stride = 1
+	}
+	for i := range batch {
+		batch[i] = uint32(i) * stride % uint32(g.NumVertices())
+	}
+	return g, batch
+}
+
+// TestSchedulersProduceIdenticalRoundTraces is the property from the
+// paper's Lemma 6/7 machinery: the bucket scheduler is an indexing
+// optimization, so it must emit exactly the same (round → flag set)
+// trace as the naive per-round scan — not merely the same final BC.
+func TestSchedulersProduceIdenticalRoundTraces(t *testing.T) {
+	prop := func(rawSeed uint32) bool {
+		seed := uint64(rawSeed)
+		g, batch := graphFromSeed(seed)
+		scanTrace := traceForward(g, batch, true)
+		bucketTrace := traceForward(g, batch, false)
+		if len(scanTrace) != len(bucketTrace) {
+			t.Logf("seed=%d: scan has %d non-empty rounds, bucket %d",
+				seed, len(scanTrace), len(bucketTrace))
+			return false
+		}
+		for r, sf := range scanTrace {
+			bf, ok := bucketTrace[r]
+			if !ok {
+				t.Logf("seed=%d: round %d present in scan trace only", seed, r)
+				return false
+			}
+			if len(sf) != len(bf) {
+				t.Logf("seed=%d round %d: %d vs %d flags", seed, r, len(sf), len(bf))
+				return false
+			}
+			for i := range sf {
+				if sf[i] != bf[i] {
+					t.Logf("seed=%d round %d: flag %d differs: %+v vs %+v",
+						seed, r, i, sf[i], bf[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerCountInvariance checks the intra-batch parallel path
+// against the sequential one across worker counts. Distances and path
+// counts are integer-valued, so they must match bitwise; dependency
+// scores accumulate float64 deltas in shard order, so BC is compared
+// to 1e-12 relative tolerance (summation order differs across worker
+// counts, bitwise identity is not guaranteed for the deltas).
+func TestWorkerCountInvariance(t *testing.T) {
+	prop := func(rawSeed uint32) bool {
+		seed := uint64(rawSeed)
+		g, batch := graphFromSeed(seed)
+		refDist, refSigma, _ := APSPBatchOpts(g, batch, Options{BatchSize: len(batch), Workers: 1})
+		refBC, _ := BC(g, batch, Options{BatchSize: len(batch), Workers: 1})
+		for _, w := range []int{2, 4, 8} {
+			dist, sigma, _ := APSPBatchOpts(g, batch, Options{BatchSize: len(batch), Workers: w})
+			for i := range refDist {
+				for v := range refDist[i] {
+					if dist[i][v] != refDist[i][v] || sigma[i][v] != refSigma[i][v] {
+						t.Logf("seed=%d workers=%d: dist/sigma of (src %d, v %d) differ",
+							seed, w, i, v)
+						return false
+					}
+				}
+			}
+			bc, _ := BC(g, batch, Options{BatchSize: len(batch), Workers: w})
+			for v := range refBC {
+				if math.Abs(bc[v]-refBC[v]) > 1e-12*(1+math.Abs(refBC[v])) {
+					t.Logf("seed=%d workers=%d: BC(%d) = %v vs %v", seed, w, v, bc[v], refBC[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

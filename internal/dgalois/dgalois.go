@@ -39,17 +39,45 @@ type Cluster struct {
 
 	// scratch buffers reused across exchanges: out[from][to].
 	bufs [][][]byte
+
+	// Fault-tolerant transport state (reliable.go); plan == nil keeps
+	// the perfect-network fast path byte-for-byte identical to the
+	// seed behavior.
+	plan      *FaultPlan
+	exchanges int        // exchange index, for stall schedules
+	seqOut    [][]uint32 // last sequence number sent per channel
+	seqIn     [][]uint32 // last sequence number delivered per channel
+	faults    FaultStats
 }
 
-// NewCluster creates a cluster of the given number of hosts.
+// NewCluster creates a cluster of the given number of hosts with a
+// perfect network (no fault plan, no framing).
 func NewCluster(hosts int) *Cluster {
+	return NewClusterWithPlan(hosts, nil)
+}
+
+// NewClusterWithPlan creates a cluster whose exchanges run through the
+// framed ack/retry transport under the given fault plan. A nil plan is
+// the perfect network; a non-nil plan with zero rates exercises the
+// full reliable protocol (sequence numbers, checksums, acks) without
+// injecting faults.
+func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
 	if hosts <= 0 {
 		panic(fmt.Sprintf("dgalois: invalid host count %d", hosts))
 	}
-	c := &Cluster{hosts: hosts, perHostCompute: make([]time.Duration, hosts)}
+	c := &Cluster{hosts: hosts, perHostCompute: make([]time.Duration, hosts), plan: plan}
 	c.bufs = make([][][]byte, hosts)
 	for i := range c.bufs {
 		c.bufs[i] = make([][]byte, hosts)
+	}
+	if plan != nil {
+		c.seqOut = make([][]uint32, hosts)
+		c.seqIn = make([][]uint32, hosts)
+		for i := range c.seqOut {
+			c.seqOut[i] = make([]uint32, hosts)
+			c.seqIn[i] = make([]uint32, hosts)
+		}
+		c.faults.PerHost = make([]HostFaultStats, hosts)
 	}
 	return c
 }
@@ -76,17 +104,14 @@ func (c *Cluster) Compute(fn func(host int)) {
 	wg.Wait()
 	c.computeWall += time.Since(start)
 
-	var max, sum time.Duration
 	for h, d := range durations {
 		c.perHostCompute[h] += d
-		sum += d
-		if d > max {
-			max = d
-		}
 	}
-	if sum > 0 {
-		mean := float64(sum) / float64(c.hosts)
-		c.imbalanceSum += float64(max) / mean
+	// Load imbalance is max/mean over the hosts that computed this
+	// round (see roundImbalance); rounds where no host computed
+	// contribute no sample.
+	if imb, ok := roundImbalance(durations); ok {
+		c.imbalanceSum += imb
 		c.imbalanceN++
 	}
 }
@@ -102,6 +127,10 @@ func (c *Cluster) BeginRound() { c.rounds++ }
 // paper's accounting ("non-overlapped communication time ... includes
 // data structure access time to (de)serialize messages").
 func (c *Cluster) Exchange(pack func(from, to int) []byte, unpack func(to, from int, data []byte)) {
+	if c.plan != nil {
+		c.exchangeReliable(pack, unpack)
+		return
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for h := 0; h < c.hosts; h++ {
@@ -144,17 +173,25 @@ func (c *Cluster) Exchange(pack func(from, to int) []byte, unpack func(to, from 
 	c.commWall += time.Since(start)
 }
 
-// Stats is a snapshot of execution costs.
+// Stats is a snapshot of execution costs. Bytes and Messages are the
+// paper-model communication volume: each logical sync payload counted
+// exactly once, regardless of framing, retransmissions, or acks — those
+// are tallied separately in Faults so volume numbers stay comparable
+// with and without the fault layer.
 type Stats struct {
 	Hosts          int
 	Rounds         int
-	Bytes          int64         // total communication volume
-	Messages       int64         // inter-host buffers exchanged
+	Bytes          int64         // total communication volume (paper model)
+	Messages       int64         // inter-host buffers exchanged (paper model)
 	ComputeTime    time.Duration // max total compute time across hosts
 	CommTime       time.Duration // non-overlapped communication wall time
 	ExecutionTime  time.Duration // ComputeTime + CommTime
-	LoadImbalance  float64       // mean over rounds of max/mean host compute time
+	LoadImbalance  float64       // mean over rounds of max/mean over participating hosts
 	PerHostCompute []time.Duration
+	// Faults reports the reliable transport's activity (framing
+	// overhead, retries, acks, injected faults, per-host breakdown).
+	// Nil when the cluster runs without a fault plan.
+	Faults *FaultStats
 }
 
 // Stats returns the current statistics snapshot.
@@ -170,7 +207,7 @@ func (c *Cluster) Stats() Stats {
 		imb = c.imbalanceSum / float64(c.imbalanceN)
 	}
 	per := append([]time.Duration(nil), c.perHostCompute...)
-	return Stats{
+	s := Stats{
 		Hosts:          c.hosts,
 		Rounds:         c.rounds,
 		Bytes:          c.bytes,
@@ -181,6 +218,10 @@ func (c *Cluster) Stats() Stats {
 		LoadImbalance:  imb,
 		PerHostCompute: per,
 	}
+	if c.plan != nil {
+		s.Faults = c.faults.clone()
+	}
+	return s
 }
 
 // Add accumulates another run's statistics into s (used when iterating
@@ -200,5 +241,11 @@ func (s *Stats) Add(o Stats) {
 	s.ExecutionTime += o.ExecutionTime
 	if s.Hosts == 0 {
 		s.Hosts = o.Hosts
+	}
+	if o.Faults != nil {
+		if s.Faults == nil {
+			s.Faults = &FaultStats{}
+		}
+		s.Faults.add(o.Faults)
 	}
 }

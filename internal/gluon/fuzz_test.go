@@ -1,0 +1,31 @@
+package gluon
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame asserts the frame decoder never panics on arbitrary
+// bytes and that acceptance implies a frame EncodeFrame could have
+// produced: DecodeFrame is the one parser in the sync path that sees
+// raw, possibly-corrupted network bytes (DecodeUpdates only ever sees
+// payloads the frame checksum already vouched for).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(EncodeFrame(0, nil))
+	f.Add(EncodeFrame(42, []byte("payload")))
+	f.Add(EncodeFrame(1<<31, bytes.Repeat([]byte{0xaa}, 100)))
+	f.Add([]byte("GLNF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode to the identical bytes: the
+		// format has no slack (fixed header, exact length, checksum),
+		// so decode∘encode is the identity on valid frames.
+		if re := EncodeFrame(seq, payload); !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical: % x != % x", re, data)
+		}
+	})
+}

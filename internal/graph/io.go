@@ -167,13 +167,25 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadFormat, n64, m64)
 	}
 	n, m := int(n64), int64(m64)
-	offsets := make([]int64, n+1)
-	for i := range offsets {
+	// Grow the arrays by appending as bytes actually arrive rather
+	// than trusting the header's n and m for an up-front allocation: a
+	// crafted 24-byte file declaring n = 2^40 must fail on the first
+	// missing offset, not commit terabytes first. Memory stays
+	// proportional to input read so far.
+	const allocChunk = 1 << 16
+	capHint := func(declared int64) int {
+		if declared < allocChunk {
+			return int(declared)
+		}
+		return allocChunk
+	}
+	offsets := make([]int64, 0, capHint(int64(n)+1))
+	for i := 0; i <= n; i++ {
 		o, err := readU64()
 		if err != nil {
 			return nil, fmt.Errorf("%w: truncated offsets", ErrBadFormat)
 		}
-		offsets[i] = int64(o)
+		offsets = append(offsets, int64(o))
 	}
 	if offsets[0] != 0 || offsets[n] != m {
 		return nil, fmt.Errorf("%w: inconsistent offsets", ErrBadFormat)
@@ -183,9 +195,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("%w: decreasing offsets at %d", ErrBadFormat, i)
 		}
 	}
-	dsts := make([]uint32, m)
+	dsts := make([]uint32, 0, capHint(m))
 	var b4 [4]byte
-	for i := range dsts {
+	for i := int64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, b4[:]); err != nil {
 			return nil, fmt.Errorf("%w: truncated edges", ErrBadFormat)
 		}
@@ -193,7 +205,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if int(d) >= n {
 			return nil, fmt.Errorf("%w: edge target %d out of range", ErrBadFormat, d)
 		}
-		dsts[i] = d
+		dsts = append(dsts, d)
 	}
 	g := &Graph{offsets: offsets, dsts: dsts}
 	g.EnsureInEdges()

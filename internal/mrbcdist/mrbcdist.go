@@ -52,6 +52,11 @@ type Options struct {
 	// Sync selects the schedule-consistency scheme; defaults to
 	// ArbitrationSync.
 	Sync SyncMode
+	// Fault routes every exchange through the framed ack/retry
+	// transport under the given plan (nil: perfect network). Use
+	// RunChecked to receive the structured error an unrecoverable
+	// plan produces.
+	Fault *dgalois.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -109,8 +114,21 @@ const maxBatch = 1 << 20
 
 // Run computes BC restricted to sources over the partitioned graph
 // using batched Min-Rounds BC, returning global scores and cluster
-// statistics.
+// statistics. With an unrecoverable Options.Fault plan it panics; use
+// RunChecked when a fault plan may fail the run.
 func Run(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats) {
+	scores, stats, err := RunChecked(g, pt, sources, opts)
+	if err != nil {
+		panic(err)
+	}
+	return scores, stats
+}
+
+// RunChecked is Run returning the transport's structured error when an
+// exchange under Options.Fault exceeds its deadline (e.g. a host
+// stalled past it). Every recoverable fault schedule yields err == nil
+// and oracle-exact scores; on error the partial scores are meaningless.
+func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats, error) {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	for _, s := range sources {
@@ -119,16 +137,18 @@ func Run(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Opti
 		}
 	}
 	topo := gluon.NewTopology(pt)
-	cluster := dgalois.NewCluster(pt.NumHosts)
+	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
 	scores := make([]float64, n)
-	for start := 0; start < len(sources); start += opts.BatchSize {
-		end := start + opts.BatchSize
-		if end > len(sources) {
-			end = len(sources)
+	err := dgalois.Capture(func() {
+		for start := 0; start < len(sources); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(sources) {
+				end = len(sources)
+			}
+			runBatch(cluster, topo, pt, sources[start:end], scores, opts)
 		}
-		runBatch(cluster, topo, pt, sources[start:end], scores, opts)
-	}
-	return scores, cluster.Stats()
+	})
+	return scores, cluster.Stats(), err
 }
 
 func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options) {

@@ -43,6 +43,11 @@ type Options struct {
 	// Alpha is the push->pull switch threshold (default 4): pull when
 	// frontierOutEdges*Alpha > unvisitedInEdges.
 	Alpha int
+	// Fault routes every exchange through the framed ack/retry
+	// transport under the given plan (nil: perfect network). Use
+	// RunOptsChecked to receive the structured error an unrecoverable
+	// plan produces.
+	Fault *dgalois.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -76,8 +81,22 @@ func Run(g *graph.Graph, pt *partition.Partitioning, sources []uint32) ([]float6
 	return RunOpts(g, pt, sources, Options{})
 }
 
-// RunOpts is Run with explicit options.
+// RunOpts is Run with explicit options. With an unrecoverable
+// Options.Fault plan it panics; use RunOptsChecked when a fault plan
+// may fail the run.
 func RunOpts(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats) {
+	scores, stats, err := RunOptsChecked(g, pt, sources, opts)
+	if err != nil {
+		panic(err)
+	}
+	return scores, stats
+}
+
+// RunOptsChecked is RunOpts returning the transport's structured error
+// when an exchange under Options.Fault exceeds its deadline. Every
+// recoverable fault schedule yields err == nil and oracle-exact scores;
+// on error the partial scores are meaningless.
+func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) ([]float64, dgalois.Stats, error) {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	for _, s := range sources {
@@ -86,7 +105,7 @@ func RunOpts(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts 
 		}
 	}
 	topo := gluon.NewTopology(pt)
-	cluster := dgalois.NewCluster(pt.NumHosts)
+	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
 	states := make([]*hostState, pt.NumHosts)
 	for h, p := range pt.Parts {
 		np := p.NumProxies()
@@ -102,10 +121,12 @@ func RunOpts(g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts 
 		}
 	}
 	scores := make([]float64, n)
-	for _, s := range sources {
-		runSource(cluster, topo, states, s, scores, opts)
-	}
-	return scores, cluster.Stats()
+	err := dgalois.Capture(func() {
+		for _, s := range sources {
+			runSource(cluster, topo, states, s, scores, opts)
+		}
+	})
+	return scores, cluster.Stats(), err
 }
 
 func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options) {

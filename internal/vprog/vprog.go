@@ -46,11 +46,28 @@ type PushProgram struct {
 // RunPush executes the program over a partitioned graph and returns
 // the final label per global vertex plus the cluster statistics.
 func RunPush(g gview, pt *partition.Partitioning, prog PushProgram) ([]uint64, dgalois.Stats) {
+	labels, stats, err := RunPushPlan(g, pt, prog, nil)
+	if err != nil {
+		panic(err)
+	}
+	return labels, stats
+}
+
+// RunPushPlan is RunPush on a cluster carrying a fault plan (nil:
+// perfect network): exchanges run through the framed ack/retry
+// transport, and an unrecoverable plan surfaces as the transport's
+// structured error instead of a deadlock.
+func RunPushPlan(g gview, pt *partition.Partitioning, prog PushProgram, plan *dgalois.FaultPlan) (labels []uint64, stats dgalois.Stats, err error) {
 	if prog.Init == nil || prog.Relax == nil || prog.Better == nil {
 		panic("vprog: incomplete push program")
 	}
+	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, plan)
+	err = dgalois.Capture(func() { labels = runPush(cluster, g, pt, prog) })
+	return labels, cluster.Stats(), err
+}
+
+func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog PushProgram) []uint64 {
 	topo := gluon.NewTopology(pt)
-	cluster := dgalois.NewCluster(pt.NumHosts)
 	n := g.NumVertices()
 
 	type hostState struct {
@@ -206,7 +223,7 @@ func RunPush(g gview, pt *partition.Partitioning, prog PushProgram) ([]uint64, d
 			}
 		}
 	}
-	return out, cluster.Stats()
+	return out
 }
 
 // gview is the slice of graph.Graph the package needs; breaking the
