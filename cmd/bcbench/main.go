@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | engine | faults | all")
+		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | engine | faults | comms | all")
 		scaleName = flag.String("scale", "full", "workload scale: full | tiny")
 		only      = flag.String("input", "", "restrict to a single input by name")
 	)
@@ -70,6 +70,17 @@ func main() {
 			// Reliable-transport overhead (JSON); not part of the
 			// paper's evaluation, so not included in "all".
 			fmt.Println(bench.FormatFaultBench(bench.FaultBench(scale)))
+		case "comms":
+			// Sync-encoding volume comparison (JSON); not part of the
+			// paper's evaluation, so not included in "all". Exits
+			// non-zero if the adaptive encoding regresses past dense,
+			// so CI can use it as a smoke check.
+			report := bench.CommsBench(scale)
+			fmt.Println(bench.FormatCommsBench(report))
+			if err := bench.CheckCommsBench(report); err != nil {
+				fmt.Fprintln(os.Stderr, "bcbench:", err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "bcbench: unknown experiment %q\n", name)
 			os.Exit(1)

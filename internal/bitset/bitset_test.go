@@ -398,3 +398,60 @@ func TestFirstAndNot(t *testing.T) {
 		t.Fatalf("short-other FirstAndNot = %d, want 5", got)
 	}
 }
+
+// TestNextSetMatchesForEach pins the word-skipping NextSet iteration —
+// the loop the gluon sparse encoder costs and emits with — against the
+// reference ForEach enumeration on random sets.
+func TestNextSetMatchesForEach(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				s.Set(i)
+			}
+		}
+		var want []int
+		s.ForEach(func(i int) bool { want = append(want, i); return true })
+		var got []int
+		for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkNextSetSparse pins that iterating a near-empty set skips
+// whole empty words: one set bit at the end of a million-bit set should
+// cost a linear word scan, not a per-bit scan, and allocate nothing.
+func BenchmarkNextSetSparse(b *testing.B) {
+	s := New(1 << 20)
+	s.Set(1<<20 - 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for j, ok := s.NextSet(0); ok; j, ok = s.NextSet(j + 1) {
+			n++
+		}
+		if n != 1 {
+			b.Fatal("lost the bit")
+		}
+	}
+}
+
+func BenchmarkForEachDense(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < s.Len(); i += 2 {
+		s.Set(i)
+	}
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(j int) bool { sink += j; return true })
+	}
+	_ = sink
+}

@@ -15,12 +15,23 @@
 //   - per-host computation time, whose max/mean ratio per round gives
 //     the load-imbalance estimate of Table 1,
 //   - non-overlapped communication wall time (exchange phases).
+//
+// The communication phase is allocation-free at steady state: the
+// cluster keeps one reusable gluon.Writer per ordered host pair and
+// one gluon.Decoder per receiving host, and a persistent worker pool
+// runs the pack work parallel over (from, to) pairs — finer-grained
+// than one goroutine per sender, which matters when one sender's pack
+// work dwarfs the others' — without spawning goroutines per exchange.
 package dgalois
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mrbc/internal/gluon"
 )
 
 // Cluster coordinates BSP execution across simulated hosts and records
@@ -29,20 +40,37 @@ type Cluster struct {
 	hosts int
 
 	rounds         int
-	bytes          int64
-	messages       int64
+	bytes          int64 // updated with atomics inside the pack loop
+	messages       int64 // updated with atomics inside the pack loop
+	encDense       int64 // per-format message tallies (atomics, pack loop)
+	encSparse      int64
+	encAll         int64
 	computeWall    time.Duration
 	commWall       time.Duration
 	perHostCompute []time.Duration
 	imbalanceSum   float64
 	imbalanceN     int
 
-	// scratch buffers reused across exchanges: out[from][to].
-	bufs [][][]byte
+	// Reusable communication state: out[from][to]. Writers own the
+	// pack buffers (and the marked-bitvector scratch), decoders own
+	// the per-receiver parse scratch; both persist across exchanges so
+	// the steady-state hot path performs zero heap allocations.
+	bufs     [][][]byte
+	writers  [][]*gluon.Writer
+	decoders []*gluon.Decoder
+
+	// Persistent exchange workers and the per-exchange phase state
+	// they read. The bound task funcs are created once so dispatching
+	// a phase allocates nothing.
+	pool         *workerPool
+	packFn       func(from, to int, w *gluon.Writer)
+	unpackFn     func(to, from int, data []byte, dec *gluon.Decoder)
+	packTaskFn   func(i int)
+	unpackTaskFn func(i int)
+	closeOnce    sync.Once
 
 	// Fault-tolerant transport state (reliable.go); plan == nil keeps
-	// the perfect-network fast path byte-for-byte identical to the
-	// seed behavior.
+	// the perfect-network fast path equivalent to the seed behavior.
 	plan      *FaultPlan
 	exchanges int        // exchange index, for stall schedules
 	seqOut    [][]uint32 // last sequence number sent per channel
@@ -67,9 +95,28 @@ func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
 	}
 	c := &Cluster{hosts: hosts, perHostCompute: make([]time.Duration, hosts), plan: plan}
 	c.bufs = make([][][]byte, hosts)
+	c.writers = make([][]*gluon.Writer, hosts)
+	c.decoders = make([]*gluon.Decoder, hosts)
 	for i := range c.bufs {
 		c.bufs[i] = make([][]byte, hosts)
+		c.writers[i] = make([]*gluon.Writer, hosts)
+		for j := range c.writers[i] {
+			if i != j {
+				c.writers[i][j] = &gluon.Writer{}
+			}
+		}
+		c.decoders[i] = gluon.NewDecoder()
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if pairs := hosts * (hosts - 1); workers > pairs {
+		workers = pairs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c.pool = newWorkerPool(workers)
+	c.packTaskFn = c.packTask
+	c.unpackTaskFn = c.unpackTask
 	if plan != nil {
 		c.seqOut = make([][]uint32, hosts)
 		c.seqIn = make([][]uint32, hosts)
@@ -79,11 +126,34 @@ func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
 		}
 		c.faults.PerHost = make([]HostFaultStats, hosts)
 	}
+	// The workers hold no reference back to the cluster while idle, so
+	// an abandoned cluster is collectable; the finalizer then releases
+	// its worker goroutines for callers that never call Close.
+	runtime.SetFinalizer(c, (*Cluster).Close)
 	return c
+}
+
+// Close releases the cluster's worker goroutines. Safe to call more
+// than once; a finalizer calls it for clusters that are simply dropped.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() { close(c.pool.quit) })
 }
 
 // NumHosts returns the cluster size.
 func (c *Cluster) NumHosts() int { return c.hosts }
+
+// SetEncoding pins the sync-metadata format every pack writer uses
+// (gluon.FormatAuto, the default, selects the smallest per message).
+// Used by ablations to reproduce the seed dense-only wire format.
+func (c *Cluster) SetEncoding(f gluon.Format) {
+	for i := range c.writers {
+		for j, w := range c.writers[i] {
+			if i != j {
+				w.ForceFormat(f)
+			}
+		}
+	}
+}
 
 // Compute runs fn(host) on every host concurrently as one BSP compute
 // phase, recording per-host compute time and the round's load
@@ -119,57 +189,75 @@ func (c *Cluster) Compute(fn func(host int)) {
 // BeginRound marks the start of a BSP round (for the round counter).
 func (c *Cluster) BeginRound() { c.rounds++ }
 
+// packTask packs one (from, to) pair into its pooled writer and folds
+// the pair's volume and format tallies into the cluster counters; pairs
+// run in parallel on the worker pool, so the counters are atomics.
+func (c *Cluster) packTask(i int) {
+	from, to := i/c.hosts, i%c.hosts
+	if from == to {
+		c.bufs[from][to] = nil
+		return
+	}
+	w := c.writers[from][to]
+	w.Reset()
+	c.packFn(from, to, w)
+	buf := w.Bytes()
+	c.bufs[from][to] = buf
+	if len(buf) > 0 {
+		atomic.AddInt64(&c.bytes, int64(len(buf)))
+		atomic.AddInt64(&c.messages, 1)
+	}
+	if enc := w.TakeCounts(); enc != (gluon.EncodingCounts{}) {
+		atomic.AddInt64(&c.encDense, enc.Dense)
+		atomic.AddInt64(&c.encSparse, enc.Sparse)
+		atomic.AddInt64(&c.encAll, enc.All)
+	}
+}
+
+// unpackTask consumes every buffer addressed to host i, serially per
+// receiver (receivers run in parallel with each other).
+func (c *Cluster) unpackTask(to int) {
+	for from := 0; from < c.hosts; from++ {
+		if buf := c.bufs[from][to]; len(buf) > 0 {
+			c.unpackFn(to, from, buf, c.decoders[to])
+		}
+	}
+}
+
+// runPackPhase dispatches the pair-parallel pack loop for the current
+// exchange (shared by the perfect and reliable paths).
+func (c *Cluster) runPackPhase(pack func(from, to int, w *gluon.Writer)) {
+	c.packFn = pack
+	c.pool.runAll(c.hosts*c.hosts, c.packTaskFn)
+	c.packFn = nil
+}
+
 // Exchange performs one communication step: every host produces a
-// buffer for every other host (pack, run on the sender's goroutine),
-// buffers are "transmitted" (counted), and consumed on the receiver's
-// goroutine (unpack). Nil or empty buffers send nothing. Serialization
-// and deserialization run inside the communication phase, matching the
-// paper's accounting ("non-overlapped communication time ... includes
-// data structure access time to (de)serialize messages").
-func (c *Cluster) Exchange(pack func(from, to int) []byte, unpack func(to, from int, data []byte)) {
+// buffer for every other host (pack, parallel over (from, to) pairs on
+// the worker pool, writing into the pair's pooled writer; a pack that
+// writes nothing sends nothing), buffers are "transmitted" (counted
+// inside the pack loop), and consumed on the receiver's task (unpack,
+// one receiver at a time per host, with the host's pooled decoder).
+// Serialization and deserialization run inside the communication
+// phase, matching the paper's accounting ("non-overlapped
+// communication time ... includes data structure access time to
+// (de)serialize messages").
+//
+// Pack callbacks for distinct pairs run concurrently, including pairs
+// sharing the sender: a pack must only read sender state shared across
+// destinations, or mutate state owned by its pair's shared-vertex list
+// (mirror lists of distinct pairs are disjoint, so per-vertex writes
+// are safe).
+func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func(to, from int, data []byte, dec *gluon.Decoder)) {
 	if c.plan != nil {
 		c.exchangeReliable(pack, unpack)
 		return
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
-	for h := 0; h < c.hosts; h++ {
-		wg.Add(1)
-		go func(from int) {
-			defer wg.Done()
-			for to := 0; to < c.hosts; to++ {
-				if to == from {
-					c.bufs[from][to] = nil
-					continue
-				}
-				c.bufs[from][to] = pack(from, to)
-			}
-		}(h)
-	}
-	wg.Wait()
-
-	for from := range c.bufs {
-		for to, buf := range c.bufs[from] {
-			if len(buf) > 0 {
-				c.bytes += int64(len(buf))
-				c.messages++
-				_ = to
-			}
-		}
-	}
-
-	for h := 0; h < c.hosts; h++ {
-		wg.Add(1)
-		go func(to int) {
-			defer wg.Done()
-			for from := 0; from < c.hosts; from++ {
-				if buf := c.bufs[from][to]; len(buf) > 0 {
-					unpack(to, from, buf)
-				}
-			}
-		}(h)
-	}
-	wg.Wait()
+	c.runPackPhase(pack)
+	c.unpackFn = unpack
+	c.pool.runAll(c.hosts, c.unpackTaskFn)
+	c.unpackFn = nil
 	c.commWall += time.Since(start)
 }
 
@@ -188,6 +276,11 @@ type Stats struct {
 	ExecutionTime  time.Duration // ComputeTime + CommTime
 	LoadImbalance  float64       // mean over rounds of max/mean over participating hosts
 	PerHostCompute []time.Duration
+	// Encoding breaks Messages down by sync-metadata wire format
+	// (dense bitvector / sparse index list / all-marked). Messages not
+	// produced by gluon.EncodeUpdates (raw payloads in tests) appear in
+	// Messages but in no Encoding bucket.
+	Encoding gluon.EncodingCounts
 	// Faults reports the reliable transport's activity (framing
 	// overhead, retries, acks, injected faults, per-host breakdown).
 	// Nil when the cluster runs without a fault plan.
@@ -208,16 +301,21 @@ func (c *Cluster) Stats() Stats {
 	}
 	per := append([]time.Duration(nil), c.perHostCompute...)
 	s := Stats{
-		Hosts:          c.hosts,
-		Rounds:         c.rounds,
-		Bytes:          c.bytes,
-		Messages:       c.messages,
-		ComputeTime:    maxCompute,
-		CommTime:       c.commWall,
-		ExecutionTime:  maxCompute + c.commWall,
-		LoadImbalance:  imb,
+		Hosts:         c.hosts,
+		Rounds:        c.rounds,
+		Bytes:         atomic.LoadInt64(&c.bytes),
+		Messages:      atomic.LoadInt64(&c.messages),
+		ComputeTime:   maxCompute,
+		CommTime:      c.commWall,
+		LoadImbalance: imb,
+		Encoding: gluon.EncodingCounts{
+			Dense:  atomic.LoadInt64(&c.encDense),
+			Sparse: atomic.LoadInt64(&c.encSparse),
+			All:    atomic.LoadInt64(&c.encAll),
+		},
 		PerHostCompute: per,
 	}
+	s.ExecutionTime = s.ComputeTime + s.CommTime
 	if c.plan != nil {
 		s.Faults = c.faults.clone()
 	}
@@ -239,6 +337,7 @@ func (s *Stats) Add(o Stats) {
 	s.ComputeTime += o.ComputeTime
 	s.CommTime += o.CommTime
 	s.ExecutionTime += o.ExecutionTime
+	s.Encoding.Add(o.Encoding)
 	if s.Hosts == 0 {
 		s.Hosts = o.Hosts
 	}
@@ -248,4 +347,67 @@ func (s *Stats) Add(o Stats) {
 		}
 		s.Faults.add(o.Faults)
 	}
+}
+
+// workerPool is a fixed set of long-lived goroutines that execute
+// indexed tasks claimed off a shared atomic counter. Dispatching a
+// phase costs two channel operations per worker and zero allocations,
+// which is what keeps Exchange allocation-free at steady state (a `go`
+// statement per phase would allocate).
+type workerPool struct {
+	workers int
+	wake    chan struct{} // one token per worker per phase
+	done    chan struct{}
+	quit    chan struct{}
+	next    int64 // atomic task cursor
+	total   int64
+	run     func(i int) // current phase body; published via wake
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *workerPool) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake:
+		}
+		for {
+			i := atomic.AddInt64(&p.next, 1) - 1
+			if i >= p.total {
+				break
+			}
+			p.run(int(i))
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// runAll executes fn(0..total-1) across the pool and returns when all
+// tasks finished. The channel handshake orders the writes to run/total
+// before any worker reads them, and the workers' task effects before
+// the caller resumes.
+func (p *workerPool) runAll(total int, fn func(i int)) {
+	p.run = fn
+	p.total = int64(total)
+	atomic.StoreInt64(&p.next, 0)
+	for i := 0; i < p.workers; i++ {
+		p.wake <- struct{}{}
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+	p.run = nil
 }

@@ -5,10 +5,13 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mrbc/internal/gluon"
 )
 
 func TestComputeRunsAllHosts(t *testing.T) {
 	c := NewCluster(8)
+	defer c.Close()
 	var count int64
 	c.Compute(func(h int) { atomic.AddInt64(&count, 1) })
 	if count != 8 {
@@ -31,15 +34,15 @@ func TestInvalidHostCountPanics(t *testing.T) {
 
 func TestExchangeDeliversAndCounts(t *testing.T) {
 	c := NewCluster(3)
+	defer c.Close()
 	received := make([][]string, 3)
 	c.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			if from == 0 {
-				return []byte(fmt.Sprintf("0->%d", to))
+				w.Raw([]byte(fmt.Sprintf("0->%d", to)))
 			}
-			return nil
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			received[to] = append(received[to], string(data))
 		},
 	)
@@ -63,14 +66,15 @@ func TestExchangeDeliversAndCounts(t *testing.T) {
 
 func TestNoSelfExchange(t *testing.T) {
 	c := NewCluster(2)
+	defer c.Close()
 	c.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			if from == to {
 				t.Error("pack called for self pair")
 			}
-			return []byte{1}
+			w.Byte(1)
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			if to == from {
 				t.Error("unpack called for self pair")
 			}
@@ -80,6 +84,7 @@ func TestNoSelfExchange(t *testing.T) {
 
 func TestRoundCounterAndImbalance(t *testing.T) {
 	c := NewCluster(4)
+	defer c.Close()
 	for r := 0; r < 5; r++ {
 		c.BeginRound()
 		c.Compute(func(h int) {
@@ -104,8 +109,10 @@ func TestRoundCounterAndImbalance(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Hosts: 4, Rounds: 10, Bytes: 100, Messages: 5, LoadImbalance: 2.0}
-	b := Stats{Hosts: 4, Rounds: 30, Bytes: 300, Messages: 15, LoadImbalance: 1.0}
+	a := Stats{Hosts: 4, Rounds: 10, Bytes: 100, Messages: 5, LoadImbalance: 2.0,
+		Encoding: gluon.EncodingCounts{Dense: 1, Sparse: 2}}
+	b := Stats{Hosts: 4, Rounds: 30, Bytes: 300, Messages: 15, LoadImbalance: 1.0,
+		Encoding: gluon.EncodingCounts{Sparse: 3, All: 4}}
 	a.Add(b)
 	if a.Rounds != 40 || a.Bytes != 400 || a.Messages != 20 {
 		t.Fatalf("Add totals wrong: %+v", a)
@@ -114,18 +121,22 @@ func TestStatsAdd(t *testing.T) {
 	if a.LoadImbalance != 1.25 {
 		t.Fatalf("imbalance = %v, want 1.25", a.LoadImbalance)
 	}
+	if a.Encoding != (gluon.EncodingCounts{Dense: 1, Sparse: 5, All: 4}) {
+		t.Fatalf("encoding merge wrong: %+v", a.Encoding)
+	}
 }
 
 func TestExchangeConcurrentSafety(t *testing.T) {
-	// Pack/unpack run on separate goroutines per host; make sure a
-	// realistic workload with all pairs active is race-free and
-	// delivers everything (run under -race in CI).
+	// Pack runs pair-parallel and unpack per-receiver-parallel on the
+	// worker pool; make sure a workload with all pairs active is
+	// race-free and delivers everything (run under -race in CI).
 	c := NewCluster(8)
+	defer c.Close()
 	var delivered int64
 	for round := 0; round < 20; round++ {
 		c.Exchange(
-			func(from, to int) []byte { return []byte{byte(from), byte(to)} },
-			func(to, from int, data []byte) {
+			func(from, to int, w *gluon.Writer) { w.Byte(byte(from)); w.Byte(byte(to)) },
+			func(to, from int, data []byte, dec *gluon.Decoder) {
 				if int(data[0]) != from || int(data[1]) != to {
 					t.Error("misrouted buffer")
 				}
@@ -135,5 +146,154 @@ func TestExchangeConcurrentSafety(t *testing.T) {
 	}
 	if delivered != 20*8*7 {
 		t.Fatalf("delivered = %d, want %d", delivered, 20*8*7)
+	}
+}
+
+// fixedWorkload packs a deterministic gluon-encoded message on every
+// pair: positions ≡ 0 mod (from+2) of a listLen-entry shared list, one
+// u64 payload each. Returns the pack and unpack funcs plus the number
+// of distinct (from, to) messages.
+func fixedWorkload(listLen int, sink *int64) (func(int, int, *gluon.Writer), func(int, int, []byte, *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		marked := w.Scratch(listLen)
+		for i := 0; i < listLen; i += from + 2 {
+			marked.Set(i)
+		}
+		gluon.EncodeUpdates(w, listLen, marked, func(pos int, w *gluon.Writer) {
+			w.U64(uint64(pos))
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		dec.DecodeUpdates(listLen, data, func(pos int, r *gluon.Reader) {
+			atomic.AddInt64(sink, int64(r.U64()))
+		})
+	}
+	return pack, unpack
+}
+
+// TestVolumeAccountingMatchesSerialRecount pins that folding the
+// byte/message accounting into the pair-parallel pack loop (replacing
+// the seed's serial counting pass) changes nothing: Stats.Bytes is the
+// sum of per-message lengths and Stats.Messages the non-empty count,
+// recomputed independently on an identical fixed workload.
+func TestVolumeAccountingMatchesSerialRecount(t *testing.T) {
+	const hosts, listLen = 4, 500
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+
+	// Independent recount: serially pack each pair with a fresh writer.
+	var wantBytes, wantMessages int64
+	for from := 0; from < hosts; from++ {
+		for to := 0; to < hosts; to++ {
+			if from == to {
+				continue
+			}
+			var w gluon.Writer
+			pack(from, to, &w)
+			if w.Len() > 0 {
+				wantBytes += int64(w.Len())
+				wantMessages++
+			}
+		}
+	}
+
+	c := NewCluster(hosts)
+	defer c.Close()
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		c.Exchange(pack, unpack)
+	}
+	st := c.Stats()
+	if st.Bytes != rounds*wantBytes || st.Messages != rounds*wantMessages {
+		t.Fatalf("accounting drifted: got %d B / %d msgs, want %d B / %d msgs",
+			st.Bytes, st.Messages, rounds*wantBytes, rounds*wantMessages)
+	}
+	if got := st.Encoding.Total(); got != st.Messages {
+		t.Fatalf("encoding breakdown covers %d of %d messages", got, st.Messages)
+	}
+}
+
+// TestEncodingStatsBreakdown checks the per-format message tallies: a
+// forced-dense cluster reports only dense messages, the adaptive
+// default reports the formats the densities select.
+func TestEncodingStatsBreakdown(t *testing.T) {
+	const hosts, listLen = 3, 1024
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+
+	dense := NewCluster(hosts)
+	defer dense.Close()
+	dense.SetEncoding(gluon.FormatDense)
+	dense.Exchange(pack, unpack)
+	ds := dense.Stats()
+	if ds.Encoding.Dense != ds.Messages || ds.Encoding.Sparse != 0 || ds.Encoding.All != 0 {
+		t.Fatalf("forced dense produced %+v over %d messages", ds.Encoding, ds.Messages)
+	}
+
+	auto := NewCluster(hosts)
+	defer auto.Close()
+	auto.Exchange(
+		func(from, to int, w *gluon.Writer) {
+			marked := w.Scratch(listLen)
+			switch from {
+			case 0: // one bit of 1024: sparse wins
+				marked.Set(listLen / 2)
+			case 1: // everything marked: all-marked wins
+				marked.Fill()
+			default: // every other bit: dense wins
+				for i := 0; i < listLen; i += 2 {
+					marked.Set(i)
+				}
+			}
+			gluon.EncodeUpdates(w, listLen, marked, func(pos int, w *gluon.Writer) { w.Byte(1) })
+		},
+		unpackDiscard(listLen),
+	)
+	as := auto.Stats()
+	want := gluon.EncodingCounts{Sparse: 2, All: 2, Dense: 2}
+	if as.Encoding != want {
+		t.Fatalf("adaptive format mix = %+v, want %+v", as.Encoding, want)
+	}
+}
+
+func unpackDiscard(listLen int) func(int, int, []byte, *gluon.Decoder) {
+	return func(to, from int, data []byte, dec *gluon.Decoder) {
+		dec.DecodeUpdates(listLen, data, func(pos int, r *gluon.Reader) { r.Byte() })
+	}
+}
+
+// TestExchangeZeroAllocs pins the tentpole property: once writers,
+// decoders, and worker pool are warm, a full Exchange performs zero
+// heap allocations.
+func TestExchangeZeroAllocs(t *testing.T) {
+	const hosts, listLen = 4, 2048
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	c := NewCluster(hosts)
+	defer c.Close()
+	for i := 0; i < 3; i++ { // warm the pools
+		c.Exchange(pack, unpack)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Exchange(pack, unpack)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Exchange allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkExchangeSteadyState(b *testing.B) {
+	const hosts, listLen = 4, 4096
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	c := NewCluster(hosts)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.Exchange(pack, unpack)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exchange(pack, unpack)
 	}
 }

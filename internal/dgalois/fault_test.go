@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mrbc/internal/gluon"
 )
 
 // ringExchange runs one exchange where every host sends a tagged
@@ -20,10 +22,10 @@ func ringExchange(t *testing.T, c *Cluster) (deliveries map[[2]int]int, mutated 
 	var mu sync.Mutex
 	hosts := c.NumHosts()
 	c.Exchange(
-		func(from, to int) []byte {
-			return []byte(fmt.Sprintf("payload %d->%d", from, to))
+		func(from, to int, w *gluon.Writer) {
+			w.Raw([]byte(fmt.Sprintf("payload %d->%d", from, to)))
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			mu.Lock()
 			deliveries[[2]int{from, to}]++
 			if string(data) != fmt.Sprintf("payload %d->%d", from, to) {

@@ -3,7 +3,6 @@ package dgalois
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"mrbc/internal/gluon"
@@ -59,39 +58,27 @@ type reliableArrival struct {
 	id   uint64
 }
 
-func (c *Cluster) exchangeReliable(pack func(from, to int) []byte, unpack func(to, from int, data []byte)) {
+func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unpack func(to, from int, data []byte, dec *gluon.Decoder)) {
 	start := time.Now()
 	p := c.plan
 	ex := c.exchanges
 	c.exchanges++
 
-	// Pack phase, concurrent per sender as in the fault-free path.
-	var wg sync.WaitGroup
-	for h := 0; h < c.hosts; h++ {
-		wg.Add(1)
-		go func(from int) {
-			defer wg.Done()
-			for to := 0; to < c.hosts; to++ {
-				if to == from {
-					c.bufs[from][to] = nil
-					continue
-				}
-				c.bufs[from][to] = pack(from, to)
-			}
-		}(h)
-	}
-	wg.Wait()
+	// Pack phase: the same pair-parallel pooled-writer loop as the
+	// fault-free path, which also does the paper-model volume
+	// accounting (each payload counted exactly once, before any fault
+	// can touch it).
+	c.runPackPhase(pack)
 
-	// Frame every non-empty buffer. The paper-model volume counts the
-	// payload exactly once here, before any fault can touch it.
+	// Frame every non-empty buffer. EncodeFrame copies the payload, so
+	// the pooled writers are free for the next exchange regardless of
+	// how long retransmission keeps frames alive.
 	var chans []*reliableChannel
 	for from := range c.bufs {
 		for to, buf := range c.bufs[from] {
 			if len(buf) == 0 {
 				continue
 			}
-			c.bytes += int64(len(buf))
-			c.messages++
 			c.seqOut[from][to]++
 			fr := gluon.EncodeFrame(c.seqOut[from][to], buf)
 			c.faults.FrameBytes += gluon.FrameOverhead
@@ -226,7 +213,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int) []byte, unpack func(t
 				if want := c.seqIn[ch.to][ch.from] + 1; seq != want {
 					panic(fmt.Sprintf("dgalois: channel %d->%d received seq %d, want %d", ch.from, ch.to, seq, want))
 				}
-				unpack(ch.to, ch.from, payload)
+				unpack(ch.to, ch.from, payload, c.decoders[ch.to])
 				ch.delivered = true
 				c.seqIn[ch.to][ch.from] = seq
 			}

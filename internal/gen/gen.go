@@ -268,3 +268,21 @@ func SmallWorld(n, k int, p float64, seed int64) *graph.Graph {
 	}
 	return bld.Build()
 }
+
+// ShuffleIDs returns g with its vertex IDs deterministically permuted.
+// The generators here number vertices in topology order (grids
+// row-major, lattices around the ring), which hands the contiguous
+// block partitioners artificially local cuts with boundary-only proxy
+// lists. Real datasets carry no such numbering locality; renumbering
+// restores the regime the paper's communication analysis assumes,
+// where hosts share long proxy lists of which each round touches only
+// a few entries.
+func ShuffleIDs(g *graph.Graph, seed int64) *graph.Graph {
+	n := g.NumVertices()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	bld := graph.NewBuilder(n)
+	g.Edges(func(u, v uint32) {
+		bld.AddEdge(uint32(perm[u]), uint32(perm[v]))
+	})
+	return bld.Build()
+}

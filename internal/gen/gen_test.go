@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"mrbc/internal/graph"
@@ -201,5 +203,31 @@ func BenchmarkRoadGrid(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink = RoadGrid(64, 64, int64(i))
+	}
+}
+
+func TestShuffleIDsIsAnIsomorphicRelabeling(t *testing.T) {
+	g := RoadGrid(20, 20, 104)
+	s := ShuffleIDs(g, 105)
+	if s.NumVertices() != g.NumVertices() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d -> %d/%d",
+			g.NumVertices(), g.NumEdges(), s.NumVertices(), s.NumEdges())
+	}
+	degrees := func(g *graph.Graph) []int {
+		ds := make([]int, g.NumVertices())
+		for v := 0; v < g.NumVertices(); v++ {
+			ds[v] = g.OutDegree(uint32(v))
+		}
+		sort.Ints(ds)
+		return ds
+	}
+	if !reflect.DeepEqual(degrees(g), degrees(s)) {
+		t.Fatal("relabeling changed the degree multiset")
+	}
+	if !reflect.DeepEqual(ShuffleIDs(g, 105), s) {
+		t.Fatal("not deterministic for a fixed seed")
+	}
+	if reflect.DeepEqual(ShuffleIDs(g, 106), s) {
+		t.Fatal("different seeds produced the identical relabeling")
 	}
 }

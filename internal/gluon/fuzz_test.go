@@ -2,7 +2,11 @@ package gluon
 
 import (
 	"bytes"
+	"runtime"
+	"strings"
 	"testing"
+
+	"mrbc/internal/bitset"
 )
 
 // FuzzDecodeFrame asserts the frame decoder never panics on arbitrary
@@ -26,6 +30,79 @@ func FuzzDecodeFrame(f *testing.F) {
 		// so decode∘encode is the identity on valid frames.
 		if re := EncodeFrame(seq, payload); !bytes.Equal(re, data) {
 			t.Fatalf("accepted frame is not canonical: % x != % x", re, data)
+		}
+	})
+}
+
+// fuzzSeedMessage builds a valid update message for the corpus.
+func fuzzSeedMessage(f Format, listLen int, positions []int) []byte {
+	m := bitset.New(listLen)
+	for _, p := range positions {
+		m.Set(p)
+	}
+	w := &Writer{}
+	w.ForceFormat(f)
+	EncodeUpdates(w, listLen, m, func(pos int, w *Writer) { w.U32(uint32(pos)) })
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// FuzzDecodeUpdates asserts the multi-format update decoder is memory-
+// safe on arbitrary bytes: it either applies positions that are
+// strictly ascending and in range, consuming the whole buffer, or it
+// rejects the message with a gluon-prefixed panic (the documented
+// convention for malformed sync payloads — which the frame checksum
+// normally screens out). It must never fault with an out-of-bounds
+// runtime error and never return having applied nothing.
+func FuzzDecodeUpdates(f *testing.F) {
+	all := func(n int) []int {
+		ps := make([]int, n)
+		for i := range ps {
+			ps[i] = i
+		}
+		return ps
+	}
+	// Valid messages in every format, including multi-word dense and
+	// multi-byte varint deltas.
+	f.Add(100, fuzzSeedMessage(FormatDense, 100, []int{3, 64, 99}))
+	f.Add(100, fuzzSeedMessage(FormatSparse, 100, []int{3, 64, 99}))
+	f.Add(4, fuzzSeedMessage(FormatAll, 4, all(4)))
+	f.Add(300, fuzzSeedMessage(FormatSparse, 300, []int{0, 200, 299}))
+	f.Add(65, fuzzSeedMessage(FormatDense, 65, []int{0, 64}))
+	// Malformed shapes: unknown header, zero count, truncated mid-varint,
+	// trailing garbage.
+	f.Add(8, []byte{9, 8, 0, 0, 0})
+	f.Add(8, []byte{2, 8, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(300, fuzzSeedMessage(FormatSparse, 300, []int{200})[:7])
+	f.Add(4, append(fuzzSeedMessage(FormatAll, 4, all(4)), 0xff))
+	f.Fuzz(func(t *testing.T, listLen int, data []byte) {
+		if listLen < 0 || listLen > 1<<16 {
+			return
+		}
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, oob := r.(runtime.Error); oob {
+				t.Fatalf("decoder hit a runtime error (listLen=%d, % x): %v", listLen, data, r)
+			}
+			if s, ok := r.(string); !ok || !strings.HasPrefix(s, "gluon:") {
+				t.Fatalf("non-convention panic %v (%T)", r, r)
+			}
+		}()
+		dec := NewDecoder()
+		prev := -1
+		applied := 0
+		dec.DecodeUpdates(listLen, data, func(pos int, r *Reader) {
+			if pos <= prev || pos >= listLen {
+				t.Fatalf("applied position %d after %d over list of %d", pos, prev, listLen)
+			}
+			prev = pos
+			applied++
+			r.U32()
+		})
+		if applied == 0 {
+			t.Fatal("decoder returned without applying any position")
 		}
 	})
 }

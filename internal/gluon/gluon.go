@@ -5,22 +5,30 @@
 //   - the proxy topology: for every ordered host pair, the list of
 //     vertices with a proxy on the sender whose master is on the
 //     receiver (reduce direction) and vice versa (broadcast direction);
-//   - update tracking with compressed metadata: a sync message is a
-//     bitvector over the pair's shared-vertex list marking which
-//     proxies carry updates, followed by one payload per marked proxy
-//     ("Gluon ... compresses the metadata that identifies the proxies
-//     whose labels are sent", §4.1/§5.3);
+//   - update tracking with compressed metadata: a sync message marks
+//     which proxies of the pair's shared-vertex list carry updates,
+//     followed by one payload per marked proxy. The metadata encoding
+//     is density-adaptive ("Gluon ... compresses the metadata that
+//     identifies the proxies whose labels are sent", §4.1/§5.3): a
+//     dense bitvector when many proxies updated, a varint-delta index
+//     list when few did, and no metadata at all when every proxy did.
+//     EncodeUpdates picks the smallest encoding per message;
+//     DecodeUpdates dispatches on a one-byte format header.
 //   - reduce (mirrors -> master) followed by broadcast (master ->
 //     mirrors), the all-reduce pattern of §4.1.
 //
 // Payload encoding is left to the caller via Writer/Reader so each
-// algorithm serializes exactly the fields it synchronizes.
+// algorithm serializes exactly the fields it synchronizes. Writers and
+// Decoders are reusable: the exchange substrate (internal/dgalois)
+// keeps one Writer per ordered host pair and one Decoder per receiving
+// host, so steady-state synchronization allocates nothing.
 package gluon
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"mrbc/internal/bitset"
 	"mrbc/internal/partition"
@@ -78,11 +86,114 @@ func (t *Topology) MasterList(a, b int) []uint32 { return t.masterSide[a][b] }
 // Partitioning returns the underlying partitioning.
 func (t *Topology) Partitioning() *partition.Partitioning { return t.pt }
 
-// Writer serializes payloads into a sync buffer.
-type Writer struct{ buf []byte }
+// Format identifies a sync-metadata encoding. FormatAuto is the
+// default (and the Writer zero value): EncodeUpdates picks the
+// smallest encoding per message. The other values double as the wire
+// header byte.
+type Format byte
+
+const (
+	// FormatAuto selects per message the encoding with the smallest
+	// metadata; it never appears on the wire.
+	FormatAuto Format = iota
+	// FormatDense is the seed wire format plus the header byte: a full
+	// bitvector over the shared list. Smallest when marked density is
+	// high.
+	FormatDense
+	// FormatSparse is a count followed by varint-delta-encoded marked
+	// positions. Smallest when few proxies updated.
+	FormatSparse
+	// FormatAll carries no metadata: every position of the shared list
+	// is marked. Only valid — and automatically chosen — when the
+	// update set is the whole list.
+	FormatAll
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatDense:
+		return "dense"
+	case FormatSparse:
+		return "sparse"
+	case FormatAll:
+		return "all"
+	}
+	return fmt.Sprintf("Format(%d)", byte(f))
+}
+
+// EncodingCounts tallies sync messages by wire format.
+type EncodingCounts struct {
+	Dense  int64 `json:"dense"`
+	Sparse int64 `json:"sparse"`
+	All    int64 `json:"all"`
+}
+
+// Add accumulates o into c.
+func (c *EncodingCounts) Add(o EncodingCounts) {
+	c.Dense += o.Dense
+	c.Sparse += o.Sparse
+	c.All += o.All
+}
+
+// Total returns the number of messages across all formats.
+func (c EncodingCounts) Total() int64 { return c.Dense + c.Sparse + c.All }
+
+// Writer serializes payloads into a sync buffer. The zero value is
+// ready to use; Reset lets one Writer serve many messages without
+// reallocating, and Scratch hands out a reusable marked-bitvector so
+// the pack path of an exchange allocates nothing at steady state.
+type Writer struct {
+	buf   []byte
+	force Format // FormatAuto: adaptive selection
+
+	counts EncodingCounts
+
+	scratchWords []uint64
+	scratch      bitset.Set
+}
 
 // Bytes returns the accumulated buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the accumulated byte count.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset empties the buffer, keeping its capacity (and the format
+// counters, which TakeCounts drains).
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// ForceFormat pins the metadata encoding EncodeUpdates uses through
+// this writer (FormatAuto restores adaptive selection). Forcing
+// FormatAll panics inside EncodeUpdates unless every position is
+// marked. Used to reproduce the seed dense-only volume in ablations.
+func (w *Writer) ForceFormat(f Format) { w.force = f }
+
+// TakeCounts returns the per-format message tallies accumulated since
+// the last call, and zeroes them.
+func (w *Writer) TakeCounts() EncodingCounts {
+	c := w.counts
+	w.counts = EncodingCounts{}
+	return c
+}
+
+// Scratch returns an empty bit set of capacity n backed by
+// writer-owned storage, for building the marked set of an update
+// message without allocating. The set stays valid until the next
+// Scratch call on the same writer.
+func (w *Writer) Scratch(n int) *bitset.Set {
+	nw := bitset.WordsFor(n)
+	if cap(w.scratchWords) < nw {
+		w.scratchWords = make([]uint64, nw)
+	}
+	ws := w.scratchWords[:nw]
+	for i := range ws {
+		ws[i] = 0
+	}
+	w.scratch = bitset.FromWords(ws, n)
+	return &w.scratch
+}
 
 // U32 appends a uint32.
 func (w *Writer) U32(x uint32) {
@@ -101,6 +212,15 @@ func (w *Writer) U64(x uint64) {
 // F64 appends a float64.
 func (w *Writer) F64(x float64) { w.U64(math.Float64bits(x)) }
 
+// Byte appends a single byte.
+func (w *Writer) Byte(x byte) { w.buf = append(w.buf, x) }
+
+// Raw appends arbitrary bytes.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Uvarint appends x in unsigned varint encoding.
+func (w *Writer) Uvarint(x uint64) { w.buf = binary.AppendUvarint(w.buf, x) }
+
 // Reader deserializes a sync buffer.
 type Reader struct {
 	buf []byte
@@ -109,6 +229,9 @@ type Reader struct {
 
 // NewReader wraps a buffer.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset points the reader at a new buffer.
+func (r *Reader) Reset(b []byte) { r.buf, r.off = b, 0 }
 
 // U32 reads a uint32.
 func (r *Reader) U32() uint32 {
@@ -133,52 +256,226 @@ func (r *Reader) U64() uint64 {
 // F64 reads a float64.
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.off >= len(r.buf) {
+		panic("gluon: truncated sync buffer")
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		panic("gluon: truncated or overlong varint in sync buffer")
+	}
+	r.off += n
+	return v
+}
+
+// bytesN returns the next n bytes as a sub-slice and advances.
+func (r *Reader) bytesN(n int) []byte {
+	if n < 0 || r.off+n > len(r.buf) {
+		panic("gluon: truncated sync buffer")
+	}
+	s := r.buf[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
 // Remaining reports the unread byte count.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 
-// EncodeUpdates builds a sync message over a shared list of listLen
-// proxies: a length-prefixed bitvector marking the updated positions,
-// then each marked position's payload in ascending order (written by
-// the emit callback). Returns nil when no positions are marked, so the
-// caller sends nothing — Gluon "avoids resending labels that have not
-// been updated".
-func EncodeUpdates(listLen int, marked *bitset.Set, emit func(pos int, w *Writer)) []byte {
+// uvarintLen returns the encoded size of x in bytes.
+func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+// sparseMetaLen returns the byte cost of the sparse position metadata
+// (count field + varint-delta positions) using word-skipping iteration,
+// so near-empty update sets over long lists are costed in O(set bits).
+func sparseMetaLen(marked *bitset.Set) int {
+	n := 4 // u32 count
+	prev := -1
+	for pos, ok := marked.NextSet(0); ok; pos, ok = marked.NextSet(pos + 1) {
+		if prev < 0 {
+			n += uvarintLen(uint64(pos))
+		} else {
+			n += uvarintLen(uint64(pos - prev - 1))
+		}
+		prev = pos
+	}
+	return n
+}
+
+// EncodeUpdates appends a sync message over a shared list of listLen
+// proxies to w: a one-byte format header, the list length, the marked
+// positions in the smallest of the three metadata encodings (or the
+// writer's forced format), then each marked position's payload in
+// ascending order (written by the emit callback). Nothing is appended
+// when no positions are marked, so the caller sends nothing — Gluon
+// "avoids resending labels that have not been updated".
+//
+// Selection rule: all-marked ships zero metadata; otherwise the sparse
+// index list wins exactly when its varint positions are smaller than
+// the ⌈listLen/64⌉ dense bitvector words, which for 4-byte-plus
+// deltas means marked density below roughly 1/5th of a bit per
+// position. The payload bytes are identical across formats, so
+// comparing metadata sizes alone picks the smallest message.
+func EncodeUpdates(w *Writer, listLen int, marked *bitset.Set, emit func(pos int, w *Writer)) {
 	if marked.None() {
-		return nil
+		return
 	}
 	if marked.Len() != listLen {
 		panic("gluon: marked bitvector does not match shared list length")
 	}
-	w := &Writer{}
+	count := marked.Count()
+	f := w.force
+	if f == FormatAuto {
+		if count == listLen {
+			f = FormatAll
+		} else if sparseMetaLen(marked) < 8*bitset.WordsFor(listLen) {
+			f = FormatSparse
+		} else {
+			f = FormatDense
+		}
+	}
+	w.Byte(byte(f))
 	w.U32(uint32(listLen))
-	for _, word := range marked.Words() {
-		w.U64(word)
+	switch f {
+	case FormatDense:
+		for _, word := range marked.Words() {
+			w.U64(word)
+		}
+		w.counts.Dense++
+	case FormatSparse:
+		w.U32(uint32(count))
+		prev := -1
+		for pos, ok := marked.NextSet(0); ok; pos, ok = marked.NextSet(pos + 1) {
+			if prev < 0 {
+				w.Uvarint(uint64(pos))
+			} else {
+				w.Uvarint(uint64(pos - prev - 1))
+			}
+			prev = pos
+		}
+		w.counts.Sparse++
+	case FormatAll:
+		if count != listLen {
+			panic("gluon: all-marked format forced with unmarked positions")
+		}
+		w.counts.All++
+	default:
+		panic(fmt.Sprintf("gluon: cannot encode with format %v", f))
 	}
 	marked.ForEach(func(pos int) bool {
 		emit(pos, w)
 		return true
 	})
-	return w.Bytes()
 }
 
+// Decoder parses sync messages. It owns the reader scratch handed to
+// apply callbacks, so one Decoder per receiving host makes the decode
+// path allocation-free. The zero value is ready to use.
+type Decoder struct {
+	rd Reader
+}
+
+// NewDecoder returns a reusable decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
 // DecodeUpdates parses a message produced by EncodeUpdates over the
-// same shared list, calling apply for every marked position in
-// ascending order.
-func DecodeUpdates(listLen int, data []byte, apply func(pos int, r *Reader)) {
-	rd := NewReader(data)
+// same shared list, dispatching on the format header and calling apply
+// for every marked position in ascending order. Malformed input —
+// unknown header, length mismatch, positions beyond the list,
+// non-ascending positions, truncation (including mid-varint), trailing
+// bytes — panics with a gluon-prefixed message, mirroring the seed
+// decoder's convention; it never reads out of bounds. (On the fault
+// path the frame checksum vouches for the payload before it gets
+// here, so a panic indicates a substrate bug, not line noise.)
+func (d *Decoder) DecodeUpdates(listLen int, data []byte, apply func(pos int, r *Reader)) {
+	rd := &d.rd
+	rd.Reset(data)
+	f := Format(rd.Byte())
 	if got := int(rd.U32()); got != listLen {
 		panic(fmt.Sprintf("gluon: shared list length mismatch: message %d, local %d", got, listLen))
 	}
-	marked := bitset.New(listLen)
-	words := marked.Words()
-	for i := range words {
-		words[i] = rd.U64()
+	applied := 0
+	switch f {
+	case FormatDense:
+		nw := bitset.WordsFor(listLen)
+		words := rd.bytesN(8 * nw)
+		for i := 0; i < nw; i++ {
+			word := binary.LittleEndian.Uint64(words[8*i:])
+			base := i * 64
+			for word != 0 {
+				pos := base + bits.TrailingZeros64(word)
+				if pos >= listLen {
+					panic(fmt.Sprintf("gluon: dense metadata marks position %d beyond shared list length %d", pos, listLen))
+				}
+				apply(pos, rd)
+				applied++
+				word &= word - 1
+			}
+		}
+	case FormatSparse:
+		count := int(rd.U32())
+		if count <= 0 || count > listLen {
+			panic(fmt.Sprintf("gluon: sparse metadata declares %d positions over a %d-entry shared list", count, listLen))
+		}
+		// Pass 1: validate the varint block (bounds, monotonicity) and
+		// find where the payloads start.
+		varStart := rd.off
+		pos := -1
+		for i := 0; i < count; i++ {
+			v := rd.Uvarint()
+			if v >= uint64(listLen) {
+				panic(fmt.Sprintf("gluon: sparse position delta %d beyond shared list length %d", v, listLen))
+			}
+			if pos < 0 {
+				pos = int(v)
+			} else {
+				pos += int(v) + 1
+			}
+			if pos >= listLen {
+				panic(fmt.Sprintf("gluon: sparse metadata marks position %d beyond shared list length %d", pos, listLen))
+			}
+		}
+		// Pass 2: re-walk the validated varints interleaved with the
+		// payloads.
+		vi := varStart
+		pos = -1
+		for i := 0; i < count; i++ {
+			v, n := binary.Uvarint(data[vi:])
+			vi += n
+			if pos < 0 {
+				pos = int(v)
+			} else {
+				pos += int(v) + 1
+			}
+			apply(pos, rd)
+		}
+		applied = count
+	case FormatAll:
+		for pos := 0; pos < listLen; pos++ {
+			apply(pos, rd)
+		}
+		applied = listLen
+	default:
+		panic(fmt.Sprintf("gluon: unknown sync format header %d", byte(f)))
 	}
-	marked.ForEach(func(pos int) bool {
-		apply(pos, rd)
-		return true
-	})
+	if applied == 0 {
+		panic("gluon: sync message marks no positions (empty messages must not be sent)")
+	}
 	if rd.Remaining() != 0 {
 		panic(fmt.Sprintf("gluon: %d trailing bytes in sync buffer", rd.Remaining()))
 	}
+}
+
+// DecodeUpdates is the convenience form for callers without a pooled
+// Decoder (tests, one-shot tools).
+func DecodeUpdates(listLen int, data []byte, apply func(pos int, r *Reader)) {
+	var d Decoder
+	d.DecodeUpdates(listLen, data, apply)
 }

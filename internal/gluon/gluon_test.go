@@ -1,7 +1,9 @@
 package gluon
 
 import (
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"mrbc/internal/bitset"
 	"mrbc/internal/gen"
@@ -66,8 +68,10 @@ func TestWriterReaderRoundTrip(t *testing.T) {
 	w.U32(42)
 	w.F64(3.5)
 	w.U64(1 << 40)
+	w.Byte(7)
+	w.Uvarint(300)
 	r := NewReader(w.Bytes())
-	if r.U32() != 42 || r.F64() != 3.5 || r.U64() != 1<<40 {
+	if r.U32() != 42 || r.F64() != 3.5 || r.U64() != 1<<40 || r.Byte() != 7 || r.Uvarint() != 300 {
 		t.Fatal("round trip failed")
 	}
 	if r.Remaining() != 0 {
@@ -85,39 +89,90 @@ func TestReaderTruncationPanics(t *testing.T) {
 	r.U32()
 }
 
-func TestEncodeDecodeUpdates(t *testing.T) {
+// encodeWith serializes one update message in the given format (or
+// FormatAuto) with one u32 payload per marked position from payload.
+func encodeWith(f Format, listLen int, marked *bitset.Set, payload map[int]uint32) []byte {
+	w := &Writer{}
+	w.ForceFormat(f)
+	EncodeUpdates(w, listLen, marked, func(pos int, w *Writer) {
+		w.U32(payload[pos])
+	})
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func decodeAll(t *testing.T, listLen int, buf []byte) map[int]uint32 {
+	t.Helper()
+	got := map[int]uint32{}
+	prev := -1
+	DecodeUpdates(listLen, buf, func(pos int, r *Reader) {
+		if pos <= prev {
+			t.Fatalf("apply order not ascending: %d after %d", pos, prev)
+		}
+		prev = pos
+		got[pos] = r.U32()
+	})
+	return got
+}
+
+func TestEncodeDecodeUpdatesAllFormats(t *testing.T) {
 	listLen := 100
 	marked := bitset.New(listLen)
 	marked.Set(3)
 	marked.Set(64)
 	marked.Set(99)
 	payload := map[int]uint32{3: 30, 64: 640, 99: 990}
-	buf := EncodeUpdates(listLen, marked, func(pos int, w *Writer) {
-		w.U32(payload[pos])
-	})
-	if buf == nil {
-		t.Fatal("expected non-nil buffer")
+	for _, f := range []Format{FormatAuto, FormatDense, FormatSparse} {
+		buf := encodeWith(f, listLen, marked, payload)
+		if len(buf) == 0 {
+			t.Fatalf("%v: expected non-empty buffer", f)
+		}
+		got := decodeAll(t, listLen, buf)
+		if len(got) != 3 || got[3] != 30 || got[64] != 640 || got[99] != 990 {
+			t.Fatalf("%v: decoded %v", f, got)
+		}
 	}
-	got := map[int]uint32{}
-	DecodeUpdates(listLen, buf, func(pos int, r *Reader) {
-		got[pos] = r.U32()
-	})
-	if len(got) != 3 || got[3] != 30 || got[64] != 640 || got[99] != 990 {
-		t.Fatalf("decoded %v", got)
+
+	// All-marked: every position updated, zero metadata on the wire.
+	full := bitset.New(4)
+	full.Fill()
+	pay := map[int]uint32{0: 1, 1: 2, 2: 3, 3: 4}
+	for _, f := range []Format{FormatAuto, FormatDense, FormatSparse, FormatAll} {
+		got := decodeAll(t, 4, encodeWith(f, 4, full, pay))
+		if len(got) != 4 || got[2] != 3 {
+			t.Fatalf("%v: decoded %v", f, got)
+		}
+	}
+	if n := len(encodeWith(FormatAll, 4, full, pay)); n != 1+4+4*4 {
+		t.Fatalf("all-marked message is %d bytes, want header+len+payload only", n)
 	}
 }
 
-func TestEncodeNothingIsNil(t *testing.T) {
-	marked := bitset.New(50)
-	if buf := EncodeUpdates(50, marked, func(int, *Writer) {}); buf != nil {
-		t.Fatal("empty update set must encode to nil (nothing sent)")
+func TestEncodeNothingWritesNothing(t *testing.T) {
+	w := &Writer{}
+	EncodeUpdates(w, 50, bitset.New(50), func(int, *Writer) {})
+	if w.Len() != 0 {
+		t.Fatal("empty update set must write nothing (nothing sent)")
 	}
+	if c := w.TakeCounts(); c.Total() != 0 {
+		t.Fatalf("empty encode counted a message: %+v", c)
+	}
+}
+
+func TestForceAllWithPartialMarksPanics(t *testing.T) {
+	marked := bitset.New(10)
+	marked.Set(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	encodeWith(FormatAll, 10, marked, map[int]uint32{2: 1})
 }
 
 func TestDecodeLengthMismatchPanics(t *testing.T) {
 	marked := bitset.New(10)
 	marked.Set(0)
-	buf := EncodeUpdates(10, marked, func(pos int, w *Writer) { w.U32(1) })
+	buf := encodeWith(FormatAuto, 10, marked, map[int]uint32{0: 1})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -127,44 +182,227 @@ func TestDecodeLengthMismatchPanics(t *testing.T) {
 }
 
 func TestDecodeTrailingBytesPanics(t *testing.T) {
-	marked := bitset.New(10)
-	marked.Set(0)
-	buf := EncodeUpdates(10, marked, func(pos int, w *Writer) { w.U32(1); w.U32(2) })
+	for _, f := range []Format{FormatDense, FormatSparse} {
+		func() {
+			marked := bitset.New(10)
+			marked.Set(0)
+			w := &Writer{}
+			w.ForceFormat(f)
+			EncodeUpdates(w, 10, marked, func(pos int, wr *Writer) { wr.U32(1); wr.U32(2) })
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: expected panic", f)
+				}
+			}()
+			// Reader consumes only one U32 per position, leaving trailing
+			// bytes.
+			DecodeUpdates(10, w.Bytes(), func(pos int, r *Reader) { r.U32() })
+		}()
+	}
+}
+
+func TestDecodeUnknownHeaderPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	// Reader consumes only one U32 per position, leaving trailing bytes.
-	DecodeUpdates(10, buf, func(pos int, r *Reader) { r.U32() })
+	DecodeUpdates(8, []byte{9, 8, 0, 0, 0}, func(int, *Reader) {})
+}
+
+func TestDecodeTruncatedMidVarintPanics(t *testing.T) {
+	marked := bitset.New(300)
+	marked.Set(200) // first position: a 2-byte varint
+	buf := encodeWith(FormatSparse, 300, marked, map[int]uint32{200: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeUpdates(300, buf[:len(buf)-5], func(int, *Reader) {}) // cut into the varint
+}
+
+// TestFormatsEquivalentQuick is the satellite equivalence property: on
+// random (listLen, marked, payload) cases, every forced format and the
+// adaptive pick decode to the identical applied state, and the adaptive
+// encoding is no larger than any forced one.
+func TestFormatsEquivalentQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		listLen := 1 + rng.Intn(400)
+		marked := bitset.New(listLen)
+		payload := map[int]uint32{}
+		density := rng.Float64()
+		for i := 0; i < listLen; i++ {
+			if rng.Float64() < density {
+				marked.Set(i)
+				payload[i] = rng.Uint32()
+			}
+		}
+		if rng.Intn(4) == 0 { // exercise the all-marked boundary often
+			marked.Fill()
+			for i := 0; i < listLen; i++ {
+				payload[i] = rng.Uint32()
+			}
+		}
+		if marked.None() {
+			return len(encodeWith(FormatAuto, listLen, marked, payload)) == 0
+		}
+
+		formats := []Format{FormatAuto, FormatDense, FormatSparse}
+		if marked.Count() == listLen {
+			formats = append(formats, FormatAll)
+		}
+		var auto []byte
+		var ref map[int]uint32
+		for _, f := range formats {
+			buf := encodeWith(f, listLen, marked, payload)
+			got := map[int]uint32{}
+			DecodeUpdates(listLen, buf, func(pos int, r *Reader) { got[pos] = r.U32() })
+			if len(got) != len(payload) {
+				t.Logf("%v: %d positions decoded, want %d", f, len(got), len(payload))
+				return false
+			}
+			for k, v := range payload {
+				if got[k] != v {
+					t.Logf("%v: payload[%d] = %d, want %d", f, k, got[k], v)
+					return false
+				}
+			}
+			if f == FormatAuto {
+				auto, ref = buf, got
+			} else {
+				if len(auto) > len(buf) {
+					t.Logf("adaptive %d bytes > forced %v %d bytes", len(auto), f, len(buf))
+					return false
+				}
+				for k := range ref {
+					if got[k] != ref[k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptivePickerIsMinimal pins the selection rule exactly: the
+// adaptive message equals the smallest valid forced encoding byte for
+// byte in length (headers cost the same in every format, so comparing
+// metadata sizes alone is sufficient).
+func TestAdaptivePickerIsMinimal(t *testing.T) {
+	cases := []struct {
+		name    string
+		listLen int
+		mark    func(m *bitset.Set)
+	}{
+		{"single-of-many", 100000, func(m *bitset.Set) { m.Set(77777) }},
+		{"few-spread", 4096, func(m *bitset.Set) {
+			for i := 0; i < 4096; i += 512 {
+				m.Set(i)
+			}
+		}},
+		{"half", 512, func(m *bitset.Set) {
+			for i := 0; i < 512; i += 2 {
+				m.Set(i)
+			}
+		}},
+		{"all", 1000, func(m *bitset.Set) { m.Fill() }},
+		{"tiny-list", 3, func(m *bitset.Set) { m.Set(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			marked := bitset.New(tc.listLen)
+			tc.mark(marked)
+			payload := map[int]uint32{}
+			marked.ForEach(func(i int) bool { payload[i] = uint32(i); return true })
+			min := -1
+			formats := []Format{FormatDense, FormatSparse}
+			if marked.Count() == tc.listLen {
+				formats = append(formats, FormatAll)
+			}
+			for _, f := range formats {
+				if n := len(encodeWith(f, tc.listLen, marked, payload)); min < 0 || n < min {
+					min = n
+				}
+			}
+			if got := len(encodeWith(FormatAuto, tc.listLen, marked, payload)); got != min {
+				t.Fatalf("adaptive picked %d bytes, smallest forced is %d", got, min)
+			}
+		})
+	}
+}
+
+func TestEncodingCountsTick(t *testing.T) {
+	w := &Writer{}
+	one := func(mark func(m *bitset.Set), listLen int) {
+		w.Reset()
+		m := bitset.New(listLen)
+		mark(m)
+		EncodeUpdates(w, listLen, m, func(pos int, w *Writer) { w.Byte(0) })
+	}
+	one(func(m *bitset.Set) { m.Set(5) }, 10000)                                   // sparse
+	one(func(m *bitset.Set) { m.Fill() }, 64)                                      // all
+	one(func(m *bitset.Set) { m.Set(0); m.Set(2); m.Set(4); m.Set(6) }, 8)         // dense-ish tiny list
+	c := w.TakeCounts()
+	if c.Total() != 3 || c.Sparse != 1 || c.All != 1 || c.Dense != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if w.TakeCounts().Total() != 0 {
+		t.Fatal("TakeCounts did not drain")
+	}
+}
+
+func TestScratchIsZeroedAndReused(t *testing.T) {
+	w := &Writer{}
+	m := w.Scratch(130)
+	m.Set(0)
+	m.Set(129)
+	m2 := w.Scratch(130)
+	if !m2.None() {
+		t.Fatal("Scratch returned a dirty set")
+	}
+	if &m2.Words()[0] != &m.Words()[0] {
+		t.Fatal("Scratch reallocated same-capacity storage")
+	}
+	if w.Scratch(64).Len() != 64 {
+		t.Fatal("Scratch capacity wrong after shrink")
+	}
 }
 
 func TestMetadataCompressionAmortizes(t *testing.T) {
 	// The §5.3 effect: syncing many proxies in one round costs fewer
-	// bytes than syncing them one per round, because the bitvector
-	// metadata is paid per message.
+	// bytes than syncing them one per round — even with the adaptive
+	// encoder shrinking the one-update messages to sparse form, the
+	// per-message fixed costs still dominate.
 	listLen := 512
 	perPayload := 12
+	payload := map[int]uint32{}
+	for i := 0; i < 64; i++ {
+		payload[i*8] = 0
+	}
 
 	// One round, 64 updates.
 	marked := bitset.New(listLen)
 	for i := 0; i < 64; i++ {
 		marked.Set(i * 8)
 	}
-	batched := len(EncodeUpdates(listLen, marked, func(pos int, w *Writer) {
-		w.U32(0)
-		w.F64(0)
-	}))
+	w := &Writer{}
+	EncodeUpdates(w, listLen, marked, func(pos int, w *Writer) { w.U32(0); w.F64(0) })
+	batched := w.Len()
 
 	// 64 rounds, one update each.
 	spread := 0
 	for i := 0; i < 64; i++ {
 		m := bitset.New(listLen)
 		m.Set(i * 8)
-		spread += len(EncodeUpdates(listLen, m, func(pos int, w *Writer) {
-			w.U32(0)
-			w.F64(0)
-		}))
+		w.Reset()
+		EncodeUpdates(w, listLen, m, func(pos int, w *Writer) { w.U32(0); w.F64(0) })
+		spread += w.Len()
 	}
 	if batched >= spread {
 		t.Fatalf("batched sync (%d bytes) should beat spread sync (%d bytes)", batched, spread)
@@ -173,3 +411,47 @@ func TestMetadataCompressionAmortizes(t *testing.T) {
 		t.Fatalf("batched bytes %d should still include metadata", batched)
 	}
 }
+
+// benchMarked builds a marked set at the given stride over listLen.
+func benchMarked(listLen, stride int) *bitset.Set {
+	m := bitset.New(listLen)
+	for i := 0; i < listLen; i += stride {
+		m.Set(i)
+	}
+	return m
+}
+
+func benchmarkEncode(b *testing.B, listLen, stride int) {
+	marked := benchMarked(listLen, stride)
+	w := &Writer{}
+	w.Scratch(listLen) // pre-size scratch like the pooled exchange writers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		EncodeUpdates(w, listLen, marked, func(pos int, w *Writer) { w.U64(uint64(pos)) })
+	}
+}
+
+func BenchmarkEncodeUpdatesSparse(b *testing.B) { benchmarkEncode(b, 1<<16, 1024) }
+func BenchmarkEncodeUpdatesDense(b *testing.B)  { benchmarkEncode(b, 1<<16, 2) }
+func BenchmarkEncodeUpdatesAll(b *testing.B)    { benchmarkEncode(b, 1<<16, 1) }
+
+func benchmarkDecode(b *testing.B, listLen, stride int) {
+	marked := benchMarked(listLen, stride)
+	w := &Writer{}
+	EncodeUpdates(w, listLen, marked, func(pos int, w *Writer) { w.U64(uint64(pos)) })
+	buf := w.Bytes()
+	dec := NewDecoder()
+	var sink uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.DecodeUpdates(listLen, buf, func(pos int, r *Reader) { sink += r.U64() })
+	}
+	_ = sink
+}
+
+func BenchmarkDecodeUpdatesSparse(b *testing.B) { benchmarkDecode(b, 1<<16, 1024) }
+func BenchmarkDecodeUpdatesDense(b *testing.B)  { benchmarkDecode(b, 1<<16, 2) }
+func BenchmarkDecodeUpdatesAll(b *testing.B)    { benchmarkDecode(b, 1<<16, 1) }

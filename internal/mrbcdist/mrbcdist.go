@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"mrbc/internal/bitset"
 	"mrbc/internal/core"
 	"mrbc/internal/dgalois"
 	"mrbc/internal/gluon"
@@ -57,6 +56,11 @@ type Options struct {
 	// RunChecked to receive the structured error an unrecoverable
 	// plan produces.
 	Fault *dgalois.FaultPlan
+	// Encoding pins the sync-metadata wire format (default
+	// gluon.FormatAuto: density-adaptive selection per message).
+	// gluon.FormatDense reproduces the seed's dense-bitvector volume
+	// for ablations.
+	Encoding gluon.Format
 }
 
 func (o Options) withDefaults() Options {
@@ -81,10 +85,13 @@ type hostState struct {
 	candSet   map[uint64]uint32 // master-side candidate union: (v,s) -> min dist
 	proposals []proposal        // master-side buffered mirror proposals
 
-	// Per-round lookup tables, built once per round and shared by every
-	// destination's pack call (packs run once per host pair).
-	flagByV  map[uint32]core.Flag // vertex -> this host's due flag
-	bcastByV map[uint32]int       // vertex -> source to broadcast
+	// Per-round lookup tables, built once per round in a compute phase
+	// and read (never written) by the pack calls, which run in
+	// parallel across destination pairs.
+	flagByV   map[uint32]core.Flag        // vertex -> this host's due flag
+	bcastByV  map[uint32]int              // vertex -> source to broadcast
+	candByV   map[uint32][]core.Candidate // vertex -> this round's mirror candidates
+	mergedByV map[uint32][]core.Candidate // vertex -> merged candidates to broadcast
 }
 
 // proposal is a proxy's round-r claim that (v, src) is due, with its
@@ -138,6 +145,8 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 	}
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
+	defer cluster.Close()
+	cluster.SetEncoding(opts.Encoding)
 	scores := make([]float64, n)
 	err := dgalois.Capture(func() {
 		for start := 0; start < len(sources); start += opts.BatchSize {
@@ -157,12 +166,14 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 	cluster.Compute(func(h int) {
 		p := pt.Parts[h]
 		st := &hostState{
-			part:     p,
-			engine:   core.NewEngine(p.Local, k),
-			flagSet:  make(map[uint64]bool),
-			candSet:  make(map[uint64]uint32),
-			flagByV:  make(map[uint32]core.Flag),
-			bcastByV: make(map[uint32]int),
+			part:      p,
+			engine:    core.NewEngine(p.Local, k),
+			flagSet:   make(map[uint64]bool),
+			candSet:   make(map[uint64]uint32),
+			flagByV:   make(map[uint32]core.Flag),
+			bcastByV:  make(map[uint32]int),
+			candByV:   make(map[uint32][]core.Candidate),
+			mergedByV: make(map[uint32][]core.Candidate),
 		}
 		for i, s := range batch {
 			if l, ok := p.LocalID(s); ok {
@@ -283,21 +294,21 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 	// Reduce: due mirror proxies -> master (proposals are buffered;
 	// nothing is merged until arbitration picks the winners).
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MirrorList(from, to)
 			if len(list) == 0 || len(st.flags) == 0 {
-				return nil
+				return
 			}
 			// At most one due source per vertex per round on one host,
 			// so a vertex-level bitvector suffices.
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if _, ok := st.flagByV[lid]; ok {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				f := st.flagByV[list[pos]]
 				d := st.engine.Get(f.V, f.Src)
 				w.U32(uint32(f.Src))
@@ -305,10 +316,10 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 				w.F64(d.Sigma)
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MasterList(from, to)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				st.proposals = append(st.proposals, proposal{
 					v:     list[pos],
 					src:   int(rd.U32()),
@@ -358,19 +369,19 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 
 	// Broadcast: masters -> all mirrors.
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MasterList(to, from)
 			if len(list) == 0 || len(st.flagSet) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if _, ok := st.bcastByV[lid]; ok {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				lid := list[pos]
 				src := st.bcastByV[lid]
 				d := st.engine.Get(lid, src)
@@ -379,10 +390,10 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 				w.F64(d.Sigma)
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MirrorList(to, from)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				lid := list[pos]
 				src := int(rd.U32())
 				dist := rd.U32()
@@ -401,17 +412,17 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 // so this preserves the delayed-synchronization optimization while
 // keeping every proxy's ordered list identical.
 func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
-	encode := func(list []uint32, byV map[uint32][]core.Candidate, dist func(c core.Candidate) uint32) []byte {
+	encode := func(w *gluon.Writer, list []uint32, byV map[uint32][]core.Candidate, dist func(c core.Candidate) uint32) {
 		if len(list) == 0 || len(byV) == 0 {
-			return nil
+			return
 		}
-		marked := bitset.New(len(list))
+		marked := w.Scratch(len(list))
 		for pos, lid := range list {
 			if _, ok := byV[lid]; ok {
 				marked.Set(pos)
 			}
 		}
-		return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 			cs := byV[list[pos]]
 			w.U32(uint32(len(cs)))
 			for _, c := range cs {
@@ -421,23 +432,30 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 		})
 	}
 
+	// Group this round's candidates by vertex once per host, in a
+	// compute phase: the pack calls below run in parallel per
+	// destination pair and only read the map.
+	cluster.Compute(func(h int) {
+		st := states[h]
+		clear(st.candByV)
+		for _, c := range st.cands {
+			st.candByV[c.V] = append(st.candByV[c.V], c)
+		}
+	})
+
 	// Reduce: mirror candidates -> masters.
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
-			if len(st.cands) == 0 {
-				return nil
+			if len(st.candByV) == 0 {
+				return
 			}
-			byV := make(map[uint32][]core.Candidate)
-			for _, c := range st.cands {
-				byV[c.V] = append(byV[c.V], c)
-			}
-			return encode(topo.MirrorList(from, to), byV, func(c core.Candidate) uint32 { return c.Dist })
+			encode(w, topo.MirrorList(from, to), st.candByV, func(c core.Candidate) uint32 { return c.Dist })
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MasterList(from, to)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				lid := list[pos]
 				cnt := int(rd.U32())
 				for i := 0; i < cnt; i++ {
@@ -453,7 +471,8 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 		},
 	)
 
-	// Masters fold their own local candidates into the union.
+	// Masters fold their own local candidates into the union, then
+	// group the merged union by vertex for the broadcast packs.
 	cluster.Compute(func(h int) {
 		st := states[h]
 		for _, c := range st.cands {
@@ -464,30 +483,30 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 				}
 			}
 		}
+		clear(st.mergedByV)
+		for kk := range st.candSet {
+			v := uint32(kk >> 20)
+			s := int(kk & (1<<20 - 1))
+			st.mergedByV[v] = append(st.mergedByV[v], core.Candidate{V: v, Src: s})
+		}
 	})
 
 	// Broadcast: merged candidates -> all mirrors, with the master's
 	// post-merge (minimum) distance.
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
-			if len(st.candSet) == 0 {
-				return nil
+			if len(st.mergedByV) == 0 {
+				return
 			}
-			byV := make(map[uint32][]core.Candidate)
-			for kk := range st.candSet {
-				v := uint32(kk >> 20)
-				s := int(kk & (1<<20 - 1))
-				byV[v] = append(byV[v], core.Candidate{V: v, Src: s})
-			}
-			return encode(topo.MasterList(to, from), byV, func(c core.Candidate) uint32 {
+			encode(w, topo.MasterList(to, from), st.mergedByV, func(c core.Candidate) uint32 {
 				return st.engine.Get(c.V, c.Src).Dist
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MirrorList(to, from)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				lid := list[pos]
 				cnt := int(rd.U32())
 				for i := 0; i < cnt; i++ {
@@ -504,31 +523,33 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 // broadcast the final dependency.
 func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MirrorList(from, to)
 			if len(list) == 0 || len(st.flags) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if _, ok := st.flagByV[lid]; ok {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				f := st.flagByV[list[pos]]
 				w.U32(uint32(f.Src))
 				w.F64(st.engine.DeltaPartial(f.V, f.Src))
 				// Hand the partial to the master; the broadcast below
-				// restores the final value.
+				// restores the final value. Each mirror vertex appears
+				// in exactly one (from, to) shared list, so this write
+				// is safe under the pair-parallel pack loop.
 				st.engine.ApplyDeltaSync(f.V, f.Src, 0)
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MasterList(from, to)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				lid := list[pos]
 				src := int(rd.U32())
 				st.engine.AddDeltaPartial(lid, src, rd.F64())
@@ -553,29 +574,29 @@ func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*host
 	})
 
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MasterList(to, from)
 			if len(list) == 0 || len(st.flagSet) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if _, ok := st.bcastByV[lid]; ok {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				lid := list[pos]
 				src := st.bcastByV[lid]
 				w.U32(uint32(src))
 				w.F64(st.engine.DeltaPartial(lid, src))
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MirrorList(to, from)
-			gluon.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
 				lid := list[pos]
 				src := int(rd.U32())
 				st.engine.ApplyDeltaSync(lid, src, rd.F64())

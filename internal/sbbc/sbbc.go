@@ -48,6 +48,9 @@ type Options struct {
 	// RunOptsChecked to receive the structured error an unrecoverable
 	// plan produces.
 	Fault *dgalois.FaultPlan
+	// Encoding pins the sync-metadata wire format (default
+	// gluon.FormatAuto: density-adaptive selection per message).
+	Encoding gluon.Format
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +109,8 @@ func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32
 	}
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
+	defer cluster.Close()
+	cluster.SetEncoding(opts.Encoding)
 	states := make([]*hostState, pt.NumHosts)
 	for h, p := range pt.Parts {
 		np := p.NumProxies()
@@ -257,28 +262,28 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, level uint32) {
 	// Reduce: dirty mirrors -> masters.
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MirrorList(from, to)
 			if len(list) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if st.dirty.Test(int(lid)) {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				lid := list[pos]
 				w.U32(st.dist[lid])
 				w.F64(st.sigma[lid])
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MasterList(from, to)
-			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 				lid := list[pos]
 				d := r.U32()
 				sg := r.F64()
@@ -316,28 +321,28 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 
 	// Broadcast: masters -> all mirrors.
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MasterList(to, from) // from's local IDs of vertices mirrored on `to`
 			if len(list) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if st.masterOut.Test(int(lid)) {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				lid := list[pos]
 				w.U32(st.dist[lid])
 				w.F64(st.sigma[lid])
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MirrorList(to, from)
-			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 				lid := list[pos]
 				st.dist[lid] = r.U32()
 				st.sigma[lid] = r.F64()
@@ -354,30 +359,32 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 // finalized dependencies back to mirrors.
 func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MirrorList(from, to)
 			if len(list) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if st.dirty.Test(int(lid)) {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				lid := list[pos]
 				w.F64(st.delta[lid])
 				// The partial has been handed to the master; reset so a
 				// later broadcast can overwrite without double counting.
+				// Each mirror vertex appears in exactly one (from, to)
+				// list, so the write is safe under pair-parallel packs.
 				st.delta[lid] = 0
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MasterList(from, to)
-			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 				lid := list[pos]
 				st.delta[lid] += r.F64()
 				st.masterOut.Set(int(lid))
@@ -396,26 +403,26 @@ func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*host
 	})
 
 	cluster.Exchange(
-		func(from, to int) []byte {
+		func(from, to int, w *gluon.Writer) {
 			st := states[from]
 			list := topo.MasterList(to, from)
 			if len(list) == 0 {
-				return nil
+				return
 			}
-			marked := bitset.New(len(list))
+			marked := w.Scratch(len(list))
 			for pos, lid := range list {
 				if st.masterOut.Test(int(lid)) {
 					marked.Set(pos)
 				}
 			}
-			return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 				w.F64(st.delta[list[pos]])
 			})
 		},
-		func(to, from int, data []byte) {
+		func(to, from int, data []byte, dec *gluon.Decoder) {
 			st := states[to]
 			list := topo.MirrorList(to, from)
-			gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+			dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 				st.delta[list[pos]] = r.F64()
 			})
 		},

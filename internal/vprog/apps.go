@@ -80,6 +80,7 @@ func PageRank(g *graph.Graph, pt *partition.Partitioning, opts PageRankOptions) 
 	validateHosts(pt, n)
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewCluster(pt.NumHosts)
+	defer cluster.Close()
 
 	type hostState struct {
 		part   *partition.Part
@@ -104,8 +105,11 @@ func PageRank(g *graph.Graph, pt *partition.Partitioning, opts PageRankOptions) 
 		states[h] = st
 	})
 
-	marked := func(np int) *bitset.Set {
-		m := bitset.New(np)
+	// Every proxy carries a partial every iteration, so the update set
+	// is the full shared list: the adaptive encoder ships the all-marked
+	// format, i.e. zero metadata.
+	allMarked := func(w *gluon.Writer, n int) *bitset.Set {
+		m := w.Scratch(n)
 		m.Fill()
 		return m
 	}
@@ -130,20 +134,20 @@ func PageRank(g *graph.Graph, pt *partition.Partitioning, opts PageRankOptions) 
 		// Reduce partial sums to masters (dense: every proxy may hold a
 		// partial), fold into the new rank, broadcast.
 		cluster.Exchange(
-			func(from, to int) []byte {
+			func(from, to int, w *gluon.Writer) {
 				st := states[from]
 				list := topo.MirrorList(from, to)
 				if len(list) == 0 {
-					return nil
+					return
 				}
-				return gluon.EncodeUpdates(len(list), marked(len(list)), func(pos int, w *gluon.Writer) {
+				gluon.EncodeUpdates(w, len(list), allMarked(w, len(list)), func(pos int, w *gluon.Writer) {
 					w.F64(st.acc[list[pos]])
 				})
 			},
-			func(to, from int, data []byte) {
+			func(to, from int, data []byte, dec *gluon.Decoder) {
 				st := states[to]
 				list := topo.MasterList(from, to)
-				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 					st.acc[list[pos]] += r.F64()
 				})
 			},
@@ -157,20 +161,20 @@ func PageRank(g *graph.Graph, pt *partition.Partitioning, opts PageRankOptions) 
 			}
 		})
 		cluster.Exchange(
-			func(from, to int) []byte {
+			func(from, to int, w *gluon.Writer) {
 				st := states[from]
 				list := topo.MasterList(to, from)
 				if len(list) == 0 {
-					return nil
+					return
 				}
-				return gluon.EncodeUpdates(len(list), marked(len(list)), func(pos int, w *gluon.Writer) {
+				gluon.EncodeUpdates(w, len(list), allMarked(w, len(list)), func(pos int, w *gluon.Writer) {
 					w.F64(st.rank[list[pos]])
 				})
 			},
-			func(to, from int, data []byte) {
+			func(to, from int, data []byte, dec *gluon.Decoder) {
 				st := states[to]
 				list := topo.MirrorList(to, from)
-				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 					st.rank[list[pos]] = r.F64()
 				})
 			},

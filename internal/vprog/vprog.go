@@ -62,6 +62,7 @@ func RunPushPlan(g gview, pt *partition.Partitioning, prog PushProgram, plan *dg
 		panic("vprog: incomplete push program")
 	}
 	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, plan)
+	defer cluster.Close()
 	err = dgalois.Capture(func() { labels = runPush(cluster, g, pt, prog) })
 	return labels, cluster.Stats(), err
 }
@@ -130,26 +131,26 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 
 		// Reduce dirty mirrors to masters with the Better reduction.
 		cluster.Exchange(
-			func(from, to int) []byte {
+			func(from, to int, w *gluon.Writer) {
 				st := states[from]
 				list := topo.MirrorList(from, to)
 				if len(list) == 0 {
-					return nil
+					return
 				}
-				marked := bitset.New(len(list))
+				marked := w.Scratch(len(list))
 				for pos, lid := range list {
 					if st.dirty.Test(int(lid)) {
 						marked.Set(pos)
 					}
 				}
-				return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 					w.U64(st.labels[list[pos]])
 				})
 			},
-			func(to, from int, data []byte) {
+			func(to, from int, data []byte, dec *gluon.Decoder) {
 				st := states[to]
 				list := topo.MasterList(from, to)
-				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 					lid := list[pos]
 					if v := r.U64(); prog.Better(v, st.labels[lid]) {
 						st.labels[lid] = v
@@ -181,26 +182,26 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 		// Broadcast master values to all mirrors; changed mirrors
 		// activate.
 		cluster.Exchange(
-			func(from, to int) []byte {
+			func(from, to int, w *gluon.Writer) {
 				st := states[from]
 				list := topo.MasterList(to, from)
 				if len(list) == 0 {
-					return nil
+					return
 				}
-				marked := bitset.New(len(list))
+				marked := w.Scratch(len(list))
 				for pos, lid := range list {
 					if st.out.Test(int(lid)) {
 						marked.Set(pos)
 					}
 				}
-				return gluon.EncodeUpdates(len(list), marked, func(pos int, w *gluon.Writer) {
+				gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
 					w.U64(st.labels[list[pos]])
 				})
 			},
-			func(to, from int, data []byte) {
+			func(to, from int, data []byte, dec *gluon.Decoder) {
 				st := states[to]
 				list := topo.MirrorList(to, from)
-				gluon.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
+				dec.DecodeUpdates(len(list), data, func(pos int, r *gluon.Reader) {
 					lid := list[pos]
 					v := r.U64()
 					if v != st.labels[lid] {
