@@ -1,96 +1,219 @@
 // Command bcbench regenerates the paper's evaluation (Section 5):
 // every table and figure, on the synthetic input suite documented in
-// DESIGN.md §3.
+// DESIGN.md §3, plus the substrate experiments (engine, faults, comms,
+// obs) that guard the implementation.
 //
 // Usage:
 //
 //	bcbench -exp table1
 //	bcbench -exp table2 -scale tiny
-//	bcbench -exp all
+//	bcbench -exp obs -obs trace.jsonl
+//	bcbench -exp all -cpuprofile cpu.pprof
 //
-// Experiments: table1, table2, fig1, fig2a, fig2b, fig3, summary, all.
+// Profiling hooks (-cpuprofile, -memprofile, -trace) wrap whichever
+// experiment runs; -obs additionally writes a detail-level execution
+// trace and is only meaningful with -exp obs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"sort"
+	"strings"
 
 	"mrbc/internal/bench"
 )
 
-func main() {
+// experiments maps every -exp value to its runner. Runners print to
+// out and return an error for regression-guard failures (which turn
+// into a non-zero exit without a usage message).
+var experiments = map[string]func(out io.Writer, inputs []bench.Input, scale bench.Scale, obsPath string) error{
+	"table1": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatTable1(bench.Table1(inputs, scale)))
+		return nil
+	},
+	"table2": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatTable2(bench.Table2(inputs, scale)))
+		return nil
+	},
+	"fig1": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatFigure1(bench.Figure1(inputs, scale)))
+		return nil
+	},
+	"fig2a": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(inputs, "small", scale), "a"))
+		return nil
+	},
+	"fig2b": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(inputs, "large", scale), "b"))
+		return nil
+	},
+	"fig3": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatFigure3(bench.Figure3(inputs, scale)))
+		return nil
+	},
+	"model": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatModel(bench.ModelCheck(inputs, scale)))
+		return nil
+	},
+	"summary": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatSummary(bench.Summarize(inputs, scale)))
+		return nil
+	},
+	// Engine-variant comparison (JSON); not part of the paper's
+	// evaluation, so not included in "all".
+	"engine": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatEngineBench(bench.EngineBench(scale)))
+		return nil
+	},
+	// Reliable-transport overhead (JSON); not in "all".
+	"faults": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
+		fmt.Fprintln(out, bench.FormatFaultBench(bench.FaultBench(scale)))
+		return nil
+	},
+	// Sync-encoding volume comparison (JSON); not in "all". Errors if
+	// the adaptive encoding regresses past dense, so CI can use it as
+	// a smoke check.
+	"comms": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
+		report := bench.CommsBench(scale)
+		fmt.Fprintln(out, bench.FormatCommsBench(report))
+		return bench.CheckCommsBench(report)
+	},
+	// Tracing-overhead measurement (JSON, emitted as BENCH_obs.json);
+	// not in "all". Errors if tracing overhead exceeds the smoke
+	// guard. With -obs, also writes a detail-level execution trace.
+	"obs": func(out io.Writer, _ []bench.Input, scale bench.Scale, obsPath string) error {
+		report := bench.ObsBench(scale)
+		fmt.Fprintln(out, bench.FormatObsBench(report))
+		if err := bench.CheckObsBench(report); err != nil {
+			return err
+		}
+		if obsPath != "" {
+			return bench.WriteObsTrace(obsPath, scale)
+		}
+		return nil
+	},
+}
+
+// allSequence is the -exp all expansion: the paper's tables and
+// figures, in presentation order.
+var allSequence = []string{"table1", "table2", "fig1", "fig2a", "fig2b", "fig3", "model", "summary"}
+
+func validExperiments() string {
+	names := make([]string, 0, len(experiments)+1)
+	for name := range experiments {
+		names = append(names, name)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// realMain is main with its dependencies injected, so the flag and
+// validation paths are unit-testable. It returns the process exit code.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1 | table2 | fig1 | fig2a | fig2b | fig3 | model | summary | engine | faults | comms | all")
-		scaleName = flag.String("scale", "full", "workload scale: full | tiny")
-		only      = flag.String("input", "", "restrict to a single input by name")
+		exp        = fs.String("exp", "all", "experiment: "+validExperiments())
+		scaleName  = fs.String("scale", "full", "workload scale: full | tiny")
+		only       = fs.String("input", "", "restrict to a single input by name")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath  = fs.String("trace", "", "write a runtime/trace execution trace to this file")
+		obsPath    = fs.String("obs", "", "write a detail-level obs trace (JSONL) to this file; requires -exp obs")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	scale := bench.Full
-	if *scaleName == "tiny" {
+	switch *scaleName {
+	case "full":
+	case "tiny":
 		scale = bench.Tiny
-	} else if *scaleName != "full" {
-		fmt.Fprintf(os.Stderr, "bcbench: unknown scale %q\n", *scaleName)
-		os.Exit(1)
+	default:
+		fmt.Fprintf(stderr, "bcbench: unknown scale %q (valid: full, tiny)\n", *scaleName)
+		return 1
 	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = allSequence
+	} else if _, ok := experiments[*exp]; !ok {
+		fmt.Fprintf(stderr, "bcbench: unknown experiment %q (valid: %s)\n", *exp, validExperiments())
+		return 1
+	}
+	if *obsPath != "" && *exp != "obs" {
+		fmt.Fprintf(stderr, "bcbench: -obs only applies to -exp obs (got -exp %s)\n", *exp)
+		return 1
+	}
+
 	inputs := bench.Suite(scale)
 	if *only != "" {
 		in, err := bench.Find(inputs, *only)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bcbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
 		}
 		inputs = []bench.Input{in}
 	}
 
-	run := func(name string) {
-		switch name {
-		case "table1":
-			fmt.Println(bench.FormatTable1(bench.Table1(inputs, scale)))
-		case "table2":
-			fmt.Println(bench.FormatTable2(bench.Table2(inputs, scale)))
-		case "fig1":
-			fmt.Println(bench.FormatFigure1(bench.Figure1(inputs, scale)))
-		case "fig2a":
-			fmt.Println(bench.FormatFigure2(bench.Figure2(inputs, "small", scale), "a"))
-		case "fig2b":
-			fmt.Println(bench.FormatFigure2(bench.Figure2(inputs, "large", scale), "b"))
-		case "fig3":
-			fmt.Println(bench.FormatFigure3(bench.Figure3(inputs, scale)))
-		case "model":
-			fmt.Println(bench.FormatModel(bench.ModelCheck(inputs, scale)))
-		case "summary":
-			fmt.Println(bench.FormatSummary(bench.Summarize(inputs, scale)))
-		case "engine":
-			// Engine-variant comparison (JSON); not part of the paper's
-			// evaluation, so not included in "all".
-			fmt.Println(bench.FormatEngineBench(bench.EngineBench(scale)))
-		case "faults":
-			// Reliable-transport overhead (JSON); not part of the
-			// paper's evaluation, so not included in "all".
-			fmt.Println(bench.FormatFaultBench(bench.FaultBench(scale)))
-		case "comms":
-			// Sync-encoding volume comparison (JSON); not part of the
-			// paper's evaluation, so not included in "all". Exits
-			// non-zero if the adaptive encoding regresses past dense,
-			// so CI can use it as a smoke check.
-			report := bench.CommsBench(scale)
-			fmt.Println(bench.FormatCommsBench(report))
-			if err := bench.CheckCommsBench(report); err != nil {
-				fmt.Fprintln(os.Stderr, "bcbench:", err)
-				os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "bcbench:", err)
+				return
 			}
-		default:
-			fmt.Fprintf(os.Stderr, "bcbench: unknown experiment %q\n", name)
-			os.Exit(1)
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "bcbench:", err)
+			}
+		}()
+	}
+
+	for _, name := range names {
+		if err := experiments[name](stdout, inputs, scale, *obsPath); err != nil {
+			fmt.Fprintln(stderr, "bcbench:", err)
+			return 1
 		}
 	}
-	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig1", "fig2a", "fig2b", "fig3", "model", "summary"} {
-			run(name)
-		}
-		return
-	}
-	run(*exp)
+	return 0
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+)
+
+// ---------------------------------------------------------------------------
+// Observability overhead: the cost of running the distributed engine
+// with the trace ring attached, relative to the same run with tracing
+// disabled (nil trace — the zero-overhead configuration every
+// production path uses by default). `bcbench -exp obs` emits the JSON
+// checked in as BENCH_obs.json and doubles as the CI guard: tracing
+// must stay cheap enough that leaving it on for diagnosis is viable.
+// ---------------------------------------------------------------------------
+
+// ObsBenchRow measures one (input, trace mode) cell.
+type ObsBenchRow struct {
+	Input    string `json:"input"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Hosts    int    `json:"hosts"`
+	Sources  int    `json:"sources"`
+	Batch    int    `json:"batch"`
+
+	// Mode is "off" (nil trace), "phase" (obs.LevelPhase), or
+	// "detail" (obs.LevelDetail, one event per synchronized pair).
+	Mode string `json:"mode"`
+	// WallNs is the end-to-end wall time of one full run (ns/op from
+	// testing.Benchmark).
+	WallNs int64 `json:"wall_ns"`
+	// Events is the number of trace events one run emits (0 for off).
+	Events int64 `json:"events"`
+	// OverheadVsOff is WallNs relative to the same input's off row
+	// (1.0 = free; the acceptance bar for enabled tracing is 1.10).
+	OverheadVsOff float64 `json:"overhead_vs_off"`
+}
+
+// ObsBenchReport is the top-level JSON document.
+type ObsBenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Scale      string        `json:"scale"`
+	Rows       []ObsBenchRow `json:"rows"`
+}
+
+type obsInput struct {
+	name    string
+	build   func() *graph.Graph
+	sources int
+	batch   int
+	hosts   int
+}
+
+func obsInputs(s Scale) []obsInput {
+	// The engine-bench input family: a high-diameter road grid (many
+	// near-empty rounds, so per-round trace emission is at its
+	// proportionally worst) and a low-diameter RMAT (bulk rounds, so
+	// per-send detail emission is at its densest).
+	if s == Tiny {
+		return []obsInput{
+			{"roadgrid", func() *graph.Graph { return gen.RoadGrid(24, 24, 104) }, 8, 8, 2},
+			{"rmat", func() *graph.Graph { return gen.RMAT(9, 8, 103) }, 8, 8, 2},
+		}
+	}
+	return []obsInput{
+		{"roadgrid", func() *graph.Graph { return gen.RoadGrid(120, 120, 104) }, 8, 8, 4},
+		{"rmat", func() *graph.Graph { return gen.RMAT(12, 8, 103) }, 32, 32, 4},
+	}
+}
+
+// obsTraceCap bounds the ring while benchmarks run; the ring wraps
+// rather than grows, so a single pre-sized trace serves every
+// iteration without allocation churn. Emitted() still counts every
+// event, wrapped or not.
+const obsTraceCap = 1 << 17
+
+// ObsBench runs MRBC (arbitration sync) on each input with tracing
+// off, at phase level, and at detail level, and reports the wall-time
+// ratios.
+func ObsBench(scale Scale) ObsBenchReport {
+	name := "full"
+	if scale == Tiny {
+		name = "tiny"
+	}
+	report := ObsBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Scale: name}
+	for _, in := range obsInputs(scale) {
+		g := in.build()
+		sources := brandes.FirstKSources(g, 0, in.sources)
+		pt := partition.CartesianCut(g, in.hosts)
+
+		modes := []struct {
+			name  string
+			trace *obs.Trace
+		}{
+			{"off", nil},
+			{"phase", obs.NewTrace(obsTraceCap, obs.LevelPhase)},
+			{"detail", obs.NewTrace(obsTraceCap, obs.LevelDetail)},
+		}
+		oneRun := func(tr *obs.Trace) {
+			if tr != nil {
+				tr.Reset()
+			}
+			mrbcdist.Run(g, pt, sources, mrbcdist.Options{
+				BatchSize: in.batch, Trace: tr,
+			})
+		}
+		// Interleave the modes across repetitions and keep each mode's
+		// best: machine-load drift over the measurement window then
+		// hits every mode alike instead of whichever ran during the
+		// slow spell — the ratios are the quantity of interest.
+		events := make([]int64, len(modes))
+		best := make([]int64, len(modes))
+		for i, m := range modes {
+			oneRun(m.trace) // warm-up, and the per-run event count
+			events[i] = m.trace.Emitted()
+		}
+		for rep := 0; rep < 3; rep++ {
+			for i, m := range modes {
+				res := testing.Benchmark(func(b *testing.B) {
+					for n := 0; n < b.N; n++ {
+						oneRun(m.trace)
+					}
+				})
+				if ns := res.NsPerOp(); best[i] == 0 || ns < best[i] {
+					best[i] = ns
+				}
+			}
+		}
+		offNs := best[0]
+		for i, m := range modes {
+			row := ObsBenchRow{
+				Input:    in.name,
+				Vertices: g.NumVertices(),
+				Edges:    g.NumEdges(),
+				Hosts:    in.hosts,
+				Sources:  len(sources),
+				Batch:    in.batch,
+				Mode:     m.name,
+				WallNs:   best[i],
+				Events:   events[i],
+			}
+			if offNs > 0 {
+				row.OverheadVsOff = float64(best[i]) / float64(offNs)
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report
+}
+
+// CheckObsBench is the CI smoke guard on an ObsBench report. Its
+// thresholds are deliberately loose — single short runs on shared CI
+// machines are noisy — while the committed full-scale BENCH_obs.json
+// documents the real overheads (phase-level tracing within the 10%
+// acceptance bar). Phase-level tracing emits O(hosts) events per
+// round, detail adds one per synchronized pair; neither may approach
+// the cost of the traced work itself.
+func CheckObsBench(r ObsBenchReport) error {
+	limits := map[string]float64{"off": 1.0, "phase": 1.35, "detail": 1.75}
+	for _, row := range r.Rows {
+		limit, ok := limits[row.Mode]
+		if !ok {
+			return fmt.Errorf("bench: unknown trace mode %q on input %q", row.Mode, row.Input)
+		}
+		if row.Mode == "off" {
+			if row.Events != 0 {
+				return fmt.Errorf("bench: disabled tracer emitted %d events on input %q", row.Events, row.Input)
+			}
+			continue
+		}
+		if row.Events == 0 {
+			return fmt.Errorf("bench: %s tracer emitted no events on input %q", row.Mode, row.Input)
+		}
+		if row.OverheadVsOff > limit {
+			return fmt.Errorf("bench: %s tracing overhead %.2fx exceeds the %.2fx guard on input %q",
+				row.Mode, row.OverheadVsOff, limit, row.Input)
+		}
+	}
+	return nil
+}
+
+// FormatObsBench renders the report as indented JSON.
+func FormatObsBench(r ObsBenchReport) string {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // the report is plain data; marshal cannot fail
+	}
+	return string(out)
+}
+
+// WriteObsTrace records one detail-level trace of the first obs input
+// and writes it as JSONL to path (the artifact `bcbench -exp obs -obs
+// trace.jsonl` uploads; load into the obs tooling or sum with obs.Sum).
+func WriteObsTrace(path string, scale Scale) error {
+	in := obsInputs(scale)[0]
+	g := in.build()
+	sources := brandes.FirstKSources(g, 0, in.sources)
+	pt := partition.CartesianCut(g, in.hosts)
+	tr := obs.NewTrace(1<<20, obs.LevelDetail)
+	mrbcdist.Run(g, pt, sources, mrbcdist.Options{BatchSize: in.batch, Trace: tr})
+	if tr.Dropped() > 0 {
+		return fmt.Errorf("bench: sample trace overflowed its ring (%d dropped)", tr.Dropped())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -15,8 +15,10 @@ import (
 	"mrbc/internal/brandes"
 	"mrbc/internal/dgalois"
 	"mrbc/internal/gen"
+	"mrbc/internal/gluon"
 	"mrbc/internal/graph"
 	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
 	"mrbc/internal/partition"
 	"mrbc/internal/sbbc"
 	"mrbc/internal/vprog"
@@ -217,6 +219,88 @@ func TestVertexProgramsUnderFaults(t *testing.T) {
 		}
 		if stats.Faults == nil {
 			t.Fatalf("seed=%d: no fault accounting", 1000+seed)
+		}
+	}
+}
+
+// TestTraceAccountingOracle cross-checks the trace against the stats:
+// summing a complete phase-level trace's events must reproduce the
+// cluster's Stats exactly — paper-model bytes and messages (from both
+// the sender and receiver side), the per-format encoding mix, and
+// every transport counter — across engines, pinned wire formats, and
+// fault plans.
+func TestTraceAccountingOracle(t *testing.T) {
+	g := gen.RMAT(6, 8, 42)
+	sources := brandes.FirstKSources(g, 0, 16)
+	hosts := 4
+	encodings := []gluon.Format{gluon.FormatAuto, gluon.FormatDense, gluon.FormatSparse}
+	type run struct {
+		name string
+		do   func(tr *obs.Trace, enc gluon.Format, plan *dgalois.FaultPlan) (dgalois.Stats, error)
+	}
+	runs := []run{
+		{"mrbc-arb", func(tr *obs.Trace, enc gluon.Format, plan *dgalois.FaultPlan) (dgalois.Stats, error) {
+			_, s, err := mrbcdist.RunChecked(g, partition.EdgeCut(g, hosts), sources,
+				mrbcdist.Options{BatchSize: 8, Encoding: enc, Fault: plan, Trace: tr})
+			return s, err
+		}},
+		{"mrbc-cand", func(tr *obs.Trace, enc gluon.Format, plan *dgalois.FaultPlan) (dgalois.Stats, error) {
+			_, s, err := mrbcdist.RunChecked(g, partition.CartesianCut(g, hosts), sources,
+				mrbcdist.Options{BatchSize: 8, Sync: mrbcdist.CandidateSync, Encoding: enc, Fault: plan, Trace: tr})
+			return s, err
+		}},
+		{"sbbc", func(tr *obs.Trace, enc gluon.Format, plan *dgalois.FaultPlan) (dgalois.Stats, error) {
+			_, s, err := sbbc.RunOptsChecked(g, partition.EdgeCut(g, hosts), sources,
+				sbbc.Options{Encoding: enc, Fault: plan, Trace: tr})
+			return s, err
+		}},
+	}
+	for _, r := range runs {
+		for _, enc := range encodings {
+			for _, seed := range []int{-1, 5} { // -1: perfect network
+				var plan *dgalois.FaultPlan
+				if seed >= 0 {
+					plan = dgalois.RandomPlan(uint64(seed), maxRate, hosts)
+				}
+				tr := obs.NewTrace(1<<18, obs.LevelPhase)
+				stats, err := r.do(tr, enc, plan)
+				if err != nil {
+					t.Fatalf("%s enc=%v seed=%d: %v", r.name, enc, seed, err)
+				}
+				if tr.Dropped() > 0 {
+					t.Fatalf("%s enc=%v seed=%d: trace dropped %d events", r.name, enc, seed, tr.Dropped())
+				}
+				tot := obs.Sum(tr.Events())
+				if tot.PackBytes != stats.Bytes || tot.UnpackBytes != stats.Bytes {
+					t.Fatalf("%s enc=%v seed=%d: trace bytes pack=%d unpack=%d, stats %d",
+						r.name, enc, seed, tot.PackBytes, tot.UnpackBytes, stats.Bytes)
+				}
+				if tot.PackMessages != stats.Messages || tot.UnpackMessages != stats.Messages {
+					t.Fatalf("%s enc=%v seed=%d: trace messages pack=%d unpack=%d, stats %d",
+						r.name, enc, seed, tot.PackMessages, tot.UnpackMessages, stats.Messages)
+				}
+				if tot.Dense != stats.Encoding.Dense || tot.Sparse != stats.Encoding.Sparse || tot.All != stats.Encoding.All {
+					t.Fatalf("%s enc=%v seed=%d: trace format mix %d/%d/%d, stats %d/%d/%d",
+						r.name, enc, seed, tot.Dense, tot.Sparse, tot.All,
+						stats.Encoding.Dense, stats.Encoding.Sparse, stats.Encoding.All)
+				}
+				if plan == nil {
+					if tot.Retries != 0 || tot.FrameBytes != 0 || tot.Injected != 0 {
+						t.Fatalf("%s enc=%v: perfect network produced transport activity: %+v", r.name, enc, tot)
+					}
+					continue
+				}
+				f := stats.Faults
+				injected := f.Drops + f.Dups + f.Delays + f.Truncations + f.Corruptions + f.Reorders + f.AckDrops
+				if tot.Retries != f.RetryMessages || tot.RetryBytes != f.RetryBytes ||
+					tot.FrameBytes != f.FrameBytes || tot.AckMessages != f.AckMessages ||
+					tot.AckBytes != f.AckBytes || tot.DeliverySteps != f.DeliverySteps ||
+					tot.MaxSteps != int64(f.MaxDeliverySteps) || tot.Injected != injected ||
+					tot.Stalled != f.StalledSteps {
+					t.Fatalf("%s enc=%v seed=%d: transport totals diverged:\n trace %+v\n stats %+v",
+						r.name, enc, seed, tot, *f)
+				}
+			}
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"mrbc/internal/graph"
+	"mrbc/internal/obs"
 )
 
 // Delivery is a received message together with its sender.
@@ -56,6 +57,11 @@ type Network struct {
 	// CheckChannels enables verification that every send follows an
 	// existing channel; on by default, disable for big benchmarks.
 	CheckChannels bool
+
+	// Trace, when set, receives one obs.KindRound event per Step with
+	// the round number and the messages sent in it — the CONGEST-side
+	// counterpart of the D-Galois per-round trace.
+	Trace *obs.Trace
 }
 
 // NewNetwork builds a network over g whose vertex i runs nodes[i].
@@ -99,6 +105,9 @@ func (net *Network) Step() int64 {
 		} else {
 			node.Receive(r, nil)
 		}
+	}
+	if net.Trace.Enabled() {
+		net.Trace.Emit(obs.Event{Kind: obs.KindRound, Round: int32(r), Host: -1, Messages: sent})
 	}
 	return sent
 }

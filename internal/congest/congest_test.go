@@ -5,6 +5,7 @@ import (
 
 	"mrbc/internal/gen"
 	"mrbc/internal/graph"
+	"mrbc/internal/obs"
 )
 
 // floodNode implements BFS flooding: the root sends "hello" in round 1;
@@ -199,3 +200,24 @@ func (c *chatterNode) Send(r int, send func(uint32, any)) {
 }
 func (c *chatterNode) Receive(int, []Delivery) {}
 func (c *chatterNode) Done() bool              { return false }
+
+func TestTraceRoundEvents(t *testing.T) {
+	g := gen.RMAT(8, 8, 5)
+	net, _ := newFloodNetwork(g, 0)
+	net.Trace = obs.NewTrace(obs.DefaultCapacity, obs.LevelPhase)
+	rounds, _ := net.Run(10*g.NumVertices(), true)
+	evs := net.Trace.Events()
+	if len(evs) != rounds {
+		t.Fatalf("%d round events for %d rounds", len(evs), rounds)
+	}
+	var sent int64
+	for i, e := range evs {
+		if e.Kind != obs.KindRound || e.Round != int32(i+1) || e.Host != -1 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		sent += e.Messages
+	}
+	if sent != net.Messages {
+		t.Fatalf("trace counts %d messages, network counted %d", sent, net.Messages)
+	}
+}

@@ -16,6 +16,14 @@
 //     the load-imbalance estimate of Table 1,
 //   - non-overlapped communication wall time (exchange phases).
 //
+// All counters live in an obs.Registry (one private to the cluster
+// unless ClusterOptions.Metrics injects a shared one); Stats remains
+// the derived snapshot view. With ClusterOptions.Trace set, the
+// cluster additionally emits one obs event per (round, host, phase) —
+// compute, barrier, pack, exchange, unpack, plus transport events on
+// the reliable path. A nil trace costs a single predictable branch per
+// phase: the steady-state Exchange stays allocation-free either way.
+//
 // The communication phase is allocation-free at steady state: the
 // cluster keeps one reusable gluon.Writer per ordered host pair and
 // one gluon.Decoder per receiving host, and a persistent worker pool
@@ -32,24 +40,46 @@ import (
 	"time"
 
 	"mrbc/internal/gluon"
+	"mrbc/internal/obs"
 )
 
 // Cluster coordinates BSP execution across simulated hosts and records
 // execution statistics.
 type Cluster struct {
 	hosts int
+	epoch time.Time // trace timestamps are monotonic offsets from here
 
-	rounds         int
-	bytes          int64 // updated with atomics inside the pack loop
-	messages       int64 // updated with atomics inside the pack loop
-	encDense       int64 // per-format message tallies (atomics, pack loop)
-	encSparse      int64
-	encAll         int64
+	// Registry-backed counters, resolved once at construction so the
+	// hot path is a plain atomic add (identical cost to the ad-hoc
+	// int64 fields they superseded). Stats() derives its snapshot from
+	// these.
+	metrics     *obs.Registry
+	roundsC     *obs.Counter
+	bytesC      *obs.Counter
+	messagesC   *obs.Counter
+	encDenseC   *obs.Counter
+	encSparseC  *obs.Counter
+	encAllC     *obs.Counter
+	encBDenseC  *obs.Counter // per-format payload bytes (gluon plumb-through)
+	encBSparseC *obs.Counter
+	encBAllC    *obs.Counter
+	computeHist *obs.Histogram
+	commHist    *obs.Histogram
+
 	computeWall    time.Duration
 	commWall       time.Duration
 	perHostCompute []time.Duration
 	imbalanceSum   float64
 	imbalanceN     int
+
+	// Tracing state. trace == nil is the disabled path: every emission
+	// site is behind one branch and no tally work happens. seq is the
+	// coordinator-assigned phase counter — serial, hence deterministic
+	// across worker counts.
+	trace      *obs.Trace
+	seq        int64
+	hostPack   []exchangeTally // per-sender pack tallies, atomics (pairs share a sender)
+	hostUnpack []exchangeTally // per-receiver unpack tallies, receiver-serial
 
 	// Reusable communication state: out[from][to]. Writers own the
 	// pack buffers (and the marked-bitvector scratch), decoders own
@@ -78,10 +108,38 @@ type Cluster struct {
 	faults    FaultStats
 }
 
+// exchangeTally accumulates one host's side of an exchange for trace
+// emission; reset per exchange, touched only when tracing is enabled.
+type exchangeTally struct {
+	bytes    int64
+	messages int64
+	dense    int64
+	sparse   int64
+	all      int64
+}
+
+// ClusterOptions configures a cluster beyond its host count. The zero
+// value reproduces NewCluster exactly.
+type ClusterOptions struct {
+	// Plan routes every exchange through the framed ack/retry transport
+	// (nil: perfect network).
+	Plan *FaultPlan
+	// Trace receives one event per (round, host, phase) plus transport
+	// events; nil disables tracing at zero cost.
+	Trace *obs.Trace
+	// Metrics is the registry the cluster's counters live in; nil gives
+	// the cluster a private registry (snapshot via Cluster.Metrics).
+	Metrics *obs.Registry
+	// Workers overrides the exchange worker-pool size (0: the default
+	// min(GOMAXPROCS, host pairs)). Event content is independent of the
+	// worker count — golden-trace tests sweep this.
+	Workers int
+}
+
 // NewCluster creates a cluster of the given number of hosts with a
 // perfect network (no fault plan, no framing).
 func NewCluster(hosts int) *Cluster {
-	return NewClusterWithPlan(hosts, nil)
+	return NewClusterOpts(hosts, ClusterOptions{})
 }
 
 // NewClusterWithPlan creates a cluster whose exchanges run through the
@@ -90,10 +148,41 @@ func NewCluster(hosts int) *Cluster {
 // full reliable protocol (sequence numbers, checksums, acks) without
 // injecting faults.
 func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
+	return NewClusterOpts(hosts, ClusterOptions{Plan: plan})
+}
+
+// NewClusterOpts creates a cluster with explicit options.
+func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 	if hosts <= 0 {
 		panic(fmt.Sprintf("dgalois: invalid host count %d", hosts))
 	}
-	c := &Cluster{hosts: hosts, perHostCompute: make([]time.Duration, hosts), plan: plan}
+	c := &Cluster{
+		hosts:          hosts,
+		epoch:          time.Now(),
+		perHostCompute: make([]time.Duration, hosts),
+		plan:           opts.Plan,
+		trace:          opts.Trace,
+		metrics:        opts.Metrics,
+	}
+	if c.metrics == nil {
+		c.metrics = obs.NewRegistry()
+	}
+	c.roundsC = c.metrics.Counter("dgalois_rounds_total")
+	c.bytesC = c.metrics.Counter("dgalois_bytes_total")
+	c.messagesC = c.metrics.Counter("dgalois_messages_total")
+	c.encDenseC = c.metrics.Counter("dgalois_messages_dense_total")
+	c.encSparseC = c.metrics.Counter("dgalois_messages_sparse_total")
+	c.encAllC = c.metrics.Counter("dgalois_messages_all_total")
+	c.encBDenseC = c.metrics.Counter("dgalois_bytes_dense_total")
+	c.encBSparseC = c.metrics.Counter("dgalois_bytes_sparse_total")
+	c.encBAllC = c.metrics.Counter("dgalois_bytes_all_total")
+	c.computeHist = c.metrics.Histogram("dgalois_compute_phase_seconds", obs.DurationBuckets)
+	c.commHist = c.metrics.Histogram("dgalois_exchange_seconds", obs.DurationBuckets)
+	c.metrics.Gauge("dgalois_hosts").Set(int64(hosts))
+	if c.trace != nil {
+		c.hostPack = make([]exchangeTally, hosts)
+		c.hostUnpack = make([]exchangeTally, hosts)
+	}
 	c.bufs = make([][][]byte, hosts)
 	c.writers = make([][]*gluon.Writer, hosts)
 	c.decoders = make([]*gluon.Decoder, hosts)
@@ -107,9 +196,12 @@ func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
 		}
 		c.decoders[i] = gluon.NewDecoder()
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if pairs := hosts * (hosts - 1); workers > pairs {
-		workers = pairs
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if pairs := hosts * (hosts - 1); workers > pairs {
+			workers = pairs
+		}
 	}
 	if workers < 1 {
 		workers = 1
@@ -117,7 +209,7 @@ func NewClusterWithPlan(hosts int, plan *FaultPlan) *Cluster {
 	c.pool = newWorkerPool(workers)
 	c.packTaskFn = c.packTask
 	c.unpackTaskFn = c.unpackTask
-	if plan != nil {
+	if c.plan != nil {
 		c.seqOut = make([][]uint32, hosts)
 		c.seqIn = make([][]uint32, hosts)
 		for i := range c.seqOut {
@@ -142,6 +234,10 @@ func (c *Cluster) Close() {
 // NumHosts returns the cluster size.
 func (c *Cluster) NumHosts() int { return c.hosts }
 
+// Metrics returns the registry holding the cluster's counters (the one
+// injected via ClusterOptions.Metrics, or the private default).
+func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
+
 // SetEncoding pins the sync-metadata format every pack writer uses
 // (gluon.FormatAuto, the default, selects the smallest per message).
 // Used by ablations to reproduce the seed dense-only wire format.
@@ -155,10 +251,17 @@ func (c *Cluster) SetEncoding(f gluon.Format) {
 	}
 }
 
+// nextSeq hands out the coordinator-serial phase sequence number.
+func (c *Cluster) nextSeq() int64 {
+	c.seq++
+	return c.seq
+}
+
 // Compute runs fn(host) on every host concurrently as one BSP compute
 // phase, recording per-host compute time and the round's load
 // imbalance.
 func (c *Cluster) Compute(fn func(host int)) {
+	seq := c.nextSeq()
 	start := time.Now()
 	durations := make([]time.Duration, c.hosts)
 	var wg sync.WaitGroup
@@ -172,7 +275,9 @@ func (c *Cluster) Compute(fn func(host int)) {
 		}(h)
 	}
 	wg.Wait()
-	c.computeWall += time.Since(start)
+	wall := time.Since(start)
+	c.computeWall += wall
+	c.computeHist.Observe(wall.Seconds())
 
 	for h, d := range durations {
 		c.perHostCompute[h] += d
@@ -184,10 +289,29 @@ func (c *Cluster) Compute(fn func(host int)) {
 		c.imbalanceSum += imb
 		c.imbalanceN++
 	}
+	if c.trace != nil {
+		round := int32(c.roundsC.Load())
+		base := start.Sub(c.epoch).Nanoseconds()
+		var maxD time.Duration
+		for _, d := range durations {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		for h, d := range durations {
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: round,
+				Host: int32(h), Phase: obs.PhaseCompute, StartNs: base, DurNs: d.Nanoseconds()})
+			// The barrier slice is the host's idle wait for the round's
+			// slowest host.
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: round,
+				Host: int32(h), Phase: obs.PhaseBarrier,
+				StartNs: base + d.Nanoseconds(), DurNs: (maxD - d).Nanoseconds()})
+		}
+	}
 }
 
 // BeginRound marks the start of a BSP round (for the round counter).
-func (c *Cluster) BeginRound() { c.rounds++ }
+func (c *Cluster) BeginRound() { c.roundsC.Inc() }
 
 // packTask packs one (from, to) pair into its pooled writer and folds
 // the pair's volume and format tallies into the cluster counters; pairs
@@ -204,13 +328,29 @@ func (c *Cluster) packTask(i int) {
 	buf := w.Bytes()
 	c.bufs[from][to] = buf
 	if len(buf) > 0 {
-		atomic.AddInt64(&c.bytes, int64(len(buf)))
-		atomic.AddInt64(&c.messages, 1)
+		c.bytesC.Add(int64(len(buf)))
+		c.messagesC.Add(1)
+		if c.trace != nil {
+			t := &c.hostPack[from]
+			atomic.AddInt64(&t.bytes, int64(len(buf)))
+			atomic.AddInt64(&t.messages, 1)
+		}
 	}
 	if enc := w.TakeCounts(); enc != (gluon.EncodingCounts{}) {
-		atomic.AddInt64(&c.encDense, enc.Dense)
-		atomic.AddInt64(&c.encSparse, enc.Sparse)
-		atomic.AddInt64(&c.encAll, enc.All)
+		c.encDenseC.Add(enc.Dense)
+		c.encSparseC.Add(enc.Sparse)
+		c.encAllC.Add(enc.All)
+		if c.trace != nil {
+			t := &c.hostPack[from]
+			atomic.AddInt64(&t.dense, enc.Dense)
+			atomic.AddInt64(&t.sparse, enc.Sparse)
+			atomic.AddInt64(&t.all, enc.All)
+		}
+	}
+	if eb := w.TakeByteCounts(); eb != (gluon.ByteCounts{}) {
+		c.encBDenseC.Add(eb.Dense)
+		c.encBSparseC.Add(eb.Sparse)
+		c.encBAllC.Add(eb.All)
 	}
 }
 
@@ -220,6 +360,10 @@ func (c *Cluster) unpackTask(to int) {
 	for from := 0; from < c.hosts; from++ {
 		if buf := c.bufs[from][to]; len(buf) > 0 {
 			c.unpackFn(to, from, buf, c.decoders[to])
+			if c.trace != nil {
+				c.hostUnpack[to].bytes += int64(len(buf))
+				c.hostUnpack[to].messages++
+			}
 		}
 	}
 }
@@ -230,6 +374,46 @@ func (c *Cluster) runPackPhase(pack func(from, to int, w *gluon.Writer)) {
 	c.packFn = pack
 	c.pool.runAll(c.hosts*c.hosts, c.packTaskFn)
 	c.packFn = nil
+}
+
+// resetExchangeTallies clears the per-host trace tallies (no-op when
+// tracing is disabled).
+func (c *Cluster) resetExchangeTallies() {
+	for i := range c.hostPack {
+		c.hostPack[i] = exchangeTally{}
+		c.hostUnpack[i] = exchangeTally{}
+	}
+}
+
+// emitExchangeEvents publishes the per-host pack/unpack phase events
+// plus the cluster-wide exchange slice. Only hosts that moved data
+// appear, so event content mirrors the message-level accounting.
+func (c *Cluster) emitExchangeEvents(packSeq, unpackSeq int64, start, packEnd, end time.Time) {
+	round := int32(c.roundsC.Load())
+	packBase := start.Sub(c.epoch).Nanoseconds()
+	packDur := packEnd.Sub(start).Nanoseconds()
+	unpackBase := packEnd.Sub(c.epoch).Nanoseconds()
+	unpackDur := end.Sub(packEnd).Nanoseconds()
+	for h := range c.hostPack {
+		if t := &c.hostPack[h]; t.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: packSeq, Round: round,
+				Host: int32(h), Phase: obs.PhasePack,
+				Bytes: t.bytes, Messages: t.messages,
+				Dense: t.dense, Sparse: t.sparse, All: t.all,
+				StartNs: packBase, DurNs: packDur})
+		}
+	}
+	for h := range c.hostUnpack {
+		if t := &c.hostUnpack[h]; t.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: unpackSeq, Round: round,
+				Host: int32(h), Phase: obs.PhaseUnpack,
+				Bytes: t.bytes, Messages: t.messages,
+				StartNs: unpackBase, DurNs: unpackDur})
+		}
+	}
+	c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: packSeq, Round: round,
+		Host: -1, Phase: obs.PhaseExchange,
+		StartNs: packBase, DurNs: end.Sub(start).Nanoseconds()})
 }
 
 // Exchange performs one communication step: every host produces a
@@ -253,12 +437,24 @@ func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func
 		c.exchangeReliable(pack, unpack)
 		return
 	}
+	packSeq := c.nextSeq()
+	unpackSeq := c.nextSeq()
+	if c.trace != nil {
+		c.resetExchangeTallies()
+	}
 	start := time.Now()
 	c.runPackPhase(pack)
+	packEnd := time.Now()
 	c.unpackFn = unpack
 	c.pool.runAll(c.hosts, c.unpackTaskFn)
 	c.unpackFn = nil
-	c.commWall += time.Since(start)
+	end := time.Now()
+	wall := end.Sub(start)
+	c.commWall += wall
+	c.commHist.Observe(wall.Seconds())
+	if c.trace != nil {
+		c.emitExchangeEvents(packSeq, unpackSeq, start, packEnd, end)
+	}
 }
 
 // Stats is a snapshot of execution costs. Bytes and Messages are the
@@ -287,7 +483,10 @@ type Stats struct {
 	Faults *FaultStats
 }
 
-// Stats returns the current statistics snapshot.
+// Stats returns the current statistics snapshot, derived from the
+// registry counters (pinned byte-identical to the pre-registry ad-hoc
+// fields by TestVolumeAccountingMatchesSerialRecount and the chaostest
+// volume sweep).
 func (c *Cluster) Stats() Stats {
 	var maxCompute time.Duration
 	for _, d := range c.perHostCompute {
@@ -302,16 +501,16 @@ func (c *Cluster) Stats() Stats {
 	per := append([]time.Duration(nil), c.perHostCompute...)
 	s := Stats{
 		Hosts:         c.hosts,
-		Rounds:        c.rounds,
-		Bytes:         atomic.LoadInt64(&c.bytes),
-		Messages:      atomic.LoadInt64(&c.messages),
+		Rounds:        int(c.roundsC.Load()),
+		Bytes:         c.bytesC.Load(),
+		Messages:      c.messagesC.Load(),
 		ComputeTime:   maxCompute,
 		CommTime:      c.commWall,
 		LoadImbalance: imb,
 		Encoding: gluon.EncodingCounts{
-			Dense:  atomic.LoadInt64(&c.encDense),
-			Sparse: atomic.LoadInt64(&c.encSparse),
-			All:    atomic.LoadInt64(&c.encAll),
+			Dense:  c.encDenseC.Load(),
+			Sparse: c.encSparseC.Load(),
+			All:    c.encAllC.Load(),
 		},
 		PerHostCompute: per,
 	}

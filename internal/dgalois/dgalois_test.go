@@ -1,12 +1,14 @@
 package dgalois
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"mrbc/internal/gluon"
+	"mrbc/internal/obs"
 )
 
 func TestComputeRunsAllHosts(t *testing.T) {
@@ -279,6 +281,145 @@ func TestExchangeZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Exchange allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestExchangeZeroAllocsWithTracing extends the pin to the enabled
+// path: the ring tracer holds events inline and tallies live in
+// preallocated per-host slots, so even a traced Exchange allocates
+// nothing at steady state.
+func TestExchangeZeroAllocsWithTracing(t *testing.T) {
+	const hosts, listLen = 4, 2048
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	tr := obs.NewTrace(1<<10, obs.LevelPhase)
+	c := NewClusterOpts(hosts, ClusterOptions{Trace: tr})
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.Exchange(pack, unpack)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Exchange(pack, unpack)
+	})
+	if allocs != 0 {
+		t.Fatalf("traced Exchange allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTraceEventsMatchStats pins the trace-accounting invariant at the
+// substrate level: summing the pack/unpack phase events reproduces the
+// Stats volume exactly, the expected phases appear per round, and the
+// registry counters agree with the derived Stats view.
+func TestTraceEventsMatchStats(t *testing.T) {
+	const hosts, listLen, rounds = 4, 512, 3
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	tr := obs.NewTrace(1<<12, obs.LevelPhase)
+	c := NewClusterOpts(hosts, ClusterOptions{Trace: tr})
+	defer c.Close()
+	for r := 0; r < rounds; r++ {
+		c.BeginRound()
+		c.Compute(func(h int) {})
+		c.Exchange(pack, unpack)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace dropped %d events", tr.Dropped())
+	}
+	st := c.Stats()
+	events := tr.Events()
+	tot := obs.Sum(events)
+	if tot.PackBytes != st.Bytes || tot.UnpackBytes != st.Bytes {
+		t.Fatalf("trace bytes %d/%d (pack/unpack) != Stats.Bytes %d", tot.PackBytes, tot.UnpackBytes, st.Bytes)
+	}
+	if tot.PackMessages != st.Messages || tot.UnpackMessages != st.Messages {
+		t.Fatalf("trace messages %d/%d != Stats.Messages %d", tot.PackMessages, tot.UnpackMessages, st.Messages)
+	}
+	if (gluon.EncodingCounts{Dense: tot.Dense, Sparse: tot.Sparse, All: tot.All}) != st.Encoding {
+		t.Fatalf("trace format mix {%d %d %d} != Stats.Encoding %+v", tot.Dense, tot.Sparse, tot.All, st.Encoding)
+	}
+	phases := make(map[obs.Phase]int)
+	for _, e := range events {
+		if e.Kind == obs.KindPhase {
+			phases[e.Phase]++
+		}
+	}
+	if phases[obs.PhaseCompute] != rounds*hosts || phases[obs.PhaseBarrier] != rounds*hosts {
+		t.Fatalf("compute/barrier events = %d/%d, want %d each", phases[obs.PhaseCompute], phases[obs.PhaseBarrier], rounds*hosts)
+	}
+	if phases[obs.PhaseExchange] != rounds {
+		t.Fatalf("exchange events = %d, want %d", phases[obs.PhaseExchange], rounds)
+	}
+	if phases[obs.PhasePack] == 0 || phases[obs.PhaseUnpack] == 0 {
+		t.Fatal("missing pack/unpack events")
+	}
+
+	snap := c.Metrics().Snapshot()
+	if snap.Counters["dgalois_bytes_total"] != st.Bytes ||
+		snap.Counters["dgalois_messages_total"] != st.Messages ||
+		snap.Counters["dgalois_rounds_total"] != int64(st.Rounds) {
+		t.Fatalf("registry counters disagree with Stats: %+v vs %+v", snap.Counters, st)
+	}
+	// Every message here came from gluon.EncodeUpdates, so the
+	// per-format byte counters must cover the whole volume.
+	fmtBytes := snap.Counters["dgalois_bytes_dense_total"] +
+		snap.Counters["dgalois_bytes_sparse_total"] +
+		snap.Counters["dgalois_bytes_all_total"]
+	if fmtBytes != st.Bytes {
+		t.Fatalf("per-format byte counters cover %d of %d bytes", fmtBytes, st.Bytes)
+	}
+	if snap.Gauges["dgalois_hosts"] != hosts {
+		t.Fatalf("hosts gauge = %d", snap.Gauges["dgalois_hosts"])
+	}
+	if hs := snap.Histograms["dgalois_exchange_seconds"]; hs.Count != rounds {
+		t.Fatalf("exchange histogram recorded %d samples, want %d", hs.Count, rounds)
+	}
+}
+
+// TestReliableModelStreamMatchesFaultFree pins the model-stream
+// invariant: under a seeded fault plan, transport events record the
+// retries/framing/acks, but filtering them out leaves a canonical
+// event stream byte-identical to the fault-free run's.
+func TestReliableModelStreamMatchesFaultFree(t *testing.T) {
+	const hosts, listLen, rounds = 4, 256, 5
+	run := func(plan *FaultPlan) []obs.Event {
+		var sink int64
+		pack, unpack := fixedWorkload(listLen, &sink)
+		tr := obs.NewTrace(1<<12, obs.LevelPhase)
+		c := NewClusterOpts(hosts, ClusterOptions{Plan: plan, Trace: tr})
+		defer c.Close()
+		for r := 0; r < rounds; r++ {
+			c.BeginRound()
+			c.Exchange(pack, unpack)
+		}
+		if tr.Dropped() != 0 {
+			t.Fatalf("trace dropped %d events", tr.Dropped())
+		}
+		return tr.Events()
+	}
+	perfect := run(nil)
+	faulty := run(RandomPlan(7, 0.2, hosts))
+
+	sawTransport := false
+	for _, e := range faulty {
+		if e.Kind == obs.KindTransport {
+			sawTransport = true
+			if e.FrameBytes == 0 {
+				t.Fatal("transport event carries no framing bytes")
+			}
+		}
+	}
+	if !sawTransport {
+		t.Fatal("faulty run emitted no transport events")
+	}
+	var a, b bytes.Buffer
+	if err := obs.WriteCanonical(&a, obs.ModelEvents(perfect)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteCanonical(&b, obs.ModelEvents(faulty)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("paper-model event stream changed under the fault plan")
 	}
 }
 

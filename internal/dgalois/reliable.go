@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrbc/internal/gluon"
+	"mrbc/internal/obs"
 )
 
 // Reliable exchange: the fault-tolerant replacement for the perfect
@@ -59,6 +60,16 @@ type reliableArrival struct {
 }
 
 func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unpack func(to, from int, data []byte, dec *gluon.Decoder)) {
+	// The reliable path consumes exactly as many phase sequence numbers
+	// as the perfect path (pack, then unpack; the transport event rides
+	// on the unpack seq), so the paper-model event stream of a faulty
+	// run lines up event-for-event with the fault-free run's.
+	packSeq := c.nextSeq()
+	unpackSeq := c.nextSeq()
+	if c.trace != nil {
+		c.resetExchangeTallies()
+	}
+	fBefore := c.faults
 	start := time.Now()
 	p := c.plan
 	ex := c.exchanges
@@ -69,6 +80,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	// accounting (each payload counted exactly once, before any fault
 	// can touch it).
 	c.runPackPhase(pack)
+	packEnd := time.Now()
 
 	// Frame every non-empty buffer. EncodeFrame copies the payload, so
 	// the pooled writers are free for the next exchange regardless of
@@ -216,6 +228,14 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 				unpack(ch.to, ch.from, payload, c.decoders[ch.to])
 				ch.delivered = true
 				c.seqIn[ch.to][ch.from] = seq
+				if c.trace != nil {
+					// Delivered payload == packed payload (checksum-
+					// verified), so receiver tallies match the fault-free
+					// run exactly. Delivery runs on the coordinator, so no
+					// atomics are needed here.
+					c.hostUnpack[ch.to].bytes += int64(len(payload))
+					c.hostUnpack[ch.to].messages++
+				}
 			}
 			// Ack travels back unless faulted or the sender is deaf; a
 			// lost ack just means one more retransmission and a
@@ -240,7 +260,30 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	if step > c.faults.MaxDeliverySteps {
 		c.faults.MaxDeliverySteps = step
 	}
-	c.commWall += time.Since(start)
+	end := time.Now()
+	wall := end.Sub(start)
+	c.commWall += wall
+	c.commHist.Observe(wall.Seconds())
+	if c.trace != nil {
+		c.emitExchangeEvents(packSeq, unpackSeq, start, packEnd, end)
+		f := &c.faults
+		injected := (f.Drops - fBefore.Drops) + (f.Dups - fBefore.Dups) +
+			(f.Delays - fBefore.Delays) + (f.Truncations - fBefore.Truncations) +
+			(f.Corruptions - fBefore.Corruptions) + (f.Reorders - fBefore.Reorders) +
+			(f.AckDrops - fBefore.AckDrops)
+		c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: unpackSeq,
+			Round: int32(c.roundsC.Load()), Host: -1,
+			Retries:     f.RetryMessages - fBefore.RetryMessages,
+			RetryBytes:  f.RetryBytes - fBefore.RetryBytes,
+			FrameBytes:  f.FrameBytes - fBefore.FrameBytes,
+			AckMessages: f.AckMessages - fBefore.AckMessages,
+			AckBytes:    f.AckBytes - fBefore.AckBytes,
+			Steps:       int64(step),
+			Injected:    injected,
+			Stalled:     f.StalledSteps - fBefore.StalledSteps,
+			StartNs:     start.Sub(c.epoch).Nanoseconds(),
+			DurNs:       wall.Nanoseconds()})
+	}
 }
 
 // deadlineError builds the structured error for an exchange that could

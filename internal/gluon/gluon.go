@@ -140,6 +140,25 @@ func (c *EncodingCounts) Add(o EncodingCounts) {
 // Total returns the number of messages across all formats.
 func (c EncodingCounts) Total() int64 { return c.Dense + c.Sparse + c.All }
 
+// ByteCounts tallies sync-message bytes (header + metadata + payload)
+// by wire format — the byte-level companion of EncodingCounts, surfaced
+// through the dgalois metrics registry.
+type ByteCounts struct {
+	Dense  int64 `json:"dense"`
+	Sparse int64 `json:"sparse"`
+	All    int64 `json:"all"`
+}
+
+// Add accumulates o into c.
+func (c *ByteCounts) Add(o ByteCounts) {
+	c.Dense += o.Dense
+	c.Sparse += o.Sparse
+	c.All += o.All
+}
+
+// Total returns the byte count across all formats.
+func (c ByteCounts) Total() int64 { return c.Dense + c.Sparse + c.All }
+
 // Writer serializes payloads into a sync buffer. The zero value is
 // ready to use; Reset lets one Writer serve many messages without
 // reallocating, and Scratch hands out a reusable marked-bitvector so
@@ -148,7 +167,8 @@ type Writer struct {
 	buf   []byte
 	force Format // FormatAuto: adaptive selection
 
-	counts EncodingCounts
+	counts     EncodingCounts
+	byteCounts ByteCounts
 
 	scratchWords []uint64
 	scratch      bitset.Set
@@ -175,6 +195,15 @@ func (w *Writer) ForceFormat(f Format) { w.force = f }
 func (w *Writer) TakeCounts() EncodingCounts {
 	c := w.counts
 	w.counts = EncodingCounts{}
+	return c
+}
+
+// TakeByteCounts returns the per-format byte tallies (full message
+// size: header, metadata, and payload) accumulated since the last
+// call, and zeroes them.
+func (w *Writer) TakeByteCounts() ByteCounts {
+	c := w.byteCounts
+	w.byteCounts = ByteCounts{}
 	return c
 }
 
@@ -331,6 +360,7 @@ func EncodeUpdates(w *Writer, listLen int, marked *bitset.Set, emit func(pos int
 		panic("gluon: marked bitvector does not match shared list length")
 	}
 	count := marked.Count()
+	startLen := w.Len()
 	f := w.force
 	if f == FormatAuto {
 		if count == listLen {
@@ -373,6 +403,15 @@ func EncodeUpdates(w *Writer, listLen int, marked *bitset.Set, emit func(pos int
 		emit(pos, w)
 		return true
 	})
+	size := int64(w.Len() - startLen)
+	switch f {
+	case FormatDense:
+		w.byteCounts.Dense += size
+	case FormatSparse:
+		w.byteCounts.Sparse += size
+	case FormatAll:
+		w.byteCounts.All += size
+	}
 }
 
 // Decoder parses sync messages. It owns the reader scratch handed to

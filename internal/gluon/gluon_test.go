@@ -158,6 +158,46 @@ func TestEncodeNothingWritesNothing(t *testing.T) {
 	}
 }
 
+func TestTakeByteCountsMatchesWireLength(t *testing.T) {
+	listLen := 100
+	marked := bitset.New(listLen)
+	marked.Set(3)
+	marked.Set(64)
+	marked.Set(99)
+	payload := map[int]uint32{3: 30, 64: 640, 99: 990}
+	full := bitset.New(4)
+	full.Fill()
+	fullPay := map[int]uint32{0: 1, 1: 2, 2: 3, 3: 4}
+
+	w := &Writer{}
+	encode := func(f Format, n int, m *bitset.Set, p map[int]uint32) int {
+		before := w.Len()
+		w.ForceFormat(f)
+		EncodeUpdates(w, n, m, func(pos int, w *Writer) { w.U32(p[pos]) })
+		return w.Len() - before
+	}
+	dense := encode(FormatDense, listLen, marked, payload)
+	sparse := encode(FormatSparse, listLen, marked, payload)
+	all := encode(FormatAll, 4, full, fullPay)
+
+	bc := w.TakeByteCounts()
+	if bc.Dense != int64(dense) || bc.Sparse != int64(sparse) || bc.All != int64(all) {
+		t.Fatalf("byte counts %+v, want dense=%d sparse=%d all=%d", bc, dense, sparse, all)
+	}
+	if bc.Total() != int64(w.Len()) {
+		t.Fatalf("byte counts total %d != wire length %d", bc.Total(), w.Len())
+	}
+	// TakeByteCounts drains: a second call sees zero, and per-format
+	// byte tallies agree with the message tallies' chosen formats.
+	if again := w.TakeByteCounts(); again.Total() != 0 {
+		t.Fatalf("second TakeByteCounts not drained: %+v", again)
+	}
+	mc := w.TakeCounts()
+	if mc.Dense != 1 || mc.Sparse != 1 || mc.All != 1 {
+		t.Fatalf("message counts %+v, want one of each format", mc)
+	}
+}
+
 func TestForceAllWithPartialMarksPanics(t *testing.T) {
 	marked := bitset.New(10)
 	marked.Set(2)

@@ -19,6 +19,7 @@ import (
 	"mrbc/internal/dgalois"
 	"mrbc/internal/gluon"
 	"mrbc/internal/graph"
+	"mrbc/internal/obs"
 	"mrbc/internal/partition"
 )
 
@@ -61,6 +62,16 @@ type Options struct {
 	// gluon.FormatDense reproduces the seed's dense-bitvector volume
 	// for ablations.
 	Encoding gluon.Format
+	// Trace receives one event per (round, host, phase), plus — at
+	// obs.LevelDetail — one send event per synchronized (vertex, source)
+	// pair and one summary event per batch. Nil disables tracing.
+	Trace *obs.Trace
+	// Metrics is the registry the cluster populates; nil gives the run
+	// a private registry reachable through the returned Stats only.
+	Metrics *obs.Registry
+	// Workers overrides the cluster's exchange worker-pool size (0:
+	// automatic). Trace content is independent of this value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -144,24 +155,30 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 		}
 	}
 	topo := gluon.NewTopology(pt)
-	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
+	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
+		Plan:    opts.Fault,
+		Trace:   opts.Trace,
+		Metrics: opts.Metrics,
+		Workers: opts.Workers,
+	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	scores := make([]float64, n)
 	err := dgalois.Capture(func() {
-		for start := 0; start < len(sources); start += opts.BatchSize {
+		for start, bi := 0, 0; start < len(sources); start, bi = start+opts.BatchSize, bi+1 {
 			end := start + opts.BatchSize
 			if end > len(sources) {
 				end = len(sources)
 			}
-			runBatch(cluster, topo, pt, sources[start:end], scores, opts)
+			runBatch(cluster, topo, pt, sources[start:end], scores, opts, bi)
 		}
 	})
 	return scores, cluster.Stats(), err
 }
 
-func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options) {
+func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options, bi int) {
 	k := len(batch)
+	tr := opts.Trace
 	states := make([]*hostState, pt.NumHosts)
 	cluster.Compute(func(h int) {
 		p := pt.Parts[h]
@@ -208,7 +225,7 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			break
 		}
 		R = r
-		syncForward(cluster, topo, states, r)
+		syncForward(cluster, topo, states, r, tr, bi)
 		// Compute phase B: relax the synchronized entries locally. Only
 		// CandidateSync disseminates the distance candidates the
 		// relaxations create, so only it pays to collect them;
@@ -259,13 +276,21 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 				st.flagByV[f.V] = f
 			}
 		})
-		syncBackward(cluster, topo, states)
+		syncBackward(cluster, topo, states, r, tr, bi)
 		cluster.Compute(func(h int) {
 			st := states[h]
 			for _, f := range st.synced {
 				st.engine.AccumulateIn(f.V, f.Src)
 			}
 		})
+	}
+
+	// One summary event per batch: K sources, R forward rounds, maxBack
+	// backward rounds — the inputs of the Lemma 8 bound
+	// fwd + back + 1 ≤ 2(k+H) + 1 the trace harness checks.
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindBatch, Batch: int32(bi), Host: -1,
+			K: int32(k), FwdRounds: int32(R), BackRounds: int32(maxBack)})
 	}
 
 	// Fold master dependencies into the global scores.
@@ -290,7 +315,7 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 // CandidateSync mode at most one proposal per vertex exists, so
 // arbitration is a no-op), merge the winner's σ partials, apply the
 // finalized value, and broadcast (src, dist, σ) to every mirror.
-func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int) {
+func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int, tr *obs.Trace, bi int) {
 	// Reduce: due mirror proxies -> master (proposals are buffered;
 	// nothing is merged until arbitration picks the winners).
 	cluster.Exchange(
@@ -363,6 +388,15 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 			st.synced = append(st.synced, core.Flag{V: w.v, Src: w.src})
 			st.flagSet[key(w.v, w.src)] = true
 			st.bcastByV[w.v] = w.src
+			// Every winner is master-owned and ApplySync rejects double
+			// synchronization, so this fires exactly once per
+			// (batch, vertex, source) — the forward half of the
+			// reversal-symmetry invariant.
+			if tr.Detail() {
+				tr.Emit(obs.Event{Kind: obs.KindSend, Dir: obs.DirForward,
+					Batch: int32(bi), Round: int32(r), Host: int32(h),
+					V: int32(st.part.GlobalID[w.v]), Src: int32(w.src)})
+			}
 		}
 		st.proposals = st.proposals[:0]
 	})
@@ -521,7 +555,7 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 // syncBackward synchronizes the dependency labels of backward-flagged
 // pairs: mirrors push δ partials (then reset them), masters sum and
 // broadcast the final dependency.
-func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
+func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int, tr *obs.Trace, bi int) {
 	cluster.Exchange(
 		func(from, to int, w *gluon.Writer) {
 			st := states[from]
@@ -570,6 +604,15 @@ func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*host
 			s := int(kk & (1<<20 - 1))
 			st.synced = append(st.synced, core.Flag{V: v, Src: s})
 			st.bcastByV[v] = s
+			// flagSet is the master-side union of this round's due pairs
+			// (its own flags plus mirror partials), so each (v, src)
+			// appears at its master in exactly one backward round — the
+			// round Algorithm 5 schedules as A = R − τ + 1.
+			if tr.Detail() {
+				tr.Emit(obs.Event{Kind: obs.KindSend, Dir: obs.DirBackward,
+					Batch: int32(bi), Round: int32(r), Host: int32(h),
+					V: int32(st.part.GlobalID[v]), Src: int32(s)})
+			}
 		}
 	})
 

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes events as one JSON object per line, in the given
+// order (use Canonical first for a byte-stable file).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses a JSONL stream produced by WriteJSONL. Blank lines
+// are skipped.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Canonical returns a copy of events in a deterministic total order
+// with the wall-clock fields (StartNs, DurNs) stripped. Event content
+// is a pure function of (graph, seed, options); only timings and
+// concurrent emission order vary run to run, so the canonical form of
+// the same configuration is byte-identical across worker counts.
+func Canonical(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	for i := range out {
+		out[i].StartNs = 0
+		out[i].DurNs = 0
+	}
+	sort.Slice(out, func(i, j int) bool { return canonLess(out[i], out[j]) })
+	return out
+}
+
+func canonLess(a, b Event) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Batch != b.Batch {
+		return a.Batch < b.Batch
+	}
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	if a.Round != b.Round {
+		return a.Round < b.Round
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Phase < b.Phase
+}
+
+// WriteCanonical writes Canonical(events) as JSONL: the byte-stable
+// form golden-trace tests pin.
+func WriteCanonical(w io.Writer, events []Event) error {
+	return WriteJSONL(w, Canonical(events))
+}
+
+// ModelEvents filters events down to the paper-model stream: transport
+// events (retries, framing, acks — artifacts of the fault layer) are
+// dropped, everything else kept. The model stream of a faulty run is
+// identical to the fault-free run's, mirroring the Stats.Bytes/Messages
+// invariant.
+func ModelEvents(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Kind != KindTransport {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto): a complete ("X") slice per phase event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the phase events as a Chrome trace-event
+// JSON array: one timeline row per host, one complete slice per
+// (round, host, phase), with the volume counters attached as args.
+// Non-phase events are skipped (they carry no wall-clock extent).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var ces []chromeEvent
+	for _, e := range events {
+		if e.Kind != KindPhase {
+			continue
+		}
+		ce := chromeEvent{
+			Name: string(e.Phase),
+			Ph:   "X",
+			Ts:   float64(e.StartNs) / 1e3,
+			Dur:  float64(e.DurNs) / 1e3,
+			Pid:  0,
+			Tid:  e.Host,
+		}
+		if e.Bytes > 0 || e.Messages > 0 {
+			ce.Args = map[string]any{
+				"round": e.Round, "bytes": e.Bytes, "messages": e.Messages,
+			}
+		} else {
+			ce.Args = map[string]any{"round": e.Round}
+		}
+		ces = append(ces, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ces)
+}

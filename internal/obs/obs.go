@@ -1,0 +1,234 @@
+// Package obs is the observability layer for the MRBC stack: a
+// ring-buffered structured tracer plus a metrics registry, built so the
+// disabled path costs nothing (a nil *Trace short-circuits before any
+// work, preserving dgalois's zero-allocation Exchange pin) and the
+// enabled path allocates nothing per event (fixed-capacity ring of
+// value-typed events, atomic cursor).
+//
+// Traces record one event per (round, host, phase) — compute, pack,
+// exchange, unpack, barrier — with byte/message/format/retry counters
+// and monotonic timings, and, at LevelDetail, one event per
+// (vertex, source) synchronization in each direction. Those send events
+// turn the paper's bounds into executable assertions:
+//
+//   - Lemma 8: every batch of k sources completes within k+H forward
+//     rounds and the same again backward (CheckRoundBounds);
+//   - Algorithm 5's reversal: a pair synchronized forward in round τ
+//     synchronizes backward in round R−τ+1 (CheckReversal).
+//
+// Event content is a pure function of (graph, seed, options): timings
+// and emission order are the only nondeterministic parts, so Canonical
+// (sort + strip timings) yields byte-identical traces across worker
+// counts, and ModelEvents (drop transport events) yields the identical
+// paper-model stream with and without injected faults.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Kind classifies an event.
+type Kind string
+
+const (
+	// KindPhase is one host's slice of a BSP phase (compute, pack,
+	// exchange, unpack, barrier), emitted by the cluster substrate.
+	KindPhase Kind = "phase"
+	// KindSend is one (vertex, source) label synchronization, emitted by
+	// the engines at the owning master, only at LevelDetail.
+	KindSend Kind = "send"
+	// KindBatch summarizes one source batch: k, forward rounds R,
+	// backward rounds.
+	KindBatch Kind = "batch"
+	// KindTransport reports the reliable transport's work for one
+	// exchange (retries, framing, acks, delivery steps). Not part of the
+	// paper-model stream.
+	KindTransport Kind = "transport"
+	// KindRound is a CONGEST simulator round (internal/congest).
+	KindRound Kind = "round"
+)
+
+// Phase identifies the BSP phase slice of a KindPhase event.
+type Phase string
+
+const (
+	PhaseCompute  Phase = "compute"
+	PhasePack     Phase = "pack"
+	PhaseExchange Phase = "exchange"
+	PhaseUnpack   Phase = "unpack"
+	// PhaseBarrier is the time a host idles at the compute barrier
+	// waiting for the slowest host (max duration − own duration).
+	PhaseBarrier Phase = "barrier"
+)
+
+// Direction tags send events.
+type Direction string
+
+const (
+	DirForward  Direction = "fwd"
+	DirBackward Direction = "back"
+)
+
+// Event is one trace record. The struct is value-typed and
+// fixed-size, so the ring buffer holds events inline and Emit never
+// allocates. Zero fields are omitted from JSON; a zero value
+// round-trips, so omission loses nothing.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Seq orders cluster-emitted events (phase, transport): the
+	// coordinator assigns it serially per phase dispatch, so it is
+	// deterministic across worker counts. Engine-emitted events carry 0.
+	Seq int64 `json:"seq,omitempty"`
+	// Round: the cluster BSP round for phase/transport events; the
+	// batch-relative round for send events; the simulator round for
+	// round events.
+	Round int32 `json:"round,omitempty"`
+	// Batch is the source-batch index for send/batch events.
+	Batch int32 `json:"batch,omitempty"`
+	// Host: the host of a phase event or the master host of a send
+	// event; −1 for cluster-wide events.
+	Host  int32     `json:"host,omitempty"`
+	Phase Phase     `json:"phase,omitempty"`
+	Dir   Direction `json:"dir,omitempty"`
+	// V and Src identify the (global vertex, batch-local source) pair of
+	// a send event.
+	V   int32 `json:"v,omitempty"`
+	Src int32 `json:"src,omitempty"`
+
+	// Batch-event summary: batch size k, forward rounds R (the last
+	// forward round with activity), backward rounds.
+	K          int32 `json:"k,omitempty"`
+	FwdRounds  int32 `json:"fwd_rounds,omitempty"`
+	BackRounds int32 `json:"back_rounds,omitempty"`
+
+	// Volume counters (pack/unpack phase events, round events).
+	Bytes    int64 `json:"bytes,omitempty"`
+	Messages int64 `json:"messages,omitempty"`
+	// Per-format message tallies of a pack event.
+	Dense  int64 `json:"dense,omitempty"`
+	Sparse int64 `json:"sparse,omitempty"`
+	All    int64 `json:"all,omitempty"`
+
+	// Reliable-transport counters (transport events): deltas for one
+	// exchange.
+	Retries     int64 `json:"retries,omitempty"`
+	RetryBytes  int64 `json:"retry_bytes,omitempty"`
+	FrameBytes  int64 `json:"frame_bytes,omitempty"`
+	AckMessages int64 `json:"ack_messages,omitempty"`
+	AckBytes    int64 `json:"ack_bytes,omitempty"`
+	Steps       int64 `json:"steps,omitempty"`
+	Injected    int64 `json:"injected,omitempty"`
+	Stalled     int64 `json:"stalled,omitempty"`
+
+	// Monotonic timings, nanoseconds since the trace/cluster epoch.
+	// Stripped by Canonical: wall time is the one nondeterministic
+	// field an event carries.
+	StartNs int64 `json:"start_ns,omitempty"`
+	DurNs   int64 `json:"dur_ns,omitempty"`
+}
+
+// Level selects how much a Trace records.
+type Level int
+
+const (
+	// LevelPhase records cluster phase, batch, transport, and round
+	// events — O(hosts) per BSP phase.
+	LevelPhase Level = iota
+	// LevelDetail additionally records per-(vertex, source) send events —
+	// what the bound checkers consume.
+	LevelDetail
+)
+
+// Trace is a fixed-capacity ring of events. A nil *Trace is the
+// disabled tracer: every method is safe to call and does nothing, so
+// call sites need no guards beyond the pointer test the compiler can
+// hoist. Emit is safe for concurrent use; once the ring wraps, the
+// oldest events are overwritten (Dropped reports how many).
+type Trace struct {
+	events []Event
+	next   atomic.Int64
+	level  Level
+}
+
+// DefaultCapacity is the ring size NewTrace uses for capacity <= 0.
+const DefaultCapacity = 1 << 15
+
+// NewTrace allocates a trace ring. Capacity is rounded up to 1;
+// capacity <= 0 selects DefaultCapacity.
+func NewTrace(capacity int, level Level) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace{events: make([]Event, capacity), level: level}
+}
+
+// Enabled reports whether the trace records anything (false for nil).
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Detail reports whether per-(vertex, source) send events should be
+// emitted (false for nil).
+func (t *Trace) Detail() bool { return t != nil && t.level >= LevelDetail }
+
+// Emit appends an event to the ring. No-op on a nil trace; never
+// allocates on a non-nil one.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	i := t.next.Add(1) - 1
+	t.events[i%int64(len(t.events))] = e
+}
+
+// Emitted returns the total number of events emitted (including any
+// overwritten after the ring wrapped).
+func (t *Trace) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	if n := t.next.Load() - int64(len(t.events)); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// Cap returns the ring capacity.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Reset discards all recorded events, keeping the ring storage. Not
+// safe to call concurrently with Emit.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.next.Store(0)
+}
+
+// Events returns the retained events in emission order (oldest first).
+// Must not race with Emit.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	c := int64(len(t.events))
+	if n <= c {
+		return append([]Event(nil), t.events[:n]...)
+	}
+	start := n % c
+	out := make([]Event, 0, c)
+	out = append(out, t.events[start:]...)
+	return append(out, t.events[:start]...)
+}

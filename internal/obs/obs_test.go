@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsSafeAndDisabled(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() || tr.Detail() {
+		t.Fatal("nil trace reports enabled")
+	}
+	tr.Emit(Event{Kind: KindPhase})
+	tr.Reset()
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Cap() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace retained state")
+	}
+}
+
+func TestTraceRingWrapAndOrder(t *testing.T) {
+	tr := NewTrace(4, LevelDetail)
+	if !tr.Enabled() || !tr.Detail() {
+		t.Fatal("trace not enabled at detail")
+	}
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Kind: KindRound, Round: int32(i)})
+	}
+	if tr.Emitted() != 6 || tr.Dropped() != 2 {
+		t.Fatalf("emitted %d dropped %d, want 6/2", tr.Emitted(), tr.Dropped())
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events", len(got))
+	}
+	for i, e := range got {
+		if int(e.Round) != i+2 {
+			t.Fatalf("event %d has round %d, want %d (oldest-first order)", i, e.Round, i+2)
+		}
+	}
+	tr.Reset()
+	if tr.Emitted() != 0 || len(tr.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestEmitAllocationFree(t *testing.T) {
+	tr := NewTrace(1024, LevelDetail)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(Event{Kind: KindPhase, Phase: PhasePack, Host: 3, Bytes: 128, Messages: 2})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEmitConcurrent(t *testing.T) {
+	tr := NewTrace(1<<12, LevelPhase)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: KindPhase, Host: int32(g), Round: int32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Emitted() != 800 || tr.Dropped() != 0 {
+		t.Fatalf("emitted %d dropped %d", tr.Emitted(), tr.Dropped())
+	}
+	perHost := make(map[int32]int)
+	for _, e := range tr.Events() {
+		perHost[e.Host]++
+	}
+	for g := int32(0); g < 8; g++ {
+		if perHost[g] != 100 {
+			t.Fatalf("host %d retained %d events, want 100", g, perHost[g])
+		}
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bytes_total")
+	c.Add(40)
+	c.Inc()
+	if r.Counter("bytes_total") != c {
+		t.Fatal("counter not shared by name")
+	}
+	if c.Load() != 41 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	g := r.Gauge("hosts")
+	g.Set(8)
+	h := r.Histogram("compute_seconds", DurationBuckets)
+	h.Observe(0.5e-6) // first bucket
+	h.Observe(0.05)   // below 1e-1
+	h.Observe(100)    // +Inf bucket
+
+	s := r.Snapshot()
+	if s.Counters["bytes_total"] != 41 || s.Gauges["hosts"] != 8 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["compute_seconds"]
+	if hs.Count != 3 || hs.Sum != 0.5e-6+0.05+100 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("bucket count mismatch: %d counts for %d bounds", len(hs.Counts), len(hs.Bounds))
+	}
+	if hs.Counts[0] != 1 || hs.Counts[len(hs.Counts)-1] != 1 {
+		t.Fatalf("bucket placement wrong: %v", hs.Counts)
+	}
+	var total int64
+	for _, n := range hs.Counts {
+		total += n
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket counts sum to %d, count is %d", total, hs.Count)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z", DurationBuckets).Observe(1)
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.count.Load() != 4000 {
+		t.Fatalf("count = %d", h.count.Load())
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindPhase, Seq: 1, Round: 1, Host: 0, Phase: PhaseCompute, StartNs: 10, DurNs: 5},
+		{Kind: KindPhase, Seq: 2, Round: 1, Host: 0, Phase: PhasePack, Bytes: 64, Messages: 2, Sparse: 2, StartNs: 15, DurNs: 3},
+		{Kind: KindPhase, Seq: 3, Round: 1, Host: 1, Phase: PhaseUnpack, Bytes: 64, Messages: 2, StartNs: 18, DurNs: 2},
+		{Kind: KindSend, Batch: 0, Round: 1, Host: 1, Dir: DirForward, V: 7, Src: 0},
+		{Kind: KindSend, Batch: 0, Round: 2, Host: 1, Dir: DirBackward, V: 7, Src: 0},
+		{Kind: KindTransport, Seq: 3, Round: 1, Host: -1, Retries: 1, RetryBytes: 80, FrameBytes: 32, AckMessages: 2, AckBytes: 24, Steps: 3, Injected: 1},
+		{Kind: KindBatch, Batch: 0, Host: -1, K: 1, FwdRounds: 2, BackRounds: 2},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-tripped %d of %d events", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, events[i], got[i])
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"kind\":\"phase\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCanonicalIsOrderInvariantAndStripsTimings(t *testing.T) {
+	events := sampleEvents()
+	shuffled := append([]Event(nil), events...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var a, b bytes.Buffer
+	if err := WriteCanonical(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCanonical(&b, shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("canonical form depends on emission order")
+	}
+	for _, e := range Canonical(events) {
+		if e.StartNs != 0 || e.DurNs != 0 {
+			t.Fatal("canonical form retains wall-clock fields")
+		}
+	}
+}
+
+func TestModelEventsDropsTransport(t *testing.T) {
+	events := sampleEvents()
+	model := ModelEvents(events)
+	if len(model) != len(events)-1 {
+		t.Fatalf("model stream has %d events, want %d", len(model), len(events)-1)
+	}
+	for _, e := range model {
+		if e.Kind == KindTransport {
+			t.Fatal("transport event survived the model filter")
+		}
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var ces []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ces); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(ces) != 3 {
+		t.Fatalf("chrome trace has %d slices, want 3 phase slices", len(ces))
+	}
+}
+
+func TestSumTotals(t *testing.T) {
+	got := Sum(sampleEvents())
+	want := Totals{
+		PackBytes: 64, PackMessages: 2, UnpackBytes: 64, UnpackMessages: 2,
+		Sparse: 2,
+		Retries: 1, RetryBytes: 80, FrameBytes: 32, AckMessages: 2, AckBytes: 24,
+		DeliverySteps: 3, MaxSteps: 3, Injected: 1,
+	}
+	if got != want {
+		t.Fatalf("Sum = %+v, want %+v", got, want)
+	}
+}
+
+func TestCheckRoundBoundsAcceptsSample(t *testing.T) {
+	if err := CheckRoundBounds(sampleEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRoundBoundsViolations(t *testing.T) {
+	base := sampleEvents()
+	cases := []struct {
+		name   string
+		mutate func([]Event) []Event
+	}{
+		{"batch over bound", func(ev []Event) []Event {
+			for i := range ev {
+				if ev[i].Kind == KindBatch {
+					ev[i].FwdRounds = 40
+				}
+			}
+			return ev
+		}},
+		{"forward send past k+H", func(ev []Event) []Event {
+			return append(ev, Event{Kind: KindSend, Batch: 0, Round: 30, Dir: DirForward, V: 9})
+		}},
+		{"backward send past span", func(ev []Event) []Event {
+			return append(ev, Event{Kind: KindSend, Batch: 0, Round: 3, Dir: DirBackward, V: 9})
+		}},
+		{"send without batch summary", func(ev []Event) []Event {
+			return append(ev, Event{Kind: KindSend, Batch: 5, Round: 1, Dir: DirForward, V: 9})
+		}},
+		{"no batch events", func(ev []Event) []Event {
+			var out []Event
+			for _, e := range ev {
+				if e.Kind != KindBatch {
+					out = append(out, e)
+				}
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		events := tc.mutate(append([]Event(nil), base...))
+		if err := CheckRoundBounds(events, 2); err == nil {
+			t.Errorf("%s: violation not detected", tc.name)
+		}
+	}
+}
+
+func TestCheckReversalAcceptsSample(t *testing.T) {
+	if err := CheckReversal(sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckReversalViolations(t *testing.T) {
+	base := sampleEvents()
+	cases := []struct {
+		name   string
+		mutate func([]Event) []Event
+	}{
+		{"wrong backward round", func(ev []Event) []Event {
+			for i := range ev {
+				if ev[i].Kind == KindSend && ev[i].Dir == DirBackward {
+					ev[i].Round = 1 // R−τ+1 is 2
+				}
+			}
+			return ev
+		}},
+		{"missing backward send", func(ev []Event) []Event {
+			var out []Event
+			for _, e := range ev {
+				if e.Kind == KindSend && e.Dir == DirBackward {
+					continue
+				}
+				out = append(out, e)
+			}
+			return out
+		}},
+		{"missing forward send", func(ev []Event) []Event {
+			var out []Event
+			for _, e := range ev {
+				if e.Kind == KindSend && e.Dir == DirForward {
+					continue
+				}
+				out = append(out, e)
+			}
+			return out
+		}},
+		{"duplicate forward send", func(ev []Event) []Event {
+			return append(ev, Event{Kind: KindSend, Batch: 0, Round: 2, Dir: DirForward, V: 7, Src: 0})
+		}},
+		{"no sends at all", func(ev []Event) []Event {
+			var out []Event
+			for _, e := range ev {
+				if e.Kind != KindSend {
+					out = append(out, e)
+				}
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		events := tc.mutate(append([]Event(nil), base...))
+		if err := CheckReversal(events); err == nil {
+			t.Errorf("%s: violation not detected", tc.name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mrbc/internal/dgalois"
 	"mrbc/internal/gluon"
 	"mrbc/internal/graph"
+	"mrbc/internal/obs"
 	"mrbc/internal/partition"
 )
 
@@ -51,6 +52,16 @@ type Options struct {
 	// Encoding pins the sync-metadata wire format (default
 	// gluon.FormatAuto: density-adaptive selection per message).
 	Encoding gluon.Format
+	// Trace receives one event per (round, host, phase), plus — at
+	// obs.LevelDetail — one send event per finalized (vertex, source)
+	// label and one summary event per source. Nil disables tracing.
+	Trace *obs.Trace
+	// Metrics is the registry the cluster populates; nil gives the run
+	// a private registry reachable through the returned Stats only.
+	Metrics *obs.Registry
+	// Workers overrides the cluster's exchange worker-pool size (0:
+	// automatic). Trace content is independent of this value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,7 +119,12 @@ func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32
 		}
 	}
 	topo := gluon.NewTopology(pt)
-	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, opts.Fault)
+	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
+		Plan:    opts.Fault,
+		Trace:   opts.Trace,
+		Metrics: opts.Metrics,
+		Workers: opts.Workers,
+	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	states := make([]*hostState, pt.NumHosts)
@@ -127,14 +143,15 @@ func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32
 	}
 	scores := make([]float64, n)
 	err := dgalois.Capture(func() {
-		for _, s := range sources {
-			runSource(cluster, topo, states, s, scores, opts)
+		for si, s := range sources {
+			runSource(cluster, topo, states, s, scores, opts, si)
 		}
 	})
 	return scores, cluster.Stats(), err
 }
 
-func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options) {
+func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options, si int) {
+	tr := opts.Trace
 	// Initialize labels. Every proxy of the source holds its final
 	// value immediately (dist 0, σ 1): there is nothing to reduce for
 	// the source itself.
@@ -214,7 +231,7 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 		if active == 0 {
 			break
 		}
-		syncForward(cluster, topo, states, level)
+		syncForward(cluster, topo, states, level, tr, si)
 	}
 	forwardLevels := level - 1 // last round found an empty frontier
 
@@ -232,6 +249,15 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 				if st.dist[w] != l {
 					continue
 				}
+				// A level-l master's dependency is consumed (and its
+				// broadcast would happen) in backward round
+				// forwardLevels − l + 1 = R − τ + 1: the reversal of its
+				// forward finalization at level τ = l.
+				if tr.Detail() && st.part.IsMaster[w] {
+					tr.Emit(obs.Event{Kind: obs.KindSend, Dir: obs.DirBackward,
+						Batch: int32(si), Round: int32(forwardLevels - l + 1),
+						Host: int32(h), V: int32(st.part.GlobalID[w]), Src: 0})
+				}
 				coeff := (1 + st.delta[w]) / st.sigma[w]
 				for _, v := range local.InNeighbors(uint32(w)) {
 					if st.dist[v] != graph.InfDist && st.dist[v]+1 == l {
@@ -242,6 +268,13 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 			}
 		})
 		syncBackward(cluster, topo, states)
+	}
+
+	// One summary event per source (a batch of K = 1): eccentricity
+	// many rounds each way, the inputs of the Lemma 8 bound.
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindBatch, Batch: int32(si), Host: -1,
+			K: 1, FwdRounds: int32(forwardLevels), BackRounds: int32(forwardLevels)})
 	}
 
 	// Fold master dependencies into the scores.
@@ -259,7 +292,7 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 // syncForward reduces (min dist, σ-partial sum) from dirty mirrors to
 // masters and broadcasts finalized values to every mirror, rebuilding
 // the next frontier on each host.
-func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, level uint32) {
+func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, level uint32, tr *obs.Trace, si int) {
 	// Reduce: dirty mirrors -> masters.
 	cluster.Exchange(
 		func(from, to int, w *gluon.Writer) {
@@ -314,6 +347,14 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 			if st.dist[l] == level && !st.inFrontier.Test(l) {
 				st.inFrontier.Set(l)
 				st.frontier = append(st.frontier, uint32(l))
+				// First (and only) finalization of this master for this
+				// source: its label broadcast happens at round τ = its
+				// BFS level, the forward half of reversal symmetry.
+				if tr.Detail() {
+					tr.Emit(obs.Event{Kind: obs.KindSend, Dir: obs.DirForward,
+						Batch: int32(si), Round: int32(level),
+						Host: int32(h), V: int32(st.part.GlobalID[l]), Src: 0})
+				}
 			}
 			return true
 		})

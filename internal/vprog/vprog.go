@@ -22,8 +22,24 @@ import (
 	"mrbc/internal/bitset"
 	"mrbc/internal/dgalois"
 	"mrbc/internal/gluon"
+	"mrbc/internal/obs"
 	"mrbc/internal/partition"
 )
+
+// PushOptions configures the cluster a push program runs on. The zero
+// value matches RunPush: perfect network, no tracing, private metrics.
+type PushOptions struct {
+	// Plan routes every exchange through the framed ack/retry transport
+	// (nil: perfect network).
+	Plan *dgalois.FaultPlan
+	// Trace receives one event per (round, host, phase); nil disables.
+	Trace *obs.Trace
+	// Metrics is the registry the cluster populates; nil gives the run
+	// a private registry reachable through the returned Stats only.
+	Metrics *obs.Registry
+	// Workers overrides the exchange worker-pool size (0: automatic).
+	Workers int
+}
 
 // PushProgram describes a data-driven label-propagation program over a
 // single uint64 label per vertex with a "better of two" reduction
@@ -58,10 +74,21 @@ func RunPush(g gview, pt *partition.Partitioning, prog PushProgram) ([]uint64, d
 // transport, and an unrecoverable plan surfaces as the transport's
 // structured error instead of a deadlock.
 func RunPushPlan(g gview, pt *partition.Partitioning, prog PushProgram, plan *dgalois.FaultPlan) (labels []uint64, stats dgalois.Stats, err error) {
+	return RunPushOpts(g, pt, prog, PushOptions{Plan: plan})
+}
+
+// RunPushOpts is RunPush on a fully configured cluster: fault plan,
+// trace sink, metrics registry, and worker-pool override.
+func RunPushOpts(g gview, pt *partition.Partitioning, prog PushProgram, opts PushOptions) (labels []uint64, stats dgalois.Stats, err error) {
 	if prog.Init == nil || prog.Relax == nil || prog.Better == nil {
 		panic("vprog: incomplete push program")
 	}
-	cluster := dgalois.NewClusterWithPlan(pt.NumHosts, plan)
+	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
+		Plan:    opts.Plan,
+		Trace:   opts.Trace,
+		Metrics: opts.Metrics,
+		Workers: opts.Workers,
+	})
 	defer cluster.Close()
 	err = dgalois.Capture(func() { labels = runPush(cluster, g, pt, prog) })
 	return labels, cluster.Stats(), err
