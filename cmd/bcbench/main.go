@@ -1,18 +1,23 @@
 // Command bcbench regenerates the paper's evaluation (Section 5):
 // every table and figure, on the synthetic input suite documented in
 // DESIGN.md §3, plus the substrate experiments (engine, faults, comms,
-// obs) that guard the implementation.
+// obs, regress) that guard the implementation.
 //
 // Usage:
 //
 //	bcbench -exp table1
 //	bcbench -exp table2 -scale tiny
 //	bcbench -exp obs -obs trace.jsonl
+//	bcbench -exp regress -scale tiny
 //	bcbench -exp all -cpuprofile cpu.pprof
+//	bcbench -exp summary -serve 127.0.0.1:9464
 //
 // Profiling hooks (-cpuprofile, -memprofile, -trace) wrap whichever
 // experiment runs; -obs additionally writes a detail-level execution
-// trace and is only meaningful with -exp obs.
+// trace and is only meaningful with -exp obs. -serve exposes live
+// telemetry (/metrics, /statz, /progressz, /debug/pprof) for the
+// duration of the run; -linger keeps the server up afterwards so a
+// scraper can collect the final state.
 package main
 
 import (
@@ -20,82 +25,118 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"sort"
 	"strings"
+	"time"
 
 	"mrbc/internal/bench"
+	"mrbc/internal/obs"
+	"mrbc/internal/obs/serve"
 )
+
+// runCtx carries every experiment's shared inputs, so adding a new
+// knob does not ripple through each runner's signature.
+type runCtx struct {
+	inputs      []bench.Input
+	scale       bench.Scale
+	obsPath     string // -obs: detail-trace output (obs experiment only)
+	baselineDir string // -baseline: directory holding the BENCH_*.json documents
+}
 
 // experiments maps every -exp value to its runner. Runners print to
 // out and return an error for regression-guard failures (which turn
 // into a non-zero exit without a usage message).
-var experiments = map[string]func(out io.Writer, inputs []bench.Input, scale bench.Scale, obsPath string) error{
-	"table1": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatTable1(bench.Table1(inputs, scale)))
+var experiments = map[string]func(out io.Writer, ctx runCtx) error{
+	"table1": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatTable1(bench.Table1(ctx.inputs, ctx.scale)))
 		return nil
 	},
-	"table2": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatTable2(bench.Table2(inputs, scale)))
+	"table2": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatTable2(bench.Table2(ctx.inputs, ctx.scale)))
 		return nil
 	},
-	"fig1": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatFigure1(bench.Figure1(inputs, scale)))
+	"fig1": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatFigure1(bench.Figure1(ctx.inputs, ctx.scale)))
 		return nil
 	},
-	"fig2a": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(inputs, "small", scale), "a"))
+	"fig2a": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(ctx.inputs, "small", ctx.scale), "a"))
 		return nil
 	},
-	"fig2b": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(inputs, "large", scale), "b"))
+	"fig2b": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatFigure2(bench.Figure2(ctx.inputs, "large", ctx.scale), "b"))
 		return nil
 	},
-	"fig3": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatFigure3(bench.Figure3(inputs, scale)))
+	"fig3": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatFigure3(bench.Figure3(ctx.inputs, ctx.scale)))
 		return nil
 	},
-	"model": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatModel(bench.ModelCheck(inputs, scale)))
+	"model": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatModel(bench.ModelCheck(ctx.inputs, ctx.scale)))
 		return nil
 	},
-	"summary": func(out io.Writer, inputs []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatSummary(bench.Summarize(inputs, scale)))
+	"summary": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatSummary(bench.Summarize(ctx.inputs, ctx.scale)))
 		return nil
 	},
 	// Engine-variant comparison (JSON); not part of the paper's
 	// evaluation, so not included in "all".
-	"engine": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatEngineBench(bench.EngineBench(scale)))
+	"engine": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatEngineBench(bench.EngineBench(ctx.scale)))
 		return nil
 	},
 	// Reliable-transport overhead (JSON); not in "all".
-	"faults": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
-		fmt.Fprintln(out, bench.FormatFaultBench(bench.FaultBench(scale)))
+	"faults": func(out io.Writer, ctx runCtx) error {
+		fmt.Fprintln(out, bench.FormatFaultBench(bench.FaultBench(ctx.scale)))
 		return nil
 	},
 	// Sync-encoding volume comparison (JSON); not in "all". Errors if
 	// the adaptive encoding regresses past dense, so CI can use it as
 	// a smoke check.
-	"comms": func(out io.Writer, _ []bench.Input, scale bench.Scale, _ string) error {
-		report := bench.CommsBench(scale)
+	"comms": func(out io.Writer, ctx runCtx) error {
+		report := bench.CommsBench(ctx.scale)
 		fmt.Fprintln(out, bench.FormatCommsBench(report))
 		return bench.CheckCommsBench(report)
 	},
 	// Tracing-overhead measurement (JSON, emitted as BENCH_obs.json);
 	// not in "all". Errors if tracing overhead exceeds the smoke
 	// guard. With -obs, also writes a detail-level execution trace.
-	"obs": func(out io.Writer, _ []bench.Input, scale bench.Scale, obsPath string) error {
-		report := bench.ObsBench(scale)
+	"obs": func(out io.Writer, ctx runCtx) error {
+		report := bench.ObsBench(ctx.scale)
 		fmt.Fprintln(out, bench.FormatObsBench(report))
 		if err := bench.CheckObsBench(report); err != nil {
 			return err
 		}
-		if obsPath != "" {
-			return bench.WriteObsTrace(obsPath, scale)
+		if ctx.obsPath != "" {
+			return bench.WriteObsTrace(ctx.obsPath, ctx.scale)
 		}
+		return nil
+	},
+	// Perf-regression guard: re-run the guarded configurations against
+	// the committed BENCH_regress.json (and re-validate the other
+	// committed BENCH documents). Non-zero exit on any regression; not
+	// in "all".
+	"regress": func(out io.Writer, ctx runCtx) error {
+		report, err := bench.RegressGuard(ctx.scale, ctx.baselineDir)
+		if len(report.Rows) > 0 {
+			fmt.Fprintln(out, bench.FormatRegressBench(report))
+		}
+		return err
+	},
+	// Regenerate BENCH_regress.json from the current build (after an
+	// intentional perf or protocol change); not in "all".
+	"regress-baseline": func(out io.Writer, ctx runCtx) error {
+		report := bench.RegressBench(ctx.scale)
+		path := filepath.Join(ctx.baselineDir, bench.RegressBaselineFile)
+		if err := bench.WriteRegressBaseline(path, report); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatRegressBench(report))
+		fmt.Fprintf(out, "wrote %s\n", path)
 		return nil
 	},
 }
@@ -120,13 +161,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: "+validExperiments())
-		scaleName  = fs.String("scale", "full", "workload scale: full | tiny")
-		only       = fs.String("input", "", "restrict to a single input by name")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		tracePath  = fs.String("trace", "", "write a runtime/trace execution trace to this file")
-		obsPath    = fs.String("obs", "", "write a detail-level obs trace (JSONL) to this file; requires -exp obs")
+		exp         = fs.String("exp", "all", "experiment: "+validExperiments())
+		scaleName   = fs.String("scale", "full", "workload scale: full | tiny")
+		only        = fs.String("input", "", "restrict to a single input by name")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath   = fs.String("trace", "", "write a runtime/trace execution trace to this file")
+		obsPath     = fs.String("obs", "", "write a detail-level obs trace (JSONL) to this file; requires -exp obs")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /statz, /progressz, pprof) on this address while experiments run")
+		linger      = fs.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
+		baselineDir = fs.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -153,15 +197,35 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bcbench: -obs only applies to -exp obs (got -exp %s)\n", *exp)
 		return 1
 	}
+	if *linger != 0 && *serveAddr == "" {
+		fmt.Fprintln(stderr, "bcbench: -linger requires -serve")
+		return 1
+	}
 
-	inputs := bench.Suite(scale)
+	if *serveAddr != "" {
+		reg := obs.NewRegistry()
+		srv := serve.New(reg)
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "bcbench: -serve:", err)
+			return 1
+		}
+		bench.Telemetry = reg
+		fmt.Fprintf(stderr, "bcbench: serving telemetry on http://%s\n", bound)
+		defer srv.Close()
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
+	}
+
+	ctx := runCtx{inputs: bench.Suite(scale), scale: scale, obsPath: *obsPath, baselineDir: *baselineDir}
 	if *only != "" {
-		in, err := bench.Find(inputs, *only)
+		in, err := bench.Find(ctx.inputs, *only)
 		if err != nil {
 			fmt.Fprintln(stderr, "bcbench:", err)
 			return 1
 		}
-		inputs = []bench.Input{in}
+		ctx.inputs = []bench.Input{in}
 	}
 
 	if *cpuprofile != "" {
@@ -206,7 +270,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	for _, name := range names {
-		if err := experiments[name](stdout, inputs, scale, *obsPath); err != nil {
+		if err := experiments[name](stdout, ctx); err != nil {
 			fmt.Fprintln(stderr, "bcbench:", err)
 			return 1
 		}

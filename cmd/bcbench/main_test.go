@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mrbc/internal/bench"
 )
 
 // run invokes realMain with captured output; only fast validation
@@ -59,5 +62,68 @@ func TestAllSequenceIsRegistered(t *testing.T) {
 		if _, ok := experiments[name]; !ok {
 			t.Fatalf("-exp all includes unregistered experiment %q", name)
 		}
+	}
+}
+
+// TestServeRejectsMalformedAddress pins the -serve failure path: a
+// bad listen address exits non-zero before any experiment runs.
+func TestServeRejectsMalformedAddress(t *testing.T) {
+	code, _, stderr := run("-exp", "summary", "-serve", "127.0.0.1:99999")
+	if code == 0 {
+		t.Fatal("malformed -serve address exited zero")
+	}
+	if !strings.Contains(stderr, "-serve") {
+		t.Fatalf("no -serve diagnostic: %q", stderr)
+	}
+}
+
+func TestLingerRequiresServe(t *testing.T) {
+	code, _, stderr := run("-exp", "summary", "-linger", "1s")
+	if code == 0 || !strings.Contains(stderr, "-linger requires -serve") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestRegressFailsOnSlowedBaseline is the guard's end-to-end failure
+// path: against a baseline whose wall times are synthetically tiny,
+// `bcbench -exp regress` must exit non-zero with a wall-time
+// diagnostic.
+func TestRegressFailsOnSlowedBaseline(t *testing.T) {
+	report := bench.RegressBench(bench.Tiny)
+	for i := range report.Rows {
+		report.Rows[i].WallNs = 1 // any real run is now a >4x "regression"
+	}
+	dir := t.TempDir()
+	if err := bench.WriteRegressBaseline(filepath.Join(dir, bench.RegressBaselineFile), report); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := run("-exp", "regress", "-scale", "tiny", "-baseline", dir)
+	if code == 0 {
+		t.Fatal("regress passed against a synthetically slowed baseline")
+	}
+	if !strings.Contains(stderr, "wall time") {
+		t.Fatalf("no wall-time diagnostic: %q", stderr)
+	}
+}
+
+// TestRegressPassesAgainstCommitted runs the exact CI invocation
+// against the repo's committed baselines.
+func TestRegressPassesAgainstCommitted(t *testing.T) {
+	if bench.RaceEnabled {
+		t.Skip("wall-time bar is meaningless under the race detector's slowdown")
+	}
+	code, out, stderr := run("-exp", "regress", "-scale", "tiny", "-baseline", filepath.Join("..", ".."))
+	if code != 0 {
+		t.Fatalf("regress failed against the committed baseline: %s", stderr)
+	}
+	if !strings.Contains(out, "mrbc-arb/roadgrid/2h") {
+		t.Fatalf("regress report incomplete:\n%s", out)
+	}
+}
+
+func TestRegressMissingBaselineExitsNonZero(t *testing.T) {
+	code, _, stderr := run("-exp", "regress", "-scale", "tiny", "-baseline", t.TempDir())
+	if code == 0 || stderr == "" {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
 	}
 }

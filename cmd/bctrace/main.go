@@ -1,0 +1,332 @@
+// Command bctrace analyzes recorded execution traces (the JSONL files
+// bcbench -obs and the obs.WriteJSONL API produce) offline: volume
+// accounting, load imbalance, per-round latency, invariant checking,
+// and canonical comparison of two runs.
+//
+// Usage:
+//
+//	bctrace summary trace.jsonl
+//	bctrace imbalance trace.jsonl
+//	bctrace rounds trace.jsonl
+//	bctrace check [-H max-distance] trace.jsonl
+//	bctrace diff a.jsonl b.jsonl
+//
+// summary, imbalance, and rounds stream the trace through
+// obs.EventReader, so they handle detail traces far larger than
+// memory; check and diff load the whole file (their invariants are
+// global).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"mrbc/internal/obs"
+)
+
+func usage(stderr io.Writer) {
+	fmt.Fprint(stderr, `usage: bctrace <command> [flags] <trace.jsonl>
+
+commands:
+  summary    per-phase volume totals and encoding-format counts
+  imbalance  per-host compute load and the max/mean imbalance ratio
+  rounds     per-round latency and the critical-path host
+  check      verify the Lemma 8 round bounds and reversal symmetry
+  diff       compare two traces canonically, report first divergence
+`)
+}
+
+// realMain is main with its streams injected so the command paths are
+// unit-testable; it returns the process exit code (0 ok, 1 failed
+// check/diff or bad input, 2 usage).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return streamCmd(rest, stdout, stderr, runSummary)
+	case "imbalance":
+		return streamCmd(rest, stdout, stderr, runImbalance)
+	case "rounds":
+		return streamCmd(rest, stdout, stderr, runRounds)
+	case "check":
+		return runCheck(rest, stdout, stderr)
+	case "diff":
+		return runDiff(rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "bctrace: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+// streamCmd opens the single trace argument and feeds it, one event at
+// a time, to an accumulating subcommand.
+func streamCmd(args []string, stdout, stderr io.Writer, run func(*obs.EventReader, io.Writer) error) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "bctrace: expected exactly one trace file")
+		return 2
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return 1
+	}
+	defer f.Close()
+	if err := run(obs.NewEventReader(f), stdout); err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// drain folds every event of the stream into the given observers.
+func drain(er *obs.EventReader, observe func(obs.Event)) (int, error) {
+	n := 0
+	for {
+		e, err := er.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		observe(e)
+		n++
+	}
+}
+
+func runSummary(er *obs.EventReader, out io.Writer) error {
+	var t obs.Totals
+	n, err := drain(er, t.Observe)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	fmt.Fprintf(out, "events          %d\n", n)
+	fmt.Fprintf(out, "pack.bytes      %d\n", t.PackBytes)
+	fmt.Fprintf(out, "pack.messages   %d\n", t.PackMessages)
+	fmt.Fprintf(out, "unpack.bytes    %d\n", t.UnpackBytes)
+	fmt.Fprintf(out, "unpack.messages %d\n", t.UnpackMessages)
+	fmt.Fprintf(out, "format.dense    %d\n", t.Dense)
+	fmt.Fprintf(out, "format.sparse   %d\n", t.Sparse)
+	fmt.Fprintf(out, "format.all      %d\n", t.All)
+	if t.Retries+t.FrameBytes+t.AckMessages > 0 {
+		fmt.Fprintf(out, "transport.retries       %d\n", t.Retries)
+		fmt.Fprintf(out, "transport.retry_bytes   %d\n", t.RetryBytes)
+		fmt.Fprintf(out, "transport.frame_bytes   %d\n", t.FrameBytes)
+		fmt.Fprintf(out, "transport.ack_messages  %d\n", t.AckMessages)
+		fmt.Fprintf(out, "transport.ack_bytes     %d\n", t.AckBytes)
+		fmt.Fprintf(out, "transport.max_steps     %d\n", t.MaxSteps)
+	}
+	if t.PackBytes != t.UnpackBytes || t.PackMessages != t.UnpackMessages {
+		return fmt.Errorf("pack/unpack accounting mismatch: sent (%d B, %d msgs) vs received (%d B, %d msgs) — trace is truncated or corrupt",
+			t.PackBytes, t.PackMessages, t.UnpackBytes, t.UnpackMessages)
+	}
+	return nil
+}
+
+// formatG renders a float the way strconv's shortest representation
+// does, so printed ratios compare exactly against computed ones.
+func formatG(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+func runImbalance(er *obs.EventReader, out io.Writer) error {
+	var a obs.ImbalanceAccum
+	if _, err := drain(er, a.Observe); err != nil {
+		return err
+	}
+	r := a.Report()
+	if r.Phases == 0 {
+		return fmt.Errorf("trace carries no compute phases")
+	}
+	var total int64
+	for _, h := range r.PerHost {
+		total += h.ComputeNs
+	}
+	fmt.Fprintf(out, "host  compute        share\n")
+	for _, h := range r.PerHost {
+		share := float64(h.ComputeNs) / float64(total)
+		fmt.Fprintf(out, "%-4d  %-13s  %5.1f%%\n", h.Host, time.Duration(h.ComputeNs), 100*share)
+	}
+	fmt.Fprintf(out, "phases         %d\n", r.Phases)
+	fmt.Fprintf(out, "imbalance.mean %s\n", formatG(r.Mean))
+	fmt.Fprintf(out, "imbalance.max  %s\n", formatG(r.MaxRatio))
+	return nil
+}
+
+func runRounds(er *obs.EventReader, out io.Writer) error {
+	var a obs.RoundAccum
+	if _, err := drain(er, a.Observe); err != nil {
+		return err
+	}
+	r := a.Report()
+	// Phases recorded before the first BeginRound (per-batch setup
+	// computes) carry round 0; they are work but not a BSP round, so
+	// report them separately and keep the round count aligned with
+	// Stats.Rounds.
+	if len(r.Rounds) > 0 && r.Rounds[0].Round == 0 {
+		setup := r.Rounds[0]
+		fmt.Fprintf(out, "setup      %s (outside any round)\n", time.Duration(setup.WallNs))
+		if setup.SlowHost >= 0 {
+			r.SlowestCount[setup.SlowHost]--
+		}
+		r.Rounds = r.Rounds[1:]
+	}
+	if len(r.Rounds) == 0 {
+		return fmt.Errorf("trace carries no in-round phase events")
+	}
+	// Latency histogram over the standard duration buckets.
+	counts := make([]int, len(obs.DurationBuckets)+1)
+	var totalNs, maxNs int64
+	for _, rc := range r.Rounds {
+		sec := float64(rc.WallNs) / 1e9
+		i := sort.SearchFloat64s(obs.DurationBuckets, sec)
+		counts[i]++
+		totalNs += rc.WallNs
+		if rc.WallNs > maxNs {
+			maxNs = rc.WallNs
+		}
+	}
+	fmt.Fprintf(out, "rounds     %d\n", len(r.Rounds))
+	fmt.Fprintf(out, "wall.total %s\n", time.Duration(totalNs))
+	fmt.Fprintf(out, "wall.mean  %s\n", time.Duration(totalNs/int64(len(r.Rounds))))
+	fmt.Fprintf(out, "wall.max   %s\n", time.Duration(maxNs))
+	fmt.Fprintln(out, "latency histogram (round wall time):")
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bound := "+Inf"
+		if i < len(obs.DurationBuckets) {
+			bound = formatG(obs.DurationBuckets[i])
+		}
+		fmt.Fprintf(out, "  le %-6s %d\n", bound+"s", c)
+	}
+	// Critical path: which host was slowest, how often.
+	hosts := make([]int32, 0, len(r.SlowestCount))
+	for h := range r.SlowestCount {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	fmt.Fprintln(out, "critical-path host (rounds slowest):")
+	for _, h := range hosts {
+		fmt.Fprintf(out, "  host %-4d %d\n", h, r.SlowestCount[h])
+	}
+	return nil
+}
+
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bctrace check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	h := fs.Int("H", 0, "maximum finite distance from any batched source; 0 infers the weakest consistent value from the trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "bctrace: check expects exactly one trace file")
+		return 2
+	}
+	events, ok := loadTrace(fs.Arg(0), stderr)
+	if !ok {
+		return 1
+	}
+	bound := *h
+	if bound == 0 {
+		// Without the graph there is no way to recover H, so infer the
+		// weakest value consistent with the trace: the largest recorded
+		// forward span. The per-batch 2(k+H)+1 bound then still rejects
+		// structural overruns (extra rounds, bogus spans), and the
+		// reversal check below is independent of H.
+		for _, e := range events {
+			if e.Kind == obs.KindBatch && int(e.FwdRounds) > bound {
+				bound = int(e.FwdRounds)
+			}
+		}
+		fmt.Fprintf(stdout, "H not given; inferred H=%d from the largest forward span\n", bound)
+	}
+	if err := obs.CheckRoundBounds(events, bound); err != nil {
+		fmt.Fprintln(stderr, "bctrace: round bounds:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "round bounds ok (H=%d)\n", bound)
+	detail := false
+	for _, e := range events {
+		if e.Kind == obs.KindSend {
+			detail = true
+			break
+		}
+	}
+	if !detail {
+		fmt.Fprintln(stdout, "reversal skipped (phase-level trace; record with -obs for send events)")
+		return 0
+	}
+	if err := obs.CheckReversal(events); err != nil {
+		fmt.Fprintln(stderr, "bctrace: reversal:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "reversal symmetry ok")
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "bctrace: diff expects exactly two trace files")
+		return 2
+	}
+	a, ok := loadTrace(args[0], stderr)
+	if !ok {
+		return 1
+	}
+	b, ok := loadTrace(args[1], stderr)
+	if !ok {
+		return 1
+	}
+	d := obs.Diff(a, b)
+	if d.Index < 0 {
+		fmt.Fprintf(stdout, "traces are canonically identical (%d events)\n", len(obs.Canonical(a)))
+		return 0
+	}
+	fmt.Fprintf(stdout, "traces diverge at canonical event %d:\n", d.Index)
+	describe := func(name string, e *obs.Event) {
+		if e == nil {
+			fmt.Fprintf(stdout, "  %s: <absent — trace ended>\n", name)
+			return
+		}
+		fmt.Fprintf(stdout, "  %s: %+v\n", name, *e)
+	}
+	describe(args[0], d.A)
+	describe(args[1], d.B)
+	return 1
+}
+
+func loadTrace(path string, stderr io.Writer) ([]obs.Event, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return nil, false
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return nil, false
+	}
+	return events, true
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}

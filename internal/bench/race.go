@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// RaceEnabled reports whether this binary was built with the race
+// detector. Wall-time comparisons against committed baselines are
+// meaningless under its 10-20x slowdown, so guard tests relax or skip
+// them while keeping the exact volume checks.
+const RaceEnabled = true

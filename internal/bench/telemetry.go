@@ -1,0 +1,10 @@
+package bench
+
+import "mrbc/internal/obs"
+
+// Telemetry is the registry every experiment's engine runs publish
+// into when it is non-nil (bcbench -serve sets it before running and
+// exposes it over HTTP). The nil default keeps each run's metrics
+// private, exactly as before: engines treat a nil registry as a
+// no-op.
+var Telemetry *obs.Registry

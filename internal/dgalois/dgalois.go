@@ -66,6 +66,28 @@ type Cluster struct {
 	computeHist *obs.Histogram
 	commHist    *obs.Histogram
 
+	// Counter values at construction. A shared registry (bcbench
+	// -serve runs every experiment against one registry) keeps its
+	// counters cumulative across clusters — correct for /metrics — so
+	// per-run Stats and round numbering subtract these baselines.
+	baseRounds   int64
+	baseBytes    int64
+	baseMessages int64
+	baseEnc      gluon.EncodingCounts
+
+	// Live progress instruments for the telemetry endpoint
+	// (internal/obs/serve /progressz): the current BSP round, each
+	// host's last-completed compute round (set the moment the host's
+	// compute function returns, so a scrape mid-round sees stragglers
+	// as a lag between the vector entries), and per-host communication
+	// volume. All are resolved to plain atomics here, so the hot path
+	// cost is one store/add each — the Exchange zero-alloc pin covers
+	// the enabled path.
+	roundG     *obs.Gauge
+	hostRoundG []*obs.Gauge
+	hostBytesC []*obs.Counter
+	hostMsgsC  []*obs.Counter
+
 	computeWall    time.Duration
 	commWall       time.Duration
 	perHostCompute []time.Duration
@@ -178,7 +200,29 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 	c.encBAllC = c.metrics.Counter("dgalois_bytes_all_total")
 	c.computeHist = c.metrics.Histogram("dgalois_compute_phase_seconds", obs.DurationBuckets)
 	c.commHist = c.metrics.Histogram("dgalois_exchange_seconds", obs.DurationBuckets)
+	c.baseRounds = c.roundsC.Load()
+	c.baseBytes = c.bytesC.Load()
+	c.baseMessages = c.messagesC.Load()
+	c.baseEnc = gluon.EncodingCounts{
+		Dense:  c.encDenseC.Load(),
+		Sparse: c.encSparseC.Load(),
+		All:    c.encAllC.Load(),
+	}
 	c.metrics.Gauge("dgalois_hosts").Set(int64(hosts))
+	c.roundG = c.metrics.Gauge("dgalois_round")
+	c.roundG.Set(0)
+	hostRoundV := c.metrics.GaugeVec("dgalois_host_last_round", "host", hosts)
+	hostBytesV := c.metrics.CounterVec("dgalois_host_bytes_total", "host", hosts)
+	hostMsgsV := c.metrics.CounterVec("dgalois_host_messages_total", "host", hosts)
+	c.hostRoundG = make([]*obs.Gauge, hosts)
+	c.hostBytesC = make([]*obs.Counter, hosts)
+	c.hostMsgsC = make([]*obs.Counter, hosts)
+	for h := 0; h < hosts; h++ {
+		c.hostRoundG[h] = hostRoundV.At(h)
+		c.hostRoundG[h].Set(0)
+		c.hostBytesC[h] = hostBytesV.At(h)
+		c.hostMsgsC[h] = hostMsgsV.At(h)
+	}
 	if c.trace != nil {
 		c.hostPack = make([]exchangeTally, hosts)
 		c.hostUnpack = make([]exchangeTally, hosts)
@@ -263,6 +307,7 @@ func (c *Cluster) nextSeq() int64 {
 func (c *Cluster) Compute(fn func(host int)) {
 	seq := c.nextSeq()
 	start := time.Now()
+	round := c.roundsC.Load() - c.baseRounds
 	durations := make([]time.Duration, c.hosts)
 	var wg sync.WaitGroup
 	for h := 0; h < c.hosts; h++ {
@@ -272,6 +317,10 @@ func (c *Cluster) Compute(fn func(host int)) {
 			t0 := time.Now()
 			fn(h)
 			durations[h] = time.Since(t0)
+			// Published before the barrier: a telemetry scrape while
+			// other hosts still compute sees this host ahead, which is
+			// exactly the straggler signal /progressz derives.
+			c.hostRoundG[h].Set(round)
 		}(h)
 	}
 	wg.Wait()
@@ -290,7 +339,6 @@ func (c *Cluster) Compute(fn func(host int)) {
 		c.imbalanceN++
 	}
 	if c.trace != nil {
-		round := int32(c.roundsC.Load())
 		base := start.Sub(c.epoch).Nanoseconds()
 		var maxD time.Duration
 		for _, d := range durations {
@@ -299,19 +347,23 @@ func (c *Cluster) Compute(fn func(host int)) {
 			}
 		}
 		for h, d := range durations {
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: round,
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round),
 				Host: int32(h), Phase: obs.PhaseCompute, StartNs: base, DurNs: d.Nanoseconds()})
 			// The barrier slice is the host's idle wait for the round's
 			// slowest host.
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: round,
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round),
 				Host: int32(h), Phase: obs.PhaseBarrier,
 				StartNs: base + d.Nanoseconds(), DurNs: (maxD - d).Nanoseconds()})
 		}
 	}
 }
 
-// BeginRound marks the start of a BSP round (for the round counter).
-func (c *Cluster) BeginRound() { c.roundsC.Inc() }
+// BeginRound marks the start of a BSP round (for the round counter and
+// the live round gauge).
+func (c *Cluster) BeginRound() {
+	c.roundG.Set(c.roundsC.Load() - c.baseRounds + 1)
+	c.roundsC.Inc()
+}
 
 // packTask packs one (from, to) pair into its pooled writer and folds
 // the pair's volume and format tallies into the cluster counters; pairs
@@ -330,6 +382,8 @@ func (c *Cluster) packTask(i int) {
 	if len(buf) > 0 {
 		c.bytesC.Add(int64(len(buf)))
 		c.messagesC.Add(1)
+		c.hostBytesC[from].Add(int64(len(buf)))
+		c.hostMsgsC[from].Add(1)
 		if c.trace != nil {
 			t := &c.hostPack[from]
 			atomic.AddInt64(&t.bytes, int64(len(buf)))
@@ -389,7 +443,7 @@ func (c *Cluster) resetExchangeTallies() {
 // plus the cluster-wide exchange slice. Only hosts that moved data
 // appear, so event content mirrors the message-level accounting.
 func (c *Cluster) emitExchangeEvents(packSeq, unpackSeq int64, start, packEnd, end time.Time) {
-	round := int32(c.roundsC.Load())
+	round := int32(c.roundsC.Load() - c.baseRounds)
 	packBase := start.Sub(c.epoch).Nanoseconds()
 	packDur := packEnd.Sub(start).Nanoseconds()
 	unpackBase := packEnd.Sub(c.epoch).Nanoseconds()
@@ -501,16 +555,16 @@ func (c *Cluster) Stats() Stats {
 	per := append([]time.Duration(nil), c.perHostCompute...)
 	s := Stats{
 		Hosts:         c.hosts,
-		Rounds:        int(c.roundsC.Load()),
-		Bytes:         c.bytesC.Load(),
-		Messages:      c.messagesC.Load(),
+		Rounds:        int(c.roundsC.Load() - c.baseRounds),
+		Bytes:         c.bytesC.Load() - c.baseBytes,
+		Messages:      c.messagesC.Load() - c.baseMessages,
 		ComputeTime:   maxCompute,
 		CommTime:      c.commWall,
 		LoadImbalance: imb,
 		Encoding: gluon.EncodingCounts{
-			Dense:  c.encDenseC.Load(),
-			Sparse: c.encSparseC.Load(),
-			All:    c.encAllC.Load(),
+			Dense:  c.encDenseC.Load() - c.baseEnc.Dense,
+			Sparse: c.encSparseC.Load() - c.baseEnc.Sparse,
+			All:    c.encAllC.Load() - c.baseEnc.All,
 		},
 		PerHostCompute: per,
 	}

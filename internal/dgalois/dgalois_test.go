@@ -438,3 +438,40 @@ func BenchmarkExchangeSteadyState(b *testing.B) {
 		c.Exchange(pack, unpack)
 	}
 }
+
+// TestSharedRegistryStatsArePerRun pins the two-audience contract of
+// the registry-backed counters: a registry reused across clusters
+// (bcbench -serve runs every experiment against one) accumulates its
+// counters monotonically for /metrics, while each cluster's Stats and
+// trace round numbers stay relative to its own construction.
+func TestSharedRegistryStatsArePerRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	runOnce := func() Stats {
+		c := NewClusterOpts(2, ClusterOptions{Metrics: reg})
+		defer c.Close()
+		for r := 0; r < 3; r++ {
+			c.BeginRound()
+			c.Exchange(
+				func(from, to int, w *gluon.Writer) { w.Raw([]byte("x")) },
+				func(to, from int, data []byte, dec *gluon.Decoder) {},
+			)
+		}
+		return c.Stats()
+	}
+	first := runOnce()
+	second := runOnce()
+	if first.Rounds != 3 || second.Rounds != 3 {
+		t.Fatalf("per-run rounds = %d, %d; want 3, 3", first.Rounds, second.Rounds)
+	}
+	if second.Bytes != first.Bytes || second.Messages != first.Messages {
+		t.Fatalf("second run stats (%d B, %d msgs) differ from first (%d B, %d msgs)",
+			second.Bytes, second.Messages, first.Bytes, first.Messages)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["dgalois_rounds_total"]; got != 6 {
+		t.Fatalf("registry rounds_total = %d, want cumulative 6", got)
+	}
+	if got := snap.Counters["dgalois_bytes_total"]; got != 2*first.Bytes {
+		t.Fatalf("registry bytes_total = %d, want cumulative %d", got, 2*first.Bytes)
+	}
+}

@@ -68,6 +68,9 @@ type Options struct {
 	Trace *obs.Trace
 	// Metrics is the registry the cluster populates; nil gives the run
 	// a private registry reachable through the returned Stats only.
+	// A non-nil registry additionally carries the engine's live progress
+	// gauges (mrbc_batch, mrbc_round, mrbc_frontier, mrbc_backward) that
+	// the telemetry endpoint's /progressz view derives from.
 	Metrics *obs.Registry
 	// Workers overrides the cluster's exchange worker-pool size (0:
 	// automatic). Trace content is independent of this value.
@@ -103,6 +106,26 @@ type hostState struct {
 	bcastByV  map[uint32]int              // vertex -> source to broadcast
 	candByV   map[uint32][]core.Candidate // vertex -> this round's mirror candidates
 	mergedByV map[uint32][]core.Candidate // vertex -> merged candidates to broadcast
+}
+
+// progressGauges are the engine's live-progress instruments, resolved
+// once per run from Options.Metrics (detached no-op gauges when it is
+// nil) and updated from the coordinator only — never inside a compute
+// phase — so they cost nothing on the hot path.
+type progressGauges struct {
+	batch    *obs.Gauge // current batch index
+	round    *obs.Gauge // current phase-local round (forward or backward)
+	frontier *obs.Gauge // due pairs + pending entries across hosts this round
+	backward *obs.Gauge // 1 while the batch's backward phase runs
+}
+
+func newProgressGauges(reg *obs.Registry) progressGauges {
+	return progressGauges{
+		batch:    reg.Gauge("mrbc_batch"),
+		round:    reg.Gauge("mrbc_round"),
+		frontier: reg.Gauge("mrbc_frontier"),
+		backward: reg.Gauge("mrbc_backward"),
+	}
 }
 
 // proposal is a proxy's round-r claim that (v, src) is due, with its
@@ -164,21 +187,25 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	scores := make([]float64, n)
+	prog := newProgressGauges(opts.Metrics)
 	err := dgalois.Capture(func() {
 		for start, bi := 0, 0; start < len(sources); start, bi = start+opts.BatchSize, bi+1 {
 			end := start + opts.BatchSize
 			if end > len(sources) {
 				end = len(sources)
 			}
-			runBatch(cluster, topo, pt, sources[start:end], scores, opts, bi)
+			runBatch(cluster, topo, pt, sources[start:end], scores, opts, bi, prog)
 		}
 	})
 	return scores, cluster.Stats(), err
 }
 
-func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options, bi int) {
+func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options, bi int, prog progressGauges) {
 	k := len(batch)
 	tr := opts.Trace
+	prog.batch.Set(int64(bi))
+	prog.round.Set(0)
+	prog.backward.Set(0)
 	states := make([]*hostState, pt.NumHosts)
 	cluster.Compute(func(h int) {
 		p := pt.Parts[h]
@@ -221,6 +248,8 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			}
 			atomic.AddInt64(&activity, p)
 		})
+		prog.round.Set(int64(r))
+		prog.frontier.Set(activity)
 		if activity == 0 {
 			break
 		}
@@ -263,8 +292,10 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			maxBack = b
 		}
 	}
+	prog.backward.Set(1)
 	for r := 1; r <= maxBack; r++ {
 		cluster.BeginRound()
+		prog.round.Set(int64(r))
 		cluster.Compute(func(h int) {
 			st := states[h]
 			st.flags = st.engine.BackwardFlags(r, st.flags[:0])
@@ -468,12 +499,29 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 
 	// Group this round's candidates by vertex once per host, in a
 	// compute phase: the pack calls below run in parallel per
-	// destination pair and only read the map.
+	// destination pair and only read the map. Parallel intra-round
+	// relaxations can propose the same (v, src) pair more than once
+	// (and how often depends on vertex processing order); the master
+	// min-folds anyway, so keep only the minimum distance per pair —
+	// the wire volume stays deterministic across runs.
 	cluster.Compute(func(h int) {
 		st := states[h]
 		clear(st.candByV)
 		for _, c := range st.cands {
-			st.candByV[c.V] = append(st.candByV[c.V], c)
+			cs := st.candByV[c.V]
+			dup := false
+			for i := range cs {
+				if cs[i].Src == c.Src {
+					if c.Dist < cs[i].Dist {
+						cs[i].Dist = c.Dist
+					}
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				st.candByV[c.V] = append(cs, c)
+			}
 		}
 	})
 

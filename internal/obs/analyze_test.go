@@ -1,0 +1,115 @@
+package obs
+
+import "testing"
+
+func feedAll(events []Event, obs ...interface{ Observe(Event) }) {
+	for _, e := range events {
+		for _, o := range obs {
+			o.Observe(e)
+		}
+	}
+}
+
+func TestImbalanceAccumReport(t *testing.T) {
+	events := []Event{
+		// Dispatch seq 1: hosts 0/1 compute 30/10 ns -> mean 20, ratio 1.5.
+		{Kind: KindPhase, Seq: 1, Round: 1, Host: 0, Phase: PhaseCompute, DurNs: 30},
+		{Kind: KindPhase, Seq: 1, Round: 1, Host: 1, Phase: PhaseCompute, DurNs: 10},
+		// Dispatch seq 2: host 1 idle (excluded), host 0 alone -> ratio 1.
+		{Kind: KindPhase, Seq: 2, Round: 1, Host: 0, Phase: PhaseCompute, DurNs: 40},
+		{Kind: KindPhase, Seq: 2, Round: 1, Host: 1, Phase: PhaseCompute, DurNs: 0},
+		// Non-compute events are ignored.
+		{Kind: KindPhase, Seq: 3, Round: 1, Host: 0, Phase: PhaseBarrier, DurNs: 99},
+		{Kind: KindSend, Round: 1, Host: 0},
+	}
+	var a ImbalanceAccum
+	feedAll(events, &a)
+	r := a.Report()
+	if r.Phases != 2 {
+		t.Fatalf("phases = %d, want 2", r.Phases)
+	}
+	if want := (1.5 + 1.0) / 2; r.Mean != want {
+		t.Fatalf("mean = %v, want %v", r.Mean, want)
+	}
+	if r.MaxRatio != 1.5 {
+		t.Fatalf("max ratio = %v, want 1.5", r.MaxRatio)
+	}
+	if len(r.PerHost) != 2 || r.PerHost[0] != (HostLoad{Host: 0, ComputeNs: 70}) ||
+		r.PerHost[1] != (HostLoad{Host: 1, ComputeNs: 10}) {
+		t.Fatalf("per-host loads = %+v", r.PerHost)
+	}
+}
+
+func TestImbalanceAccumEmpty(t *testing.T) {
+	var a ImbalanceAccum
+	r := a.Report()
+	if r.Mean != 1.0 || r.MaxRatio != 1.0 || r.Phases != 0 || len(r.PerHost) != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+func TestRoundAccumReport(t *testing.T) {
+	events := []Event{
+		// Round 1: one dispatch (max 30) + exchange 5 -> wall 35; host 0
+		// is the critical path.
+		{Kind: KindPhase, Seq: 1, Round: 1, Host: 0, Phase: PhaseCompute, DurNs: 30},
+		{Kind: KindPhase, Seq: 1, Round: 1, Host: 1, Phase: PhaseCompute, DurNs: 10},
+		{Kind: KindPhase, Seq: 2, Round: 1, Host: -1, Phase: PhaseExchange, DurNs: 5},
+		// Round 2: two dispatches (max 10 and 20) -> wall 30; host 1 has
+		// the larger total (25 vs 5).
+		{Kind: KindPhase, Seq: 3, Round: 2, Host: 0, Phase: PhaseCompute, DurNs: 5},
+		{Kind: KindPhase, Seq: 3, Round: 2, Host: 1, Phase: PhaseCompute, DurNs: 10},
+		{Kind: KindPhase, Seq: 4, Round: 2, Host: 1, Phase: PhaseCompute, DurNs: 20},
+		// Barrier slices never contribute.
+		{Kind: KindPhase, Seq: 3, Round: 2, Host: 0, Phase: PhaseBarrier, DurNs: 99},
+	}
+	var a RoundAccum
+	feedAll(events, &a)
+	r := a.Report()
+	if len(r.Rounds) != 2 {
+		t.Fatalf("rounds = %+v", r.Rounds)
+	}
+	if r.Rounds[0] != (RoundCost{Round: 1, WallNs: 35, SlowHost: 0, SlowNs: 30}) {
+		t.Fatalf("round 1 = %+v", r.Rounds[0])
+	}
+	if r.Rounds[1] != (RoundCost{Round: 2, WallNs: 30, SlowHost: 1, SlowNs: 30}) {
+		t.Fatalf("round 2 = %+v", r.Rounds[1])
+	}
+	if r.SlowestCount[0] != 1 || r.SlowestCount[1] != 1 {
+		t.Fatalf("slowest counts = %+v", r.SlowestCount)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := sampleEvents()
+	if d := Diff(base, base); d.Index != -1 {
+		t.Fatalf("identical traces diverge at %d", d.Index)
+	}
+	// Timings and emission order are canonicalized away.
+	shuffled := []Event{base[2], base[0], base[1], base[4], base[3], base[5], base[6]}
+	for i := range shuffled {
+		shuffled[i].StartNs += 1000
+	}
+	if d := Diff(base, shuffled); d.Index != -1 {
+		t.Fatalf("reordered/retimed trace diverges at %d: %+v vs %+v", d.Index, d.A, d.B)
+	}
+	// A perturbed payload is localized.
+	perturbed := append([]Event(nil), base...)
+	for i := range perturbed {
+		if perturbed[i].Kind == KindPhase && perturbed[i].Phase == PhasePack {
+			perturbed[i].Bytes += 8
+		}
+	}
+	d := Diff(base, perturbed)
+	if d.Index < 0 || d.A == nil || d.B == nil {
+		t.Fatalf("perturbation not detected: %+v", d)
+	}
+	if d.A.Bytes+8 != d.B.Bytes {
+		t.Fatalf("divergence points at the wrong event: %+v vs %+v", d.A, d.B)
+	}
+	// A strict prefix reports the first missing event with a nil side.
+	d = Diff(base, nil)
+	if d.Index != 0 || d.A == nil || d.B != nil {
+		t.Fatalf("prefix divergence = %+v", d)
+	}
+}

@@ -29,37 +29,45 @@ type Totals struct {
 	Stalled       int64
 }
 
+// Observe folds one event's counters into the totals. It is the
+// streaming form of Sum: trace consumers that cannot hold a multi-GB
+// detail trace in memory feed events from an EventReader one at a
+// time.
+func (t *Totals) Observe(e Event) {
+	switch e.Kind {
+	case KindPhase:
+		switch e.Phase {
+		case PhasePack:
+			t.PackBytes += e.Bytes
+			t.PackMessages += e.Messages
+			t.Dense += e.Dense
+			t.Sparse += e.Sparse
+			t.All += e.All
+		case PhaseUnpack:
+			t.UnpackBytes += e.Bytes
+			t.UnpackMessages += e.Messages
+		}
+	case KindTransport:
+		t.Retries += e.Retries
+		t.RetryBytes += e.RetryBytes
+		t.FrameBytes += e.FrameBytes
+		t.AckMessages += e.AckMessages
+		t.AckBytes += e.AckBytes
+		t.DeliverySteps += e.Steps
+		if e.Steps > t.MaxSteps {
+			t.MaxSteps = e.Steps
+		}
+		t.Injected += e.Injected
+		t.Stalled += e.Stalled
+	}
+}
+
 // Sum folds a trace's counters into Totals (the trace-accounting
 // oracle the chaostest sweep checks against dgalois.Stats).
 func Sum(events []Event) Totals {
 	var t Totals
 	for _, e := range events {
-		switch e.Kind {
-		case KindPhase:
-			switch e.Phase {
-			case PhasePack:
-				t.PackBytes += e.Bytes
-				t.PackMessages += e.Messages
-				t.Dense += e.Dense
-				t.Sparse += e.Sparse
-				t.All += e.All
-			case PhaseUnpack:
-				t.UnpackBytes += e.Bytes
-				t.UnpackMessages += e.Messages
-			}
-		case KindTransport:
-			t.Retries += e.Retries
-			t.RetryBytes += e.RetryBytes
-			t.FrameBytes += e.FrameBytes
-			t.AckMessages += e.AckMessages
-			t.AckBytes += e.AckBytes
-			t.DeliverySteps += e.Steps
-			if e.Steps > t.MaxSteps {
-				t.MaxSteps = e.Steps
-			}
-			t.Injected += e.Injected
-			t.Stalled += e.Stalled
-		}
+		t.Observe(e)
 	}
 	return t
 }

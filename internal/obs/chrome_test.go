@@ -1,0 +1,165 @@
+// External test package: these tests drive a real mrbcdist run into
+// the trace layer, which internal/obs cannot import without a cycle.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrbc/internal/gen"
+	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+)
+
+// -update regenerates testdata/mrbcdist_2host_trace.jsonl from a live
+// run (go test ./internal/obs -run ChromeTraceFixture -update).
+var update = flag.Bool("update", false, "rewrite the recorded trace fixture")
+
+const fixturePath = "testdata/mrbcdist_2host_trace.jsonl"
+
+// record2HostTrace runs a small 2-host mrbcdist configuration with
+// phase tracing and returns the retained events plus the run's stats.
+func record2HostTrace(t *testing.T) ([]obs.Event, float64) {
+	t.Helper()
+	g := gen.RMAT(7, 8, 3)
+	pt := partition.EdgeCut(g, 2)
+	tr := obs.NewTrace(1<<16, obs.LevelPhase)
+	sources := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	_, stats := mrbcdist.Run(g, pt, sources, mrbcdist.Options{BatchSize: 4, Trace: tr})
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace ring dropped %d events; grow the capacity", tr.Dropped())
+	}
+	return tr.Events(), stats.LoadImbalance
+}
+
+// chromeMark mirrors the begin/end entries WriteChromeTrace emits.
+type chromeMark struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int32   `json:"tid"`
+}
+
+// checkChromeNesting verifies the duration-event contract per timeline:
+// every B has a matching E with the same name, pairs nest (stack
+// discipline), timestamps are monotone non-decreasing, and every stack
+// drains to empty.
+func checkChromeNesting(t *testing.T, chromeJSON []byte) {
+	t.Helper()
+	var marks []chromeMark
+	if err := json.Unmarshal(chromeJSON, &marks); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(marks) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	type tidKey struct {
+		pid int
+		tid int32
+	}
+	stacks := make(map[tidKey][]string)
+	lastTs := make(map[tidKey]float64)
+	for i, m := range marks {
+		k := tidKey{m.Pid, m.Tid}
+		if prev, ok := lastTs[k]; ok && m.Ts < prev {
+			t.Fatalf("mark %d: timestamp %v precedes %v on tid %d", i, m.Ts, prev, m.Tid)
+		}
+		lastTs[k] = m.Ts
+		switch m.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], m.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				t.Fatalf("mark %d: E %q on tid %d with empty stack", i, m.Name, m.Tid)
+			}
+			if top := st[len(st)-1]; top != m.Name {
+				t.Fatalf("mark %d: E %q does not match open B %q on tid %d", i, m.Name, top, m.Tid)
+			}
+			stacks[k] = st[:len(st)-1]
+		default:
+			t.Fatalf("mark %d: unexpected ph %q", i, m.Ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("tid %d ends with %d unclosed slices: %v", k.tid, len(st), st)
+		}
+	}
+}
+
+func TestChromeTraceNestingFromLiveRun(t *testing.T) {
+	events, _ := record2HostTrace(t)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	checkChromeNesting(t, buf.Bytes())
+}
+
+// TestChromeTraceNestingFixture pins the renderer against a recorded
+// real-run trace, so the nesting contract cannot regress silently with
+// renderer changes (the live-run test alone would co-evolve with the
+// recorder).
+func TestChromeTraceNestingFixture(t *testing.T) {
+	if *update {
+		events, _ := record2HostTrace(t)
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(fixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixturePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(fixturePath)
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with -update): %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	checkChromeNesting(t, buf.Bytes())
+	// Rendering a fixed trace is deterministic.
+	var again bytes.Buffer
+	if err := obs.WriteChromeTrace(&again, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome rendering of a fixed trace is not deterministic")
+	}
+}
+
+// TestImbalanceAccumMatchesStats pins the bctrace imbalance pipeline to
+// the cluster's own accounting: folding the recorded compute phases
+// reproduces Stats.LoadImbalance exactly (same groups, same fold
+// order, same arithmetic).
+func TestImbalanceAccumMatchesStats(t *testing.T) {
+	events, wantImbalance := record2HostTrace(t)
+	var a obs.ImbalanceAccum
+	for _, e := range events {
+		a.Observe(e)
+	}
+	r := a.Report()
+	if r.Mean != wantImbalance {
+		t.Fatalf("trace-side imbalance %v != Stats.LoadImbalance %v", r.Mean, wantImbalance)
+	}
+	if r.Phases == 0 || len(r.PerHost) != 2 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+}

@@ -21,29 +21,61 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// ReadEvents parses a JSONL stream produced by WriteJSONL. Blank lines
-// are skipped.
-func ReadEvents(r io.Reader) ([]Event, error) {
+// EventReader streams a JSONL trace one event at a time, so multi-GB
+// detail traces from long runs are analyzable in constant memory (the
+// bctrace summary/imbalance/rounds pipelines consume it directly).
+type EventReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewEventReader wraps a JSONL stream produced by WriteJSONL.
+func NewEventReader(r io.Reader) *EventReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var events []Event
-	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
+	return &EventReader{sc: sc}
+}
+
+// Next returns the next event in the stream. Blank lines are skipped.
+// At end of input it returns io.EOF; a malformed line returns an error
+// naming the line number.
+func (er *EventReader) Next() (Event, error) {
+	for er.sc.Scan() {
+		er.line++
+		b := er.sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
 		var e Event
 		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return Event{}, fmt.Errorf("obs: trace line %d: %w", er.line, err)
+		}
+		return e, nil
+	}
+	if err := er.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// Line returns the number of lines consumed so far.
+func (er *EventReader) Line() int { return er.line }
+
+// ReadEvents parses a whole JSONL stream into memory: a thin wrapper
+// over EventReader for traces known to be small (fixtures, ring dumps).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	er := NewEventReader(r)
+	var events []Event
+	for {
+		e, err := er.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		events = append(events, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return events, nil
 }
 
 // Canonical returns a copy of events in a deterministic total order
@@ -111,43 +143,63 @@ func ModelEvents(events []Event) []Event {
 }
 
 // chromeEvent is one entry of the Chrome trace-event format
-// (chrome://tracing, Perfetto): a complete ("X") slice per phase event.
+// (chrome://tracing, Perfetto): a duration-begin ("B") or
+// duration-end ("E") mark on one host's timeline.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`  // microseconds
-	Dur  float64        `json:"dur"` // microseconds
+	Ts   float64        `json:"ts"` // microseconds
 	Pid  int            `json:"pid"`
 	Tid  int32          `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
 // WriteChromeTrace renders the phase events as a Chrome trace-event
-// JSON array: one timeline row per host, one complete slice per
-// (round, host, phase), with the volume counters attached as args.
-// Non-phase events are skipped (they carry no wall-clock extent).
+// JSON array: one timeline row per host, one B/E duration pair per
+// (round, host, phase), with the volume counters attached as args on
+// the begin mark. Non-phase events are skipped (they carry no
+// wall-clock extent). Within each tid the phase slices are sequential
+// by construction (a host finishes its compute slice before idling at
+// the barrier, and the exchange phases start only after every host
+// passed it), so the emitted pairs balance and timestamps are
+// monotone per tid — the property the nesting regression test pins.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	var ces []chromeEvent
+	// One slice list per tid, sorted by start time (zero-duration
+	// slices first on ties so B/E pairs stay adjacent and closed in
+	// order).
+	byTid := make(map[int32][]Event)
+	var tids []int32
 	for _, e := range events {
 		if e.Kind != KindPhase {
 			continue
 		}
-		ce := chromeEvent{
-			Name: string(e.Phase),
-			Ph:   "X",
-			Ts:   float64(e.StartNs) / 1e3,
-			Dur:  float64(e.DurNs) / 1e3,
-			Pid:  0,
-			Tid:  e.Host,
+		if _, ok := byTid[e.Host]; !ok {
+			tids = append(tids, e.Host)
 		}
-		if e.Bytes > 0 || e.Messages > 0 {
-			ce.Args = map[string]any{
-				"round": e.Round, "bytes": e.Bytes, "messages": e.Messages,
+		byTid[e.Host] = append(byTid[e.Host], e)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	var ces []chromeEvent
+	for _, tid := range tids {
+		slices := byTid[tid]
+		sort.SliceStable(slices, func(i, j int) bool {
+			if slices[i].StartNs != slices[j].StartNs {
+				return slices[i].StartNs < slices[j].StartNs
 			}
-		} else {
-			ce.Args = map[string]any{"round": e.Round}
+			return slices[i].DurNs < slices[j].DurNs
+		})
+		for _, e := range slices {
+			args := map[string]any{"round": e.Round}
+			if e.Bytes > 0 || e.Messages > 0 {
+				args["bytes"] = e.Bytes
+				args["messages"] = e.Messages
+			}
+			ces = append(ces,
+				chromeEvent{Name: string(e.Phase), Ph: "B",
+					Ts: float64(e.StartNs) / 1e3, Tid: tid, Args: args},
+				chromeEvent{Name: string(e.Phase), Ph: "E",
+					Ts: float64(e.StartNs+e.DurNs) / 1e3, Tid: tid})
 		}
-		ces = append(ces, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(ces)

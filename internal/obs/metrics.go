@@ -1,24 +1,35 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// Registry is a get-or-create store of named counters, gauges, and
-// histograms. Components resolve their instruments once at setup and
-// hold the pointers, so the hot path is a plain atomic operation — the
-// registry map is never touched per event. All methods are safe for
-// concurrent use, and safe on a nil *Registry: instrument getters then
-// return detached instruments, so callers can thread an optional
-// registry without guards.
+// Registry is a get-or-create store of named counters, gauges,
+// histograms, and indexed instrument vectors. Components resolve their
+// instruments once at setup and hold the pointers, so the hot path is a
+// plain atomic operation — the registry map is never touched per event.
+// All methods are safe for concurrent use, and safe on a nil *Registry:
+// instrument getters then return detached instruments, so callers can
+// thread an optional registry without guards.
+//
+// Names are validated at creation against the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*, and a name is pinned to the first
+// instrument kind it was created as; violations panic with an
+// obs-prefixed message. The exposition endpoint (internal/obs/serve)
+// renders registries verbatim, so these invariants are what guarantee
+// /metrics can never emit an unscrapeable page.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	kinds    map[string]string // name -> instrument kind, for collision detection
 }
 
 // NewRegistry returns an empty registry.
@@ -27,7 +38,64 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		cvecs:    make(map[string]*CounterVec),
+		gvecs:    make(map[string]*GaugeVec),
+		kinds:    make(map[string]string),
 	}
+}
+
+// validMetricName reports whether name matches the Prometheus
+// metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c == ':',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches the Prometheus
+// label-name charset [a-zA-Z_][a-zA-Z0-9_]* (no colons).
+func validLabelName(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkName validates the metric name and pins it to one instrument
+// kind; the caller holds r.mu. Panics (obs-prefixed, like gluon's
+// malformed-input convention) on a bad name or cross-kind reuse —
+// either would corrupt the text exposition.
+func (r *Registry) checkName(name, kind string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name))
+	}
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s, cannot reuse as a %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
 }
 
 // Counter returns the named counter, creating it on first use. On a
@@ -38,6 +106,7 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkName(name, "counter")
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -54,6 +123,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkName(name, "gauge")
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -72,12 +142,138 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
 	h, ok := r.hists[name]
 	if !ok {
 		h = newHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h
+}
+
+// CounterVec returns the named counter vector with at least n indexed
+// counters, creating or growing it as needed (a vector shared across
+// cluster sizes keeps its earlier entries: counter pointers stay valid
+// across growth). The label names the index dimension in the text
+// exposition (name{label="i"}). On a nil registry it returns a
+// detached vector.
+func (r *Registry) CounterVec(name, label string, n int) *CounterVec {
+	if r == nil {
+		return newCounterVec(label, n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter vector")
+	v, ok := r.cvecs[name]
+	if !ok {
+		v = newCounterVec(label, n)
+		r.cvecs[name] = v
+	} else {
+		v.grow(n)
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge vector with at least n indexed
+// gauges, creating or growing it as needed. On a nil registry it
+// returns a detached vector.
+func (r *Registry) GaugeVec(name, label string, n int) *GaugeVec {
+	if r == nil {
+		return newGaugeVec(label, n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge vector")
+	v, ok := r.gvecs[name]
+	if !ok {
+		v = newGaugeVec(label, n)
+		r.gvecs[name] = v
+	} else {
+		v.grow(n)
+	}
+	return v
+}
+
+// CounterVec is an indexed family of counters reported as one metric
+// with an integer-valued label (e.g. per-host byte totals). At is for
+// setup time — components resolve each index's *Counter once and hold
+// the pointer on the hot path.
+type CounterVec struct {
+	mu    sync.Mutex
+	label string
+	vals  []*Counter
+}
+
+func newCounterVec(label string, n int) *CounterVec {
+	if !validLabelName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q (want [a-zA-Z_][a-zA-Z0-9_]*)", label))
+	}
+	v := &CounterVec{label: label}
+	v.grow(n)
+	return v
+}
+
+func (v *CounterVec) grow(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.vals) < n {
+		v.vals = append(v.vals, &Counter{})
+	}
+}
+
+// At returns the counter at index i, growing the vector if needed.
+func (v *CounterVec) At(i int) *Counter {
+	v.grow(i + 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[i]
+}
+
+// Len returns the current vector length.
+func (v *CounterVec) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.vals)
+}
+
+// GaugeVec is an indexed family of gauges reported as one metric with
+// an integer-valued label (e.g. per-host last-completed round).
+type GaugeVec struct {
+	mu    sync.Mutex
+	label string
+	vals  []*Gauge
+}
+
+func newGaugeVec(label string, n int) *GaugeVec {
+	if !validLabelName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q (want [a-zA-Z_][a-zA-Z0-9_]*)", label))
+	}
+	v := &GaugeVec{label: label}
+	v.grow(n)
+	return v
+}
+
+func (v *GaugeVec) grow(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.vals) < n {
+		v.vals = append(v.vals, &Gauge{})
+	}
+}
+
+// At returns the gauge at index i, growing the vector if needed.
+func (v *GaugeVec) At(i int) *Gauge {
+	v.grow(i + 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[i]
+}
+
+// Len returns the current vector length.
+func (v *GaugeVec) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.vals)
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -138,9 +334,18 @@ func (h *Histogram) Observe(x float64) {
 
 // Snapshot is a point-in-time copy of a registry's instruments.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	CounterVecs map[string]VecSnapshot       `json:"counter_vecs,omitempty"`
+	GaugeVecs   map[string]VecSnapshot       `json:"gauge_vecs,omitempty"`
+}
+
+// VecSnapshot is a point-in-time copy of one instrument vector: the
+// value at each index, labeled Label="index" in the text exposition.
+type VecSnapshot struct {
+	Label  string  `json:"label"`
+	Values []int64 `json:"values"`
 }
 
 // HistogramSnapshot is a point-in-time copy of one histogram.
@@ -184,6 +389,30 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Counts[i] = h.counts[i].Load()
 			}
 			s.Histograms[name] = hs
+		}
+	}
+	if len(r.cvecs) > 0 {
+		s.CounterVecs = make(map[string]VecSnapshot, len(r.cvecs))
+		for name, v := range r.cvecs {
+			v.mu.Lock()
+			vs := VecSnapshot{Label: v.label, Values: make([]int64, len(v.vals))}
+			for i, c := range v.vals {
+				vs.Values[i] = c.Load()
+			}
+			v.mu.Unlock()
+			s.CounterVecs[name] = vs
+		}
+	}
+	if len(r.gvecs) > 0 {
+		s.GaugeVecs = make(map[string]VecSnapshot, len(r.gvecs))
+		for name, v := range r.gvecs {
+			v.mu.Lock()
+			vs := VecSnapshot{Label: v.label, Values: make([]int64, len(v.vals))}
+			for i, g := range v.vals {
+				vs.Values[i] = g.Load()
+			}
+			v.mu.Unlock()
+			s.GaugeVecs[name] = vs
 		}
 	}
 	return s

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"strings"
 	"sync"
@@ -238,8 +239,14 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &ces); err != nil {
 		t.Fatalf("chrome trace is not valid JSON: %v", err)
 	}
-	if len(ces) != 3 {
-		t.Fatalf("chrome trace has %d slices, want 3 phase slices", len(ces))
+	// 3 phase slices render as 3 B/E duration pairs.
+	if len(ces) != 6 {
+		t.Fatalf("chrome trace has %d marks, want 6 (3 B/E pairs)", len(ces))
+	}
+	for _, ce := range ces {
+		if ph := ce["ph"]; ph != "B" && ph != "E" {
+			t.Fatalf("chrome trace mark has ph=%v, want B or E", ph)
+		}
 	}
 }
 
@@ -361,5 +368,133 @@ func TestCheckReversalViolations(t *testing.T) {
 		if err := CheckReversal(events); err == nil {
 			t.Errorf("%s: violation not detected", tc.name)
 		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "with-dash", "with space", "9starts_with_digit", "é"} {
+		bad := bad
+		mustPanic(t, "counter "+bad, func() { r.Counter(bad) })
+		mustPanic(t, "gauge "+bad, func() { r.Gauge(bad) })
+		mustPanic(t, "histogram "+bad, func() { r.Histogram(bad, DurationBuckets) })
+		mustPanic(t, "countervec "+bad, func() { r.CounterVec(bad, "host", 1) })
+		mustPanic(t, "gaugevec "+bad, func() { r.GaugeVec(bad, "host", 1) })
+	}
+	for _, ok := range []string{"a", "_x", "ns:sub:total", "Mixed_Case9"} {
+		r.Counter(ok) // must not panic
+	}
+	mustPanic(t, "bad label", func() { r.CounterVec("ok_name", "with:colon", 1) })
+	mustPanic(t, "empty label", func() { r.GaugeVec("ok_name2", "", 1) })
+}
+
+func TestRegistryRejectsCrossKindReuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("volume_total")
+	mustPanic(t, "counter->gauge", func() { r.Gauge("volume_total") })
+	mustPanic(t, "counter->histogram", func() { r.Histogram("volume_total", DurationBuckets) })
+	mustPanic(t, "counter->countervec", func() { r.CounterVec("volume_total", "host", 1) })
+	r.GaugeVec("host_round", "host", 2)
+	mustPanic(t, "gaugevec->gauge", func() { r.Gauge("host_round") })
+	// Same-kind re-resolution stays legal.
+	r.Counter("volume_total").Inc()
+	r.GaugeVec("host_round", "host", 4)
+}
+
+func TestVecInstruments(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("host_bytes_total", "host", 2)
+	if cv.Len() != 2 {
+		t.Fatalf("len = %d, want 2", cv.Len())
+	}
+	p0 := cv.At(0)
+	p0.Add(5)
+	// Re-resolving grows in place and keeps earlier pointers valid.
+	cv2 := r.CounterVec("host_bytes_total", "host", 4)
+	if cv2 != cv || cv.Len() != 4 {
+		t.Fatalf("grow-on-reuse broken: %p vs %p, len %d", cv2, cv, cv.Len())
+	}
+	if cv.At(0) != p0 {
+		t.Fatal("growth invalidated an instrument pointer")
+	}
+	cv.At(3).Add(7)
+	// Requesting a smaller size never shrinks.
+	if r.CounterVec("host_bytes_total", "host", 1).Len() != 4 {
+		t.Fatal("vector shrank")
+	}
+	gv := r.GaugeVec("host_round", "host", 3)
+	gv.At(1).Set(9)
+
+	s := r.Snapshot()
+	cs := s.CounterVecs["host_bytes_total"]
+	if cs.Label != "host" || len(cs.Values) != 4 || cs.Values[0] != 5 || cs.Values[3] != 7 {
+		t.Fatalf("counter vec snapshot = %+v", cs)
+	}
+	gs := s.GaugeVecs["host_round"]
+	if gs.Label != "host" || len(gs.Values) != 3 || gs.Values[1] != 9 {
+		t.Fatalf("gauge vec snapshot = %+v", gs)
+	}
+}
+
+func TestNilRegistryVecsSafe(t *testing.T) {
+	var r *Registry
+	r.CounterVec("x", "host", 2).At(1).Add(1)
+	r.GaugeVec("y", "host", 2).At(0).Set(1)
+	if s := r.Snapshot(); s.CounterVecs != nil || s.GaugeVecs != nil {
+		t.Fatalf("nil registry vec snapshot not empty: %+v", s)
+	}
+}
+
+func TestEventReaderStreams(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	// Blank lines are tolerated mid-stream.
+	text := strings.Replace(buf.String(), "\n", "\n\n", 1)
+	er := NewEventReader(strings.NewReader(text))
+	var got []Event
+	for {
+		e, err := er.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("streamed %d of %d events", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, events[i], got[i])
+		}
+	}
+}
+
+func TestEventReaderReportsLineNumber(t *testing.T) {
+	er := NewEventReader(strings.NewReader("{\"kind\":\"phase\"}\n{\"kind\":\"phase\"}\nnot json\n"))
+	var err error
+	for err == nil {
+		_, err = er.Next()
+	}
+	if err == io.EOF || err == nil {
+		t.Fatal("garbage line not rejected")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not name line 3: %v", err)
 	}
 }

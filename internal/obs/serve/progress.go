@@ -1,0 +1,93 @@
+package serve
+
+import "mrbc/internal/obs"
+
+// HostProgress is one host's live position within the current run.
+type HostProgress struct {
+	Host int `json:"host"`
+	// LastRound is the most recent BSP round whose compute phase this
+	// host finished (dgalois_host_last_round).
+	LastRound int64 `json:"last_round"`
+	// Bytes and Messages are the host's cumulative sent volume.
+	Bytes    int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+}
+
+// Progress is the derived live-progress view /progressz serves: where
+// the run is (engine phase counters) and how the hosts are spread
+// across it (per-host rounds and volume, straggler lag).
+type Progress struct {
+	// Engine identifies which engine's gauges were found: "mrbc",
+	// "sbbc", "vprog", or "" when only the cluster substrate reported.
+	Engine string `json:"engine"`
+	// Round is the cluster's current BSP round (dgalois_round).
+	Round int64 `json:"round"`
+	// Batch is the engine's current batch (mrbc) or source index
+	// (sbbc); -1 when the engine doesn't batch.
+	Batch int64 `json:"batch"`
+	// EngineRound is the engine's phase-local round: mrbc_round,
+	// sbbc_level, or vprog_round.
+	EngineRound int64 `json:"engine_round"`
+	// Frontier is the engine's current activity measure: due pairs
+	// (mrbc), relaxed vertices (sbbc), or active vertices (vprog).
+	Frontier int64 `json:"frontier"`
+	// Backward is true while an mrbc batch runs its backward phase.
+	Backward bool `json:"backward"`
+	// Hosts lists per-host positions, ascending host order.
+	Hosts []HostProgress `json:"hosts,omitempty"`
+	// StragglerLag is the spread of the per-host last-completed-round
+	// vector (max − min): 0 when every host is at the same round, ≥1
+	// while at least one host lags the front-runner.
+	StragglerLag int64 `json:"straggler_lag"`
+}
+
+// ProgressFrom derives the live-progress view from a registry
+// snapshot. It is a pure function of the snapshot, so tests can feed
+// synthetic snapshots and the handler stays trivial.
+func ProgressFrom(s obs.Snapshot) Progress {
+	p := Progress{Batch: -1}
+	p.Round = s.Gauges["dgalois_round"]
+	switch {
+	case hasGauge(s, "mrbc_round"):
+		p.Engine = "mrbc"
+		p.Batch = s.Gauges["mrbc_batch"]
+		p.EngineRound = s.Gauges["mrbc_round"]
+		p.Frontier = s.Gauges["mrbc_frontier"]
+		p.Backward = s.Gauges["mrbc_backward"] != 0
+	case hasGauge(s, "sbbc_level"):
+		p.Engine = "sbbc"
+		p.Batch = s.Gauges["sbbc_source"]
+		p.EngineRound = s.Gauges["sbbc_level"]
+		p.Frontier = s.Gauges["sbbc_frontier"]
+	case hasGauge(s, "vprog_round"):
+		p.Engine = "vprog"
+		p.EngineRound = s.Gauges["vprog_round"]
+		p.Frontier = s.Gauges["vprog_active"]
+	}
+	rounds := s.GaugeVecs["dgalois_host_last_round"]
+	bytes := s.CounterVecs["dgalois_host_bytes_total"]
+	msgs := s.CounterVecs["dgalois_host_messages_total"]
+	for h := 0; h < len(rounds.Values); h++ {
+		hp := HostProgress{Host: h, LastRound: rounds.Values[h]}
+		if h < len(bytes.Values) {
+			hp.Bytes = bytes.Values[h]
+		}
+		if h < len(msgs.Values) {
+			hp.Messages = msgs.Values[h]
+		}
+		p.Hosts = append(p.Hosts, hp)
+	}
+	if len(rounds.Values) > 0 {
+		lo, hi := rounds.Values[0], rounds.Values[0]
+		for _, r := range rounds.Values[1:] {
+			lo, hi = min(lo, r), max(hi, r)
+		}
+		p.StragglerLag = hi - lo
+	}
+	return p
+}
+
+func hasGauge(s obs.Snapshot, name string) bool {
+	_, ok := s.Gauges[name]
+	return ok
+}

@@ -1,0 +1,287 @@
+// Package serve exposes an obs.Registry over HTTP for live inspection
+// of a running benchmark: Prometheus text exposition on /metrics, a
+// JSON snapshot on /statz, derived run progress on /progressz, and the
+// standard pprof handlers. The server is strictly opt-in — nothing in
+// the engines or the cluster substrate references it, and a run without
+// it pays nothing.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mrbc/internal/obs"
+)
+
+// WriteMetrics renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families
+// sort by name, vector samples by index, histogram buckets ascending —
+// so two scrapes of an idle registry are byte-identical.
+func WriteMetrics(w io.Writer, s obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	type family struct {
+		name  string
+		kind  string // counter | gauge | histogram
+		write func()
+	}
+	var fams []family
+
+	for name, v := range s.Counters {
+		name, v := name, v
+		fams = append(fams, family{name, "counter", func() {
+			fmt.Fprintf(bw, "%s %d\n", name, v)
+		}})
+	}
+	for name, v := range s.Gauges {
+		name, v := name, v
+		fams = append(fams, family{name, "gauge", func() {
+			fmt.Fprintf(bw, "%s %d\n", name, v)
+		}})
+	}
+	for name, vec := range s.CounterVecs {
+		name, vec := name, vec
+		fams = append(fams, family{name, "counter", func() {
+			for i, v := range vec.Values {
+				fmt.Fprintf(bw, "%s{%s=\"%d\"} %d\n", name, vec.Label, i, v)
+			}
+		}})
+	}
+	for name, vec := range s.GaugeVecs {
+		name, vec := name, vec
+		fams = append(fams, family{name, "gauge", func() {
+			for i, v := range vec.Values {
+				fmt.Fprintf(bw, "%s{%s=\"%d\"} %d\n", name, vec.Label, i, v)
+			}
+		}})
+	}
+	for name, h := range s.Histograms {
+		name, h := name, h
+		fams = append(fams, family{name, "histogram", func() {
+			// Buckets are cumulative counts with upper bound `le`.
+			cum := int64(0)
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(b), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(h.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		f.write()
+	}
+	return bw.Flush()
+}
+
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	// Name is the sample's full name, including any histogram suffix
+	// (_bucket, _sum, _count).
+	Name   string
+	Labels map[string]string // nil when the sample carries no labels
+	Value  float64
+}
+
+// Family is one parsed metric family: the `# TYPE` declaration plus
+// its samples in exposition order.
+type Family struct {
+	Name    string
+	Kind    string
+	Samples []Sample
+}
+
+// ParseMetrics parses the subset of the Prometheus text exposition
+// format WriteMetrics emits — enough of the spec that a page this
+// parser accepts is scrapeable by a real Prometheus: every sample
+// belongs to a declared family, names and label names stay within
+// their charsets, values parse as floats, and no (name, labels) sample
+// repeats. The tests scrape /metrics through it.
+func ParseMetrics(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	seen := make(map[string]bool) // duplicate-sample detection
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			// Only TYPE comments are structural; others are ignored.
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("serve: line %d: malformed TYPE comment %q", line, text)
+				}
+				name, kind := fields[2], fields[3]
+				if !validName(name, false) {
+					return nil, fmt.Errorf("serve: line %d: invalid metric name %q", line, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("serve: line %d: unknown metric type %q", line, kind)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("serve: line %d: duplicate TYPE for %q", line, name)
+				}
+				fams[name] = &Family{Name: name, Kind: kind}
+			}
+			continue
+		}
+		sample, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("serve: line %d: %w", line, err)
+		}
+		fam := fams[familyOf(sample.Name, fams)]
+		if fam == nil {
+			return nil, fmt.Errorf("serve: line %d: sample %q precedes its TYPE declaration", line, sample.Name)
+		}
+		key := sampleKey(sample)
+		if seen[key] {
+			return nil, fmt.Errorf("serve: line %d: duplicate sample %s", line, key)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declared family, stripping
+// the histogram suffixes when the bare name is not itself declared.
+func familyOf(name string, fams map[string]*Family) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := fams[base]; ok && f.Kind == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func sampleKey(s Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func parseSample(text string) (Sample, error) {
+	s := Sample{}
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		close := strings.IndexByte(rest, '}')
+		if close < brace {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		labels, err := parseLabels(rest[brace+1 : close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[close+1:])
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", text)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validName(s.Name, false) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	// A timestamp may follow the value; WriteMetrics never emits one,
+	// but tolerate it like a real scraper.
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !validName(name, true) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		labels[name] = rest[1 : 1+end]
+		body = strings.TrimPrefix(strings.TrimSpace(rest[end+2:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}
+
+// validName checks the Prometheus metric-name charset (label names
+// additionally exclude colons).
+func validName(name string, label bool) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_',
+			c == ':' && !label,
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"mrbc/internal/obs"
+)
+
+// Server serves one registry's telemetry over HTTP:
+//
+//	/metrics     Prometheus text exposition (WriteMetrics)
+//	/statz       raw registry snapshot as JSON
+//	/progressz   derived live run progress (ProgressFrom)
+//	/debug/pprof the standard Go profiling handlers
+//
+// Handlers snapshot the registry per request; the instruments stay
+// plain atomics, so a scrape never blocks or slows the run beyond the
+// snapshot copy.
+type Server struct {
+	reg *obs.Registry
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds a server over reg (which may gain instruments after New;
+// every request re-snapshots).
+func New(reg *obs.Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, reg.Snapshot())
+	})
+	s.mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	s.mux.HandleFunc("/progressz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, ProgressFrom(reg.Snapshot()))
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the server's mux, for embedding in an existing
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free port) and
+// serves in a background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener; in-flight requests are abandoned.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -58,6 +58,9 @@ type Options struct {
 	Trace *obs.Trace
 	// Metrics is the registry the cluster populates; nil gives the run
 	// a private registry reachable through the returned Stats only.
+	// A non-nil registry additionally carries the live progress gauges
+	// (sbbc_source, sbbc_level, sbbc_frontier) the telemetry endpoint's
+	// /progressz view derives from.
 	Metrics *obs.Registry
 	// Workers overrides the cluster's exchange worker-pool size (0:
 	// automatic). Trace content is independent of this value.
@@ -142,15 +145,31 @@ func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32
 		}
 	}
 	scores := make([]float64, n)
+	// Live progress gauges, updated from the coordinator only (detached
+	// no-ops when opts.Metrics is nil).
+	prog := sourceProgress{
+		source:   opts.Metrics.Gauge("sbbc_source"),
+		level:    opts.Metrics.Gauge("sbbc_level"),
+		frontier: opts.Metrics.Gauge("sbbc_frontier"),
+	}
 	err := dgalois.Capture(func() {
 		for si, s := range sources {
-			runSource(cluster, topo, states, s, scores, opts, si)
+			prog.source.Set(int64(si))
+			runSource(cluster, topo, states, s, scores, opts, si, prog)
 		}
 	})
 	return scores, cluster.Stats(), err
 }
 
-func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options, si int) {
+// sourceProgress holds the engine's live-progress gauges, resolved
+// once per run from Options.Metrics.
+type sourceProgress struct {
+	source   *obs.Gauge // current source index
+	level    *obs.Gauge // current BFS / accumulation level
+	frontier *obs.Gauge // vertices relaxed in the current round
+}
+
+func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, src uint32, scores []float64, opts Options, si int, prog sourceProgress) {
 	tr := opts.Trace
 	// Initialize labels. Every proxy of the source holds its final
 	// value immediately (dist 0, σ 1): there is nothing to reduce for
@@ -228,6 +247,8 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 			st.inFrontier.Reset()
 			atomic.AddInt64(&active, st.relaxed)
 		})
+		prog.level.Set(int64(level))
+		prog.frontier.Set(active)
 		if active == 0 {
 			break
 		}
@@ -240,6 +261,7 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 	// has been processed and synchronized.
 	for l := forwardLevels; l >= 1; l-- {
 		cluster.BeginRound()
+		prog.level.Set(int64(l))
 		cluster.Compute(func(h int) {
 			st := states[h]
 			st.dirty.Reset()

@@ -36,6 +36,9 @@ type PushOptions struct {
 	Trace *obs.Trace
 	// Metrics is the registry the cluster populates; nil gives the run
 	// a private registry reachable through the returned Stats only.
+	// A non-nil registry additionally carries the live progress gauges
+	// (vprog_round, vprog_active) the telemetry endpoint's /progressz
+	// view derives from.
 	Metrics *obs.Registry
 	// Workers overrides the exchange worker-pool size (0: automatic).
 	Workers int
@@ -90,11 +93,15 @@ func RunPushOpts(g gview, pt *partition.Partitioning, prog PushProgram, opts Pus
 		Workers: opts.Workers,
 	})
 	defer cluster.Close()
-	err = dgalois.Capture(func() { labels = runPush(cluster, g, pt, prog) })
+	// Live progress gauges, updated from the coordinator only (detached
+	// no-ops when opts.Metrics is nil).
+	roundG := opts.Metrics.Gauge("vprog_round")
+	activeG := opts.Metrics.Gauge("vprog_active")
+	err = dgalois.Capture(func() { labels = runPush(cluster, g, pt, prog, roundG, activeG) })
 	return labels, cluster.Stats(), err
 }
 
-func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog PushProgram) []uint64 {
+func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog PushProgram, roundG, activeG *obs.Gauge) []uint64 {
 	topo := gluon.NewTopology(pt)
 	n := g.NumVertices()
 
@@ -127,8 +134,9 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 		states[h] = st
 	})
 
-	for {
+	for r := 1; ; r++ {
 		cluster.BeginRound()
+		roundG.Set(int64(r))
 		var any bool
 		activity := make([]bool, pt.NumHosts)
 		cluster.Compute(func(h int) {
@@ -153,6 +161,7 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 			any = any || a
 		}
 		if !any {
+			activeG.Set(0)
 			break
 		}
 
@@ -241,6 +250,14 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 				})
 			},
 		)
+
+		// Published after the broadcast rebuilt each host's active list:
+		// the gauge tracks the frontier the next round will push from.
+		var active int64
+		for _, st := range states {
+			active += int64(len(st.active))
+		}
+		activeG.Set(active)
 	}
 
 	out := make([]uint64, n)
