@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bctrace summary trace.jsonl
-//	bctrace imbalance trace.jsonl
+//	bctrace imbalance [-per-worker] trace.jsonl
 //	bctrace rounds trace.jsonl
 //	bctrace check [-H max-distance] trace.jsonl
 //	bctrace diff a.jsonl b.jsonl
@@ -35,6 +35,7 @@ func usage(stderr io.Writer) {
 commands:
   summary    per-phase volume totals and encoding-format counts
   imbalance  per-host compute load and the max/mean imbalance ratio
+             (-per-worker adds intra-host engine-worker scheduler totals)
   rounds     per-round latency and the critical-path host
   check      verify the Lemma 8 round bounds and reversal symmetry
   diff       compare two traces canonically, report first divergence
@@ -54,7 +55,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	case "summary":
 		return streamCmd(rest, stdout, stderr, runSummary)
 	case "imbalance":
-		return streamCmd(rest, stdout, stderr, runImbalance)
+		return runImbalanceCmd(rest, stdout, stderr)
 	case "rounds":
 		return streamCmd(rest, stdout, stderr, runRounds)
 	case "check":
@@ -143,9 +144,26 @@ func runSummary(er *obs.EventReader, out io.Writer) error {
 // does, so printed ratios compare exactly against computed ones.
 func formatG(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
-func runImbalance(er *obs.EventReader, out io.Writer) error {
+// runImbalanceCmd parses imbalance's flags and streams the trace.
+func runImbalanceCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bctrace imbalance", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	perWorker := fs.Bool("per-worker", false, "additionally report per-(host, worker) engine-scheduler totals from worker events")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	return streamCmd(fs.Args(), stdout, stderr, func(er *obs.EventReader, out io.Writer) error {
+		return runImbalance(er, out, *perWorker)
+	})
+}
+
+func runImbalance(er *obs.EventReader, out io.Writer, perWorker bool) error {
 	var a obs.ImbalanceAccum
-	if _, err := drain(er, a.Observe); err != nil {
+	var wa obs.WorkerAccum
+	if _, err := drain(er, func(e obs.Event) {
+		a.Observe(e)
+		wa.Observe(e)
+	}); err != nil {
 		return err
 	}
 	r := a.Report()
@@ -164,6 +182,19 @@ func runImbalance(er *obs.EventReader, out io.Writer) error {
 	fmt.Fprintf(out, "phases         %d\n", r.Phases)
 	fmt.Fprintf(out, "imbalance.mean %s\n", formatG(r.Mean))
 	fmt.Fprintf(out, "imbalance.max  %s\n", formatG(r.MaxRatio))
+	if !perWorker {
+		return nil
+	}
+	wr := wa.Report()
+	if len(wr.PerWorker) == 0 {
+		return fmt.Errorf("trace carries no worker events (recorded without EngineWorkers > 1?)")
+	}
+	fmt.Fprintf(out, "host  worker  tasks      steals     failed     flushes    batches\n")
+	for _, w := range wr.PerWorker {
+		fmt.Fprintf(out, "%-4d  %-6d  %-9d  %-9d  %-9d  %-9d  %d\n",
+			w.Host, w.Worker, w.Tasks, w.Steals, w.FailedSteals, w.Flushes, w.Batches)
+	}
+	fmt.Fprintf(out, "worker.max_share %s\n", formatG(wr.MaxShare))
 	return nil
 }
 

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrbc/internal/gen"
+	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/worker_trace.jsonl from a fresh run")
+
+// workerFixture is a committed phase-level trace of a 2-host run with
+// EngineWorkers=4, carrying one worker event per (batch, host, worker).
+// The scheduler counters inside are timing-dependent (steals depend on
+// interleaving), so tests assert structure and self-consistency against
+// the file's own contents, never exact counts. Regenerate with
+// `go test ./cmd/bctrace -run PerWorkerFixture -update`.
+const workerFixture = "testdata/worker_trace.jsonl"
+
+func recordWorkerTrace(t *testing.T, path string) {
+	t.Helper()
+	g := gen.RMAT(8, 8, 3)
+	pt := partition.EdgeCut(g, 2)
+	tr := obs.NewTrace(1<<16, obs.LevelPhase)
+	sources := []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	mrbcdist.Run(g, pt, sources, mrbcdist.Options{
+		BatchSize: 8, EngineWorkers: 4, Trace: tr,
+	})
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace ring dropped %d events", tr.Dropped())
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTrace(t, path, tr.Events())
+}
+
+// TestImbalancePerWorkerFixture drives `imbalance -per-worker` over the
+// committed fixture and checks the printed table reproduces exactly the
+// totals a WorkerAccum folds from the same file.
+func TestImbalancePerWorkerFixture(t *testing.T) {
+	if *update {
+		recordWorkerTrace(t, workerFixture)
+	}
+	code, out, errOut := run(t, "imbalance", "-per-worker", workerFixture)
+	if code != 0 {
+		t.Fatalf("imbalance -per-worker failed (%d): %s", code, errOut)
+	}
+	var wa obs.WorkerAccum
+	for _, e := range mustLoad(t, workerFixture) {
+		wa.Observe(e)
+	}
+	wr := wa.Report()
+	// 2 hosts x 4 engine workers, each reporting in both batches.
+	if len(wr.PerWorker) != 8 {
+		t.Fatalf("fixture carries %d (host, worker) rows, want 8", len(wr.PerWorker))
+	}
+	for _, w := range wr.PerWorker {
+		if w.Batches != 2 {
+			t.Fatalf("host %d worker %d folded %d batches, want 2", w.Host, w.Worker, w.Batches)
+		}
+		row := fmt.Sprintf("%-4d  %-6d  %-9d  %-9d  %-9d  %-9d  %d\n",
+			w.Host, w.Worker, w.Tasks, w.Steals, w.FailedSteals, w.Flushes, w.Batches)
+		if !strings.Contains(out, row) {
+			t.Fatalf("per-worker table missing row %q:\n%s", row, out)
+		}
+	}
+	if !strings.Contains(out, "worker.max_share "+formatG(wr.MaxShare)+"\n") {
+		t.Fatalf("per-worker output missing max_share %s:\n%s", formatG(wr.MaxShare), out)
+	}
+	// The host-level section still leads the report.
+	if !strings.Contains(out, "host  compute") {
+		t.Fatalf("per-worker mode dropped the host table:\n%s", out)
+	}
+}
+
+// TestImbalancePerWorkerFreshRun re-records a trace at test time and
+// pins the row shape end to end, independent of the committed fixture.
+func TestImbalancePerWorkerFreshRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	recordWorkerTrace(t, path)
+	code, out, errOut := run(t, "imbalance", "-per-worker", path)
+	if code != 0 {
+		t.Fatalf("imbalance -per-worker failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(out, "host  worker  tasks") {
+		t.Fatalf("missing per-worker header:\n%s", out)
+	}
+}
+
+// TestImbalancePerWorkerRejectsSerialTrace pins the diagnostic for
+// traces recorded without intra-host workers.
+func TestImbalancePerWorkerRejectsSerialTrace(t *testing.T) {
+	path, _ := recordRun(t)
+	code, _, errOut := run(t, "imbalance", "-per-worker", path)
+	if code != 1 {
+		t.Fatalf("exit %d on a workerless trace, want 1", code)
+	}
+	if !strings.Contains(errOut, "no worker events") {
+		t.Fatalf("missing diagnostic: %s", errOut)
+	}
+	// Without the flag the same trace still reports host imbalance.
+	if code, _, _ := run(t, "imbalance", path); code != 0 {
+		t.Fatal("plain imbalance broke on a workerless trace")
+	}
+}

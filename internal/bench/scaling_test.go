@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// syntheticScaling builds a structurally complete report: both inputs,
+// the bucket baseline, and the full bucket-parallel worker sweep, with
+// ideal speedups on an 8-core uninstrumented machine.
+func syntheticScaling() ScalingReport {
+	r := ScalingReport{GoMaxProcs: 8, NumCPU: 8, Race: false, Scale: "full"}
+	for _, input := range []string{"roadgrid", "rmat"} {
+		r.Rows = append(r.Rows, ScalingRow{
+			Input: input, Variant: "bucket", Workers: 1,
+			Iterations: 10, NsPerOp: 1000, Speedup: 1.0,
+		})
+		for _, w := range scalingWorkerCounts {
+			speedup := 1.0
+			if w > 1 {
+				speedup = float64(w) * 0.8
+			}
+			r.Rows = append(r.Rows, ScalingRow{
+				Input: input, Variant: "bucket-parallel", Workers: w,
+				Iterations: 10, NsPerOp: int64(1000 / speedup), Speedup: speedup,
+			})
+		}
+	}
+	return r
+}
+
+func TestCheckScalingAcceptsHealthyReport(t *testing.T) {
+	if err := CheckScalingBench(syntheticScaling()); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+}
+
+func TestCheckScalingEnforcesParityUnconditionally(t *testing.T) {
+	// Parity at Workers=1 is about the dispatch gate, not about cores:
+	// it must fail even on a 1-core race-instrumented recording.
+	r := syntheticScaling()
+	r.NumCPU, r.Race = 1, true
+	for i := range r.Rows {
+		if r.Rows[i].Variant == "bucket-parallel" && r.Rows[i].Workers == 1 {
+			r.Rows[i].Speedup = 0.5
+		}
+	}
+	err := CheckScalingBench(r)
+	if err == nil || !strings.Contains(err.Error(), "parity floor") {
+		t.Fatalf("parity violation not caught: %v", err)
+	}
+}
+
+func TestCheckScalingRejectsPoolUseAtOneWorker(t *testing.T) {
+	r := syntheticScaling()
+	for i := range r.Rows {
+		if r.Rows[i].Variant == "bucket-parallel" && r.Rows[i].Workers == 1 {
+			r.Rows[i].Steals = 3
+		}
+	}
+	err := CheckScalingBench(r)
+	if err == nil || !strings.Contains(err.Error(), "touched the pool") {
+		t.Fatalf("pool use at one worker not caught: %v", err)
+	}
+}
+
+func TestCheckScalingFloorsArmOnlyWithCores(t *testing.T) {
+	// An 8-core recording below the W=8 floor fails...
+	r := syntheticScaling()
+	for i := range r.Rows {
+		if r.Rows[i].Input == "roadgrid" && r.Rows[i].Workers == 8 {
+			r.Rows[i].Speedup = 1.2
+		}
+	}
+	err := CheckScalingBench(r)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("floor violation not caught: %v", err)
+	}
+	// ...but the identical rows recorded on a 1-core box pass (the
+	// machine could never have delivered the speedup), and under the
+	// race detector likewise.
+	r.NumCPU = 1
+	if err := CheckScalingBench(r); err != nil {
+		t.Fatalf("floor armed without cores: %v", err)
+	}
+	r.NumCPU, r.Race = 8, true
+	if err := CheckScalingBench(r); err != nil {
+		t.Fatalf("floor armed under the race detector: %v", err)
+	}
+	// The tiny smoke sweep never arms multi-worker floors: its graphs
+	// cannot amortize pool dispatch on any hardware.
+	r.Race, r.Scale = false, "tiny"
+	if err := CheckScalingBench(r); err != nil {
+		t.Fatalf("floor armed at tiny scale: %v", err)
+	}
+}
+
+func TestCheckScalingRejectsMissingSweepRows(t *testing.T) {
+	r := syntheticScaling()
+	kept := r.Rows[:0]
+	for _, row := range r.Rows {
+		if row.Input == "roadgrid" && row.Workers == 8 && row.Variant == "bucket-parallel" {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	r.Rows = kept
+	err := CheckScalingBench(r)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing sweep row not caught: %v", err)
+	}
+}
+
+// TestCommittedScalingBaselineCurrent validates the checked-in
+// BENCH_scaling.json against its guard, exactly as the regress
+// experiment does, so a hand-edited or stale document fails here first.
+func TestCommittedScalingBaselineCurrent(t *testing.T) {
+	report, err := LoadScalingBaseline(filepath.Join("..", "..", ScalingBaselineFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckScalingBench(report); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalingBenchTinySmoke runs the real measurement once at tiny
+// scale and checks it through the guard: the end-to-end path CI's
+// scaling job exercises.
+func TestScalingBenchTinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second benchmark sweep")
+	}
+	report := ScalingBench(Tiny)
+	if report.Scale != "tiny" {
+		t.Fatalf("scale = %q", report.Scale)
+	}
+	if err := CheckScalingBench(report); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must genuinely engage the pool at multi-worker rows.
+	for _, row := range report.Rows {
+		if row.Variant == "bucket-parallel" && row.Workers > 1 && row.ParallelRounds == 0 {
+			t.Fatalf("%s w%d never fanned out", row.Input, row.Workers)
+		}
+	}
+}

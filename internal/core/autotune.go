@@ -1,10 +1,43 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"mrbc/internal/graph"
 )
+
+// autotuneWorkCrossover is the intra-batch parallelization crossover in
+// (vertex, source) labels per batch. The parallel runtime's costs are
+// per-round barriers (two pool phases) and per-shard outbox traffic;
+// its payoff grows with the labels a batch pushes through those rounds,
+// which is at most n·k. Below ~32k labels the whole batch tends to run
+// under the inline gate anyway (frontiers of at most a few hundred
+// pairs per round), so fanning out buys barriers and no speedup; above
+// it, each additional worker amortizes over thousands of edge
+// relaxations per round. One worker per crossover-multiple, capped at
+// GOMAXPROCS, keeps tiny inputs strictly serial while large inputs get
+// the full machine.
+const autotuneWorkCrossover = 1 << 15
+
+// AutotuneWorkers picks the intra-batch worker count for a batched run
+// over g from the machine width (runtime.GOMAXPROCS) and the expected
+// per-batch work n·k (the frontier mass all rounds share). Options
+// resolves Workers=0 through it.
+func AutotuneWorkers(g *graph.Graph, batchSize int) int {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	maxw := runtime.GOMAXPROCS(0)
+	w := int(int64(g.NumVertices()) * int64(batchSize) / autotuneWorkCrossover)
+	if w < 1 {
+		return 1
+	}
+	if w > maxw {
+		return maxw
+	}
+	return w
+}
 
 // AutotuneBatch picks a batch size for MRBC by probing: the paper
 // observes that the best k balances round reduction against

@@ -1,0 +1,88 @@
+package core
+
+import "sync/atomic"
+
+// wsDeque is a Chase-Lev-style work-stealing deque specialized for the
+// round runtime: tasks are shard indices (int32), the owner takes from
+// the bottom LIFO, and thieves take from the top via a CAS on top.
+//
+// The runtime pre-loads every deque before it releases the workers for
+// a phase and tasks never spawn subtasks, so push is never concurrent
+// with pop or steal and the buffer needs no resizing or garbage
+// management — only the classic Chase-Lev arbitration remains: when the
+// owner and a thief race for the last element, exactly one wins the CAS
+// on top. All slot writes happen before the phase's wake signal, so
+// thieves only ever read initialized slots.
+type wsDeque struct {
+	top    atomic.Int64
+	_      [7]int64 // keep top and bottom on separate cache lines
+	bottom atomic.Int64
+	_      [7]int64
+	buf    []int32
+}
+
+// reset prepares the deque for a new phase with room for n tasks.
+// Owner-only, phase-barrier separated from all pops and steals.
+func (d *wsDeque) reset(n int) {
+	if cap(d.buf) < n {
+		d.buf = make([]int32, n)
+	}
+	d.buf = d.buf[:cap(d.buf)]
+	d.top.Store(0)
+	d.bottom.Store(0)
+}
+
+// push appends a task at the bottom. Called only between phases (before
+// workers wake), never concurrently with pop or steal.
+func (d *wsDeque) push(task int32) {
+	b := d.bottom.Load()
+	d.buf[b] = task
+	d.bottom.Store(b + 1)
+}
+
+// pop takes the bottom task (owner only). Returns false when the deque
+// is empty or a thief won the race for the last element.
+func (d *wsDeque) pop() (int32, bool) {
+	b := d.bottom.Add(-1)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom so top <= bottom holds again.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	task := d.buf[b]
+	if t == b {
+		// Last element: race thieves for it via the CAS on top.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		return task, won
+	}
+	return task, true
+}
+
+// steal takes the top task (any worker). Returns false when the deque
+// is observed empty; retries internally when it loses a CAS race to
+// another thief or the owner.
+func (d *wsDeque) steal() (int32, bool) {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return 0, false
+		}
+		task := d.buf[t]
+		if d.top.CompareAndSwap(t, t+1) {
+			return task, true
+		}
+	}
+}
+
+// size reports the number of unclaimed tasks (approximate under
+// concurrency; exact between phases).
+func (d *wsDeque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

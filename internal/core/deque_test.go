@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestDequeOwnerOrder pins the single-threaded contract: the owner pops
+// LIFO from the bottom, thieves take FIFO from the top, and the two
+// ends never hand out the same task.
+func TestDequeOwnerOrder(t *testing.T) {
+	var d wsDeque
+	d.reset(4)
+	for i := int32(0); i < 4; i++ {
+		d.push(i)
+	}
+	if got, ok := d.steal(); !ok || got != 0 {
+		t.Fatalf("steal = (%d, %v), want (0, true)", got, ok)
+	}
+	if got, ok := d.pop(); !ok || got != 3 {
+		t.Fatalf("pop = (%d, %v), want (3, true)", got, ok)
+	}
+	if got, ok := d.pop(); !ok || got != 2 {
+		t.Fatalf("pop = (%d, %v), want (2, true)", got, ok)
+	}
+	if got, ok := d.steal(); !ok || got != 1 {
+		t.Fatalf("steal = (%d, %v), want (1, true)", got, ok)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop on empty deque reported a task")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal on empty deque reported a task")
+	}
+	if d.size() != 0 {
+		t.Fatalf("size = %d, want 0", d.size())
+	}
+}
+
+// drainDeque races one owner (popping) against thieves (stealing) and
+// returns per-task claim counts. Every task must be claimed exactly
+// once — the Chase-Lev arbitration property the runtime rests on.
+func drainDeque(tasks, thieves int) []int32 {
+	var d wsDeque
+	d.reset(tasks)
+	for i := 0; i < tasks; i++ {
+		d.push(int32(i))
+	}
+	claims := make([]int32, tasks)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok := d.steal()
+				if !ok {
+					return
+				}
+				atomic.AddInt32(&claims[task], 1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			task, ok := d.pop()
+			if !ok {
+				if d.size() == 0 {
+					return
+				}
+				continue // lost a last-element race; deque may still hold work
+			}
+			atomic.AddInt32(&claims[task], 1)
+		}
+	}()
+	wg.Wait()
+	return claims
+}
+
+// TestDequeConcurrentClaims hammers the owner/thief arbitration under
+// the race detector with a fixed shape.
+func TestDequeConcurrentClaims(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		claims := drainDeque(64, 4)
+		for task, c := range claims {
+			if c != 1 {
+				t.Fatalf("iter %d: task %d claimed %d times", iter, task, c)
+			}
+		}
+	}
+}
+
+// TestDequeQuickInterleavings varies task and thief counts via
+// testing/quick: exactly-once claiming must hold for every shape.
+func TestDequeQuickInterleavings(t *testing.T) {
+	prop := func(rawTasks, rawThieves uint8) bool {
+		tasks := 1 + int(rawTasks)%96
+		thieves := 1 + int(rawThieves)%7
+		claims := drainDeque(tasks, thieves)
+		for task, c := range claims {
+			if c != 1 {
+				t.Logf("tasks=%d thieves=%d: task %d claimed %d times", tasks, thieves, task, c)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

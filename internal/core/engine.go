@@ -31,9 +31,13 @@ import (
 // scheduler (a calendar queue with lazy deletion) that moves a vertex
 // between round buckets whenever its first-unsent entry changes, making
 // ForwardFlags O(|flags| + stale entries) per round. The buckets are
-// additionally sharded by vertex ownership (v mod shards) so that the
-// shared-memory runner can execute the per-round compute phase on
-// multiple goroutines without locks or atomics on the hot path.
+// additionally sharded by vertex ownership — contiguous vertex ranges,
+// so adjacent vertices' labels stay inside one shard's (and hence one
+// worker's) cache lines — so that the shared-memory runner can execute
+// the per-round compute phase on multiple goroutines without locks or
+// atomics on the hot path. Concatenating per-shard results in shard
+// order recovers the global ascending vertex order, the property the
+// parallel runtime's determinism rests on (see parallel.go).
 //
 // The engine holds one host's local view. The distributed
 // implementation (internal/mrbcdist) runs one engine per host and uses
@@ -223,10 +227,12 @@ func (st *vertexState) advanceFU() {
 	st.fuSrc = -1
 }
 
-// engineShard holds one ownership shard's scheduler state. Parallel
-// workers own disjoint shards (owner = v mod shards), so nothing here
-// needs locks or atomics; the trailing pad keeps the frequently-written
-// pending counter of adjacent shards on different cache lines.
+// engineShard holds one ownership shard's scheduler state. A shard
+// owns a contiguous vertex range (see shardOf/shardRange) and each
+// shard's state is touched by exactly one worker per parallel phase, so
+// nothing here needs locks or atomics; the trailing pad keeps the
+// frequently-written pending counter of adjacent shards on different
+// cache lines.
 type engineShard struct {
 	// buckets[r-1] holds vertices tentatively due in forward round r.
 	// Deletion is lazy: a vertex is re-appended when its due round
@@ -237,6 +243,12 @@ type engineShard struct {
 	freeBuckets [][]uint32
 	// backByRound[r-1] holds the Algorithm 5 flags of backward round r.
 	backByRound [][]Flag
+	// nextHint is a verified lower bound on the shard's next non-empty
+	// bucket round: every bucket strictly before it is empty. Lowered on
+	// insert, advanced by NextForwardRound's scan, it makes the per-round
+	// scan amortized O(1) per shard instead of O(round span) — the cost
+	// that would otherwise grow with the shard count.
+	nextHint int32
 	// alloc hands out the shard's distMap bitsets.
 	alloc shardAlloc
 	// pending counts (v,s) pairs inserted but not yet synchronized.
@@ -262,11 +274,12 @@ type Engine struct {
 
 // EngineOpts configures optional Engine behavior.
 type EngineOpts struct {
-	// Shards partitions vertices by ownership (v mod Shards) so that
-	// the per-round compute phase can run on Shards goroutines with
+	// Shards partitions vertices by ownership into contiguous ranges so
+	// that the per-round compute phase can run on a worker pool with
 	// every label write, scheduler move, and pending-counter update
 	// staying inside the owning shard. 0 or 1 means a single shard
 	// (single-threaded use, e.g. one engine per simulated host).
+	// ParallelShards picks the fan-out the parallel runtime uses.
 	Shards int
 	// Scan selects the seed O(n)-per-round vertex scan for forward
 	// flag discovery instead of the bucket scheduler. Kept as the
@@ -343,7 +356,42 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // Get returns the current labels of (v, s).
 func (e *Engine) Get(v uint32, s int) SrcData { return e.st[v].data[s] }
 
-func (e *Engine) shardOf(v uint32) int { return int(v) % len(e.shards) }
+// ParallelShards is the ownership shard count runner-driven engines
+// use: a fixed fan-out (clamped to n) chosen independently of the
+// worker count, so the canonical shard-concatenation order — and with
+// it every float64 summation order — is the same for 1 worker as for
+// 16. 64 shards over-partition every worker count we target (≤16),
+// giving the stealing scheduler slack to rebalance skewed frontiers.
+func ParallelShards(n int) int {
+	const target = 64
+	if n < target {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return target
+}
+
+// shardOf maps a vertex to its owning shard. Shards are contiguous
+// ranges (v·S/n), not interleaved residues: adjacent vertices share a
+// shard, so one worker's label writes stay in contiguous slab memory
+// (no false sharing between workers), and per-shard vertex order
+// concatenated in shard order equals global vertex order.
+func (e *Engine) shardOf(v uint32) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(uint64(v) * uint64(len(e.shards)) / uint64(len(e.st)))
+}
+
+// shardRange returns the contiguous vertex range [lo, hi) owned by a
+// shard: the inverse of shardOf.
+func (e *Engine) shardRange(shard int) (lo, hi int) {
+	n := len(e.st)
+	s := len(e.shards)
+	return (shard*n + s - 1) / s, ((shard+1)*n + s - 1) / s
+}
 
 // reschedule records v's current due round in the bucket scheduler
 // after a mutation that may have changed it. Stale copies left in old
@@ -372,6 +420,9 @@ func (e *Engine) reschedule(v uint32) {
 	}
 	e.sched[v] = due
 	sh := &e.shards[e.shardOf(v)]
+	if due < sh.nextHint {
+		sh.nextHint = due
+	}
 	for len(sh.buckets) < int(due) {
 		sh.buckets = append(sh.buckets, nil)
 	}
@@ -479,17 +530,35 @@ func (e *Engine) NextForwardRound(r int) int {
 	}
 	best := -1
 	for i := range e.shards {
-		b := e.shards[i].buckets
-		for j := r; j < len(b); j++ {
-			if len(b[j]) > 0 {
-				if best < 0 || j+1 < best {
-					best = j + 1
-				}
-				break
-			}
+		sh := &e.shards[i]
+		h := int(sh.nextHint)
+		if h < r+1 {
+			h = r + 1
+		}
+		for h <= len(sh.buckets) && len(sh.buckets[h-1]) == 0 {
+			h++
+		}
+		sh.nextHint = int32(h)
+		if h <= len(sh.buckets) && (best < 0 || h < best) {
+			best = h
 		}
 	}
 	return best
+}
+
+// dueEstimate returns an upper bound on the number of flags forward
+// round r can yield: the total length of the shards' round-r buckets,
+// stale lazily-deleted copies included. The parallel runtime's inline
+// gate consumes it; being a pure function of scheduler state, it is
+// identical across worker counts.
+func (e *Engine) dueEstimate(r int) int {
+	total := 0
+	for i := range e.shards {
+		if b := e.shards[i].buckets; r <= len(b) {
+			total += len(b[r-1])
+		}
+	}
+	return total
 }
 
 // ApplySync installs the reduced-and-broadcast final labels for (v, s)
@@ -712,41 +781,48 @@ func (e *Engine) PendingUnsent() bool {
 // then costs O(|flags|) per round.
 func (e *Engine) StartBackward(R int) {
 	e.totalR = R
-	// Counting pass: exact per-(shard, round) sizes, so each shard's
-	// flags live in one arena instead of append-grown round slices.
-	nsh := len(e.shards)
-	counts := make([][]int32, nsh)
-	totals := make([]int, nsh)
-	for v := range e.st {
+	for sh := range e.shards {
+		e.startBackwardShard(sh, R)
+	}
+}
+
+// startBackwardShard buckets one ownership shard's backward flags by
+// round: the level-synchronous sweep's per-shard setup. It touches only
+// the shard's own vertex range and bucket state, so the parallel
+// runtime calls it concurrently for distinct shards (with e.totalR set
+// by the caller beforehand). Vertices are scanned in ascending order,
+// so each round's flags are ascending (vertex, source) within the
+// shard — and, ranges being contiguous, across shards in shard order.
+func (e *Engine) startBackwardShard(shard, R int) {
+	lo, hi := e.shardRange(shard)
+	sh := &e.shards[shard]
+	// Counting pass: exact per-round sizes, so the shard's flags live in
+	// one arena instead of append-grown round slices.
+	var counts []int32
+	total := 0
+	for v := lo; v < hi; v++ {
 		st := &e.st[v]
-		sh := e.shardOf(uint32(v))
-		cnt := counts[sh]
 		for s := 0; s < e.k; s++ {
 			if st.data[s].Dist == graph.InfDist {
 				continue
 			}
 			r := R - int(st.tau[s]) + 1
-			for len(cnt) < r {
-				cnt = append(cnt, 0)
+			for len(counts) < r {
+				counts = append(counts, 0)
 			}
-			cnt[r-1]++
-			totals[sh]++
-		}
-		counts[sh] = cnt
-	}
-	for i := range e.shards {
-		sh := &e.shards[i]
-		arena := make([]Flag, totals[i])
-		sh.backByRound = make([][]Flag, len(counts[i]))
-		off := 0
-		for r, c := range counts[i] {
-			sh.backByRound[r] = arena[off : off : off+int(c)]
-			off += int(c)
+			counts[r-1]++
+			total++
 		}
 	}
-	for v := range e.st {
+	arena := make([]Flag, total)
+	sh.backByRound = make([][]Flag, len(counts))
+	off := 0
+	for r, c := range counts {
+		sh.backByRound[r] = arena[off : off : off+int(c)]
+		off += int(c)
+	}
+	for v := lo; v < hi; v++ {
 		st := &e.st[v]
-		sh := &e.shards[e.shardOf(uint32(v))]
 		for s := 0; s < e.k; s++ {
 			if st.data[s].Dist == graph.InfDist {
 				continue
@@ -755,6 +831,18 @@ func (e *Engine) StartBackward(R int) {
 			sh.backByRound[r-1] = append(sh.backByRound[r-1], Flag{V: uint32(v), Src: s})
 		}
 	}
+}
+
+// backDueCount returns the exact number of backward round-r flags
+// across all shards.
+func (e *Engine) backDueCount(r int) int {
+	total := 0
+	for i := range e.shards {
+		if b := e.shards[i].backByRound; r >= 1 && r <= len(b) {
+			total += len(b[r-1])
+		}
+	}
+	return total
 }
 
 // BackwardFlags appends the (vertex, source) pairs whose dependency

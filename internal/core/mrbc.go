@@ -42,10 +42,12 @@ type Options struct {
 	// Parallelism runs up to this many batches concurrently, each on
 	// its own engine. Defaults to 1 (sequential batches).
 	Parallelism int
-	// Workers is the intra-batch worker count per batch. 0 defaults
-	// to GOMAXPROCS/Parallelism (at least 1), so the two levels
-	// compose without oversubscribing; 1 disables intra-batch
-	// parallelism.
+	// Workers is the intra-batch worker count per batch. 0 selects
+	// AutotuneWorkers (frontier-size crossover, capped at
+	// GOMAXPROCS/Parallelism so the two levels compose without
+	// oversubscribing); 1 disables intra-batch parallelism and runs
+	// the serial bucket path — no pool, no deques, no per-shard
+	// outboxes.
 	Workers int
 	// Scheduler selects the flag-discovery structure; defaults to
 	// BucketScheduler.
@@ -75,12 +77,44 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// RunStats reports the model-level execution costs of a batched run.
+// withAutotune resolves Workers=0 via the frontier-size crossover
+// heuristic (AutotuneWorkers) before the GOMAXPROCS fallback applies,
+// dividing by Parallelism so the two levels compose.
+func (o Options) withAutotune(g *graph.Graph) Options {
+	if o.Workers <= 0 && o.Scheduler != ScanScheduler {
+		k := o.BatchSize
+		if k <= 0 {
+			k = defaultBatchSize
+		}
+		par := o.Parallelism
+		if par < 1 {
+			par = 1
+		}
+		if o.Workers = AutotuneWorkers(g, k) / par; o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	return o.withDefaults()
+}
+
+// RunStats reports the model-level execution costs of a batched run,
+// plus the intra-batch runtime's scheduler counters (all zero on
+// serial runs: Workers=1 never touches the pool).
 type RunStats struct {
 	Batches        int
 	ForwardRounds  int   // BSP rounds across all batches, forward phase
 	BackwardRounds int   // BSP rounds across all batches, backward phase
 	LabelsSynced   int64 // number of (vertex, source) label synchronizations
+
+	// InlineRounds / ParallelRounds split the rounds the parallel
+	// runtime executed by whether the inline gate kept them on the
+	// caller (tiny frontier) or fanned them out to the worker pool.
+	InlineRounds   int64
+	ParallelRounds int64
+	// Steals counts shard-tasks claimed from another worker's deque;
+	// FailedSteals counts sweeps that found every deque empty.
+	Steals       int64
+	FailedSteals int64
 }
 
 // Rounds returns the total BSP rounds across phases and batches.
@@ -101,7 +135,7 @@ func (s RunStats) RoundsPerSource(numSources int) float64 {
 // with the label synchronizations a distributed run would perform
 // counted in the stats).
 func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
-	opts = opts.withDefaults()
+	opts = opts.withAutotune(g)
 	n := g.NumVertices()
 	for _, s := range sources {
 		if int(s) >= n {
@@ -173,20 +207,27 @@ func BC(g *graph.Graph, sources []uint32, opts Options) ([]float64, RunStats) {
 func runBatch(g *graph.Graph, batch []uint32, scores []float64, stats *RunStats, opts Options) {
 	stats.Batches++
 	if opts.Workers > 1 {
-		e := NewEngineOpts(g, len(batch), EngineOpts{Shards: opts.Workers})
+		// The shard count comes from the graph (ParallelShards), not
+		// from Workers: over-partitioning gives the stealing scheduler
+		// slack, and a worker-independent fan-out keeps every
+		// application order — hence every float64 sum — identical
+		// across worker counts.
+		e := NewEngineOpts(g, len(batch), EngineOpts{Shards: ParallelShards(g.NumVertices())})
 		if e.NumShards() > 1 {
 			for i, s := range batch {
 				e.InitSource(s, i, true)
 			}
-			pr := newParRun(e)
-			defer pr.close()
-			R := pr.forward(stats)
+			run := NewRunner(e, opts.Workers)
+			defer run.Close()
+			R := run.forward(stats)
 			stats.ForwardRounds += R
-			stats.BackwardRounds += pr.backward(R, stats)
-			pr.fold(batch, scores)
+			stats.BackwardRounds += run.backward(R, stats)
+			run.fold(batch, scores)
+			run.flushRunStats(stats)
 			return
 		}
-		// Tiny graph collapsed to one shard: fall through sequential.
+		// Single-vertex graph collapsed to one shard: fall through
+		// sequential.
 	}
 	e := NewEngineOpts(g, len(batch), EngineOpts{Scan: opts.Scheduler == ScanScheduler})
 	for i, s := range batch {
@@ -263,7 +304,7 @@ func forwardPhase(e *Engine, flagsBuf *[]Flag, stats *RunStats) int {
 // APSPBatch exposes the forward phase only: distances and shortest-path
 // counts from each source in the batch, for library users who need
 // k-SSP rather than BC. It uses default Options (bucket scheduler,
-// GOMAXPROCS intra-batch workers).
+// autotuned intra-batch workers).
 func APSPBatch(g *graph.Graph, batch []uint32) (dist [][]uint32, sigma [][]float64, stats RunStats) {
 	return APSPBatchOpts(g, batch, Options{})
 }
@@ -273,7 +314,7 @@ func APSPBatchOpts(g *graph.Graph, batch []uint32, opts Options) (dist [][]uint3
 	if len(batch) == 0 {
 		return nil, nil, stats
 	}
-	opts = opts.withDefaults()
+	opts = opts.withAutotune(g)
 	for _, s := range batch {
 		if int(s) >= g.NumVertices() {
 			panic(fmt.Sprintf("core: source %d out of range", s))
@@ -281,7 +322,7 @@ func APSPBatchOpts(g *graph.Graph, batch []uint32, opts Options) (dist [][]uint3
 	}
 	var e *Engine
 	if opts.Workers > 1 {
-		e = NewEngineOpts(g, len(batch), EngineOpts{Shards: opts.Workers})
+		e = NewEngineOpts(g, len(batch), EngineOpts{Shards: ParallelShards(g.NumVertices())})
 	} else {
 		e = NewEngineOpts(g, len(batch), EngineOpts{Scan: opts.Scheduler == ScanScheduler})
 	}
@@ -290,9 +331,10 @@ func APSPBatchOpts(g *graph.Graph, batch []uint32, opts Options) (dist [][]uint3
 	}
 	var R int
 	if e.NumShards() > 1 {
-		pr := newParRun(e)
-		defer pr.close()
-		R = pr.forward(&stats)
+		run := NewRunner(e, opts.Workers)
+		defer run.Close()
+		R = run.forward(&stats)
+		run.flushRunStats(&stats)
 	} else {
 		var flags []Flag
 		R = forwardPhase(e, &flags, &stats)

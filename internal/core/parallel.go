@@ -7,31 +7,64 @@ import (
 	"mrbc/internal/graph"
 )
 
-// This file implements the intra-batch parallel compute phase of the
-// shared-memory runner: the flags of each round are partitioned across
-// workers by vertex ownership (v mod workers, the engine's shard map),
-// and every round runs as two barrier-separated phases:
+// This file implements the intra-batch parallel runtime: a fixed set of
+// workers executing per-shard tasks from Chase-Lev work-stealing deques
+// (deque.go), so skewed frontiers — road corridors where one shard holds
+// the whole wavefront, RMAT hubs whose out-edge fans dwarf every other
+// shard's — do not serialize the round on one worker.
 //
-//  1. generate: each worker collects and synchronizes its own shard's
-//     due flags (all label writes are shard-local), then walks the
-//     flagged vertices' out-edges and stages one relaxUpdate per edge
-//     into a per-(worker, target-shard) outbox.
-//  2. apply: each worker drains the outboxes addressed to its shard and
-//     applies them to the target vertices it owns.
+// Every round runs as two barrier-separated phases over the engine's
+// ownership shards (contiguous vertex ranges, see Engine.shardOf):
 //
-// No atomics or locks sit on the hot path: every label, scheduler
-// bucket, and pending counter is written only by its owner, and the
-// pool barrier orders generation before application. Applying inboxes
-// in worker order keeps results deterministic for a fixed worker count
-// (floating-point sums reorder relative to the sequential engine, but
-// distances, σ counts, schedules, and round counts are exact).
+//  1. generate: the task for shard sh collects and synchronizes the
+//     shard's due flags (all label writes are shard-local), then walks
+//     the flagged vertices' edges and stages one update per edge into
+//     the (sh, target-shard) outbox.
+//  2. apply: the task for shard sh drains the outboxes addressed to sh,
+//     in from-shard order, applying updates to the vertices it owns.
 //
-// The backward phase works the same way with in-edge ownership: workers
-// generate δ contributions m·σu for their shard's flagged vertices and
-// route them to the owner of each in-neighbor u. Predecessors always
-// synchronize in strictly later backward rounds than their successors
-// (Asu > Asv when du < dv), so reads of δv during generation never race
-// with the δ writes of the same round.
+// Work stealing moves whole shard-tasks between workers, never splits
+// one, so the ownership discipline survives stealing: each shard's
+// state is touched by exactly one worker per phase, with the phase
+// barrier ordering generation before application. No locks or atomics
+// sit on the label path; the only atomics are the deque cursors, and
+// the hot counters (flag tallies, steal/idle counts) live in padded
+// per-worker cells flushed once per phase boundary.
+//
+// Determinism across worker counts is structural, not tolerance-based:
+//
+//   - Shards partition vertices into contiguous ranges and the shard
+//     count is fixed by the graph (ParallelShards), not by Workers, so
+//     concatenating per-shard flag lists in shard order yields the same
+//     global order no matter how many workers execute the tasks.
+//   - The apply phase drains outboxes in from-shard order, and each
+//     from-shard stages updates in flag order, so the sequence of
+//     contributions reaching any given (vertex, source) equals the
+//     sequence the serial engine produces. σ sums (integers in float64)
+//     and distance minima are order-exact anyway; the backward δ sums
+//     are fractional, and this canonical order makes them bitwise equal
+//     to the serial path for every worker count — the property
+//     TestWorkerCountInvariance pins.
+//
+// The backward pass is level-synchronous (parlaylib-style): backward
+// round r is exactly one DAG level (all pairs with A_sv = r), and a
+// predecessor u of a flagged v satisfies τ_su < τ_sv, hence
+// A_su > A_sv — so generation's reads of σ_u, d_u, and the flagged δ_v
+// never race with the δ_u writes of the same round's apply phase.
+//
+// Tiny rounds skip all of it: when the due count is at or below
+// inlineFrontierLimit the round runs inline on the caller in the same
+// shard order, producing identical results at serial cost (the
+// "degrades to serial-bucket cost" half of the design).
+
+// inlineFrontierLimit is the due-count at or below which a round runs
+// inline on the caller instead of fanning out to the worker pool: below
+// roughly a hundred (vertex, source) pairs the two phase barriers cost
+// more than the round's work. Fixed (not per-worker) so the
+// inline/parallel decision — and therefore the execution order — is
+// identical for every worker count. A variable only so tests can force
+// the pool path on small graphs; production code never writes it.
+var inlineFrontierLimit = 128
 
 // relaxUpdate is one staged forward contribution to target vertex w.
 type relaxUpdate struct {
@@ -48,125 +81,346 @@ type deltaUpdate struct {
 	val float64
 }
 
-// pool runs one callback per shard per phase on a fixed set of
-// goroutines, with a barrier at the end of each phase.
-type pool struct {
-	tasks chan poolTask
-	n     int
+// WorkerStats is one worker's scheduler counters over a Runner's
+// lifetime: how many shard-tasks it executed, how many of those it
+// stole from another worker's deque, how many steal sweeps found every
+// deque empty (idle exits), and how many phase-boundary counter
+// flushes it performed.
+type WorkerStats struct {
+	Tasks        int64
+	Steals       int64
+	FailedSteals int64
+	Flushes      int64
 }
 
-type poolTask struct {
-	fn    func(shard int)
-	shard int
-	wg    *sync.WaitGroup
+// workerCell is the per-worker hot counter block. Workers increment
+// their own cell without synchronization; the pool reads cells only
+// between phases. Padded to a cache line so adjacent workers' counters
+// never share one.
+type workerCell struct {
+	tasks        int64
+	steals       int64
+	failedSteals int64
+	flushes      int64
+	staged       int64 // per-phase staged tally, flushed at the barrier
+	_            [3]int64
 }
 
-func newPool(n int) *pool {
-	p := &pool{tasks: make(chan poolTask, n), n: n}
-	for i := 0; i < n; i++ {
-		go func() {
-			for t := range p.tasks {
-				t.fn(t.shard)
-				t.wg.Done()
-			}
-		}()
+// wsPool runs one callback per task per phase on a fixed set of worker
+// goroutines fed by per-worker work-stealing deques.
+type wsPool struct {
+	workers int
+	deques  []wsDeque
+	cells   []workerCell
+	fn      func(task, worker int)
+	wake    []chan struct{}
+	exit    sync.WaitGroup
+}
+
+func newWSPool(workers int) *wsPool {
+	p := &wsPool{
+		workers: workers,
+		deques:  make([]wsDeque, workers),
+		cells:   make([]workerCell, workers),
+		wake:    make([]chan struct{}, workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i)
 	}
 	return p
 }
 
-// run executes fn(shard) for every shard and waits for all to finish.
-func (p *pool) run(fn func(shard int)) {
-	var wg sync.WaitGroup
-	wg.Add(p.n)
-	for s := 0; s < p.n; s++ {
-		p.tasks <- poolTask{fn: fn, shard: s, wg: &wg}
+func (p *wsPool) worker(id int) {
+	for range p.wake[id] {
+		p.drain(id)
+		p.exit.Done()
 	}
-	wg.Wait()
 }
 
-func (p *pool) close() { close(p.tasks) }
-
-// parRun drives one batch on a sharded engine with w workers.
-type parRun struct {
-	e *Engine
-	p *pool
-	w int
-	// flags[shard] holds the current round's flags of that shard.
-	flags [][]Flag
-	// relaxOut[from][to] / deltaOut[from][to] are the per-worker-pair
-	// outboxes; scratch is reused across rounds.
-	relaxOut [][][]relaxUpdate
-	deltaOut [][][]deltaUpdate
+// drain claims tasks until none are visible anywhere: own deque first
+// (LIFO), then a steal sweep over the other workers' deques. Tasks
+// never spawn subtasks, so a sweep that observes every deque empty
+// means every task has been claimed (any still running finish on the
+// workers that claimed them) and this worker can exit the phase.
+func (p *wsPool) drain(id int) {
+	c := &p.cells[id]
+	own := &p.deques[id]
+	for {
+		task, ok := own.pop()
+		if !ok {
+			task, ok = p.trySteal(id)
+			if !ok {
+				c.failedSteals++
+				return
+			}
+			c.steals++
+		}
+		p.fn(int(task), id)
+		c.tasks++
+	}
 }
 
-func newParRun(e *Engine) *parRun {
-	w := e.NumShards()
-	pr := &parRun{
+func (p *wsPool) trySteal(id int) (int32, bool) {
+	for off := 1; off < p.workers; off++ {
+		if t, ok := p.deques[(id+off)%p.workers].steal(); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// runPhase distributes tasks 0..tasks-1 over the deques in contiguous
+// blocks, wakes the workers, and returns once every worker has exited
+// its drain loop — which implies every task ran to completion.
+func (p *wsPool) runPhase(tasks int, fn func(task, worker int)) {
+	p.fn = fn
+	for i := range p.deques {
+		p.deques[i].reset(tasks)
+	}
+	// Push descending so each owner pops its block in ascending order
+	// (pure locality; correctness never depends on execution order).
+	for t := tasks - 1; t >= 0; t-- {
+		p.deques[t*p.workers/tasks].push(int32(t))
+	}
+	p.exit.Add(p.workers)
+	for i := range p.wake {
+		p.wake[i] <- struct{}{}
+	}
+	p.exit.Wait()
+	p.fn = nil
+}
+
+// flushStaged folds the per-worker staged tallies into one total at a
+// phase boundary, resetting the cells. Called only between phases.
+func (p *wsPool) flushStaged() int64 {
+	var total int64
+	for i := range p.cells {
+		c := &p.cells[i]
+		if c.staged != 0 {
+			total += c.staged
+			c.staged = 0
+			c.flushes++
+		}
+	}
+	return total
+}
+
+func (p *wsPool) close() {
+	for i := range p.wake {
+		close(p.wake[i])
+	}
+}
+
+// Runner drives per-round compute phases of one engine on a
+// work-stealing worker pool. The shared-memory path (BC) uses its
+// forward/backward/fold drivers; the distributed path (mrbcdist) uses
+// RelaxAll/AccumulateAll on each host's engine. A Runner with one
+// worker runs everything inline on the caller with no pool at all.
+type Runner struct {
+	e     *Engine
+	pool  *wsPool // nil when workers == 1
+	tasks int     // generation chunk count == len(e.shards)
+
+	flags    [][]Flag            // per-shard flag scratch
+	relaxOut [][][]relaxUpdate   // [from][to] outboxes
+	deltaOut [][][]deltaUpdate   // [from][to] outboxes
+	cands    [][]Candidate       // per-target-shard candidate scratch
+
+	inlineRounds   int64
+	parallelRounds int64
+}
+
+// NewRunner creates a runner with the given worker count over e.
+// Workers are clamped to [1, NumShards()]: a task is one whole shard,
+// so extra workers past the shard count could never claim work.
+func NewRunner(e *Engine, workers int) *Runner {
+	s := e.NumShards()
+	if workers > s {
+		workers = s
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{
 		e:        e,
-		p:        newPool(w),
-		w:        w,
-		flags:    make([][]Flag, w),
-		relaxOut: make([][][]relaxUpdate, w),
-		deltaOut: make([][][]deltaUpdate, w),
+		tasks:    s,
+		flags:    make([][]Flag, s),
+		relaxOut: make([][][]relaxUpdate, s),
+		deltaOut: make([][][]deltaUpdate, s),
+		cands:    make([][]Candidate, s),
 	}
-	for i := 0; i < w; i++ {
-		pr.relaxOut[i] = make([][]relaxUpdate, w)
-		pr.deltaOut[i] = make([][]deltaUpdate, w)
+	for i := 0; i < s; i++ {
+		r.relaxOut[i] = make([][]relaxUpdate, s)
+		r.deltaOut[i] = make([][]deltaUpdate, s)
 	}
-	return pr
+	if workers > 1 {
+		r.pool = newWSPool(workers)
+	}
+	return r
 }
 
-func (pr *parRun) close() { pr.p.close() }
+// Workers returns the effective worker count.
+func (r *Runner) Workers() int {
+	if r.pool == nil {
+		return 1
+	}
+	return r.pool.workers
+}
+
+// WorkerStats returns per-worker scheduler counters (nil for a
+// single-worker runner). Call only between phases.
+func (r *Runner) WorkerStats() []WorkerStats {
+	if r.pool == nil {
+		return nil
+	}
+	out := make([]WorkerStats, r.pool.workers)
+	for i := range out {
+		c := &r.pool.cells[i]
+		out[i] = WorkerStats{Tasks: c.tasks, Steals: c.steals, FailedSteals: c.failedSteals, Flushes: c.flushes}
+	}
+	return out
+}
+
+// Close shuts down the worker pool. The runner must not be used after.
+func (r *Runner) Close() {
+	if r.pool != nil {
+		r.pool.close()
+	}
+}
+
+func (r *Runner) runPhase(fn func(task, worker int)) {
+	if r.pool == nil {
+		for t := 0; t < r.tasks; t++ {
+			fn(t, 0)
+		}
+		return
+	}
+	r.pool.runPhase(r.tasks, fn)
+}
+
+// stageRelax walks the out-edges of the given flags and stages one
+// relaxUpdate per edge into out, keyed by the target's shard.
+func (r *Runner) stageRelax(flags []Flag, out [][]relaxUpdate) {
+	e := r.e
+	for _, f := range flags {
+		src := e.st[f.V].data[f.Src]
+		cand := src.Dist + 1
+		for _, w := range e.g.OutNeighbors(f.V) {
+			t := e.shardOf(w)
+			out[t] = append(out[t], relaxUpdate{w: w, src: int32(f.Src), dist: cand, sigma: src.Sigma})
+		}
+	}
+}
+
+// applyRelaxInbox drains the relax outboxes addressed to shard sh in
+// from-shard order, optionally collecting list-change candidates.
+func (r *Runner) applyRelaxInbox(sh int, collect bool) {
+	e := r.e
+	var cb []Candidate
+	if collect {
+		cb = r.cands[sh][:0]
+	}
+	for from := 0; from < r.tasks; from++ {
+		ups := r.relaxOut[from][sh]
+		for _, u := range ups {
+			if e.applyRelax(u.w, int(u.src), u.dist, u.sigma) && collect {
+				cb = append(cb, Candidate{V: u.w, Src: int(u.src), Dist: u.dist})
+			}
+		}
+		r.relaxOut[from][sh] = ups[:0]
+	}
+	if collect {
+		r.cands[sh] = cb
+	}
+}
+
+// stageDelta walks the in-edges of the given backward flags and stages
+// one δ contribution per shortest-path DAG edge into out, keyed by the
+// predecessor's shard (Steps 7-9 of Algorithm 5, split at the edge).
+func (r *Runner) stageDelta(flags []Flag, out [][]deltaUpdate) {
+	e := r.e
+	for _, f := range flags {
+		st := &e.st[f.V]
+		if st.data[f.Src].Sigma == 0 {
+			panic(fmt.Sprintf("core: zero sigma at (%d,%d) during accumulation", f.V, f.Src))
+		}
+		m := (1 + st.data[f.Src].Delta) / st.data[f.Src].Sigma
+		dv := st.data[f.Src].Dist
+		for _, u := range e.g.InNeighbors(f.V) {
+			pu := &e.st[u]
+			du := pu.data[f.Src].Dist
+			if du != graph.InfDist && du+1 == dv {
+				t := e.shardOf(u)
+				out[t] = append(out[t], deltaUpdate{u: u, src: int32(f.Src), val: pu.data[f.Src].Sigma * m})
+			}
+		}
+	}
+}
+
+// applyDeltaInbox drains the δ outboxes addressed to shard sh in
+// from-shard order. From-shards stage in flag order and the global flag
+// order is ascending (vertex, source) — the serial order — so each
+// (u, s) receives its contributions in the exact serial sequence and
+// the float64 sums are bitwise reproducible across worker counts.
+func (r *Runner) applyDeltaInbox(sh int) {
+	e := r.e
+	for from := 0; from < r.tasks; from++ {
+		ups := r.deltaOut[from][sh]
+		for _, u := range ups {
+			e.st[u.u].data[u.src].Delta += u.val
+		}
+		r.deltaOut[from][sh] = ups[:0]
+	}
+}
 
 // forward runs the parallel forward phase (Algorithm 3) to quiescence
 // and returns the termination round R.
-func (pr *parRun) forward(stats *RunStats) int {
-	e := pr.e
+func (r *Runner) forward(stats *RunStats) int {
+	e := r.e
 	R := 0
-	for r := 0; ; {
-		r = e.NextForwardRound(r)
-		if r < 0 {
+	var scratch []Flag
+	for rnd := 0; ; {
+		rnd = e.NextForwardRound(rnd)
+		if rnd < 0 {
 			break
 		}
-		e.fwdRound = r
-		// Phase 1: collect + synchronize own flags, generate staged
-		// out-edge contributions.
-		pr.p.run(func(sh int) {
-			flags := e.forwardFlagsShard(r, sh, pr.flags[sh][:0])
-			pr.flags[sh] = flags
+		if r.pool == nil || e.dueEstimate(rnd) <= inlineFrontierLimit {
+			// Tiny round: run it inline in shard order. Identical code
+			// path and order as the pool, minus two barriers.
+			scratch = e.ForwardFlags(rnd, scratch[:0])
+			if len(scratch) > 0 {
+				R = rnd
+				stats.LabelsSynced += int64(len(scratch))
+				for _, f := range scratch {
+					d := e.Get(f.V, f.Src)
+					e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, rnd)
+				}
+				for _, f := range scratch {
+					e.RelaxOutLocal(f.V, f.Src)
+				}
+			}
+			r.inlineRounds++
+			continue
+		}
+		e.fwdRound = rnd
+		rr := rnd
+		r.runPhase(func(sh, w int) {
+			flags := e.forwardFlagsShard(rr, sh, r.flags[sh][:0])
+			r.flags[sh] = flags
 			for _, f := range flags {
 				d := e.Get(f.V, f.Src)
-				e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, r)
+				e.ApplySync(f.V, f.Src, d.Dist, d.Sigma, rr)
 			}
-			out := pr.relaxOut[sh]
-			for _, f := range flags {
-				src := e.st[f.V].data[f.Src]
-				cand := src.Dist + 1
-				for _, w := range e.g.OutNeighbors(f.V) {
-					t := e.shardOf(w)
-					out[t] = append(out[t], relaxUpdate{w: w, src: int32(f.Src), dist: cand, sigma: src.Sigma})
-				}
-			}
+			r.pool.cells[w].staged += int64(len(flags))
+			r.stageRelax(flags, r.relaxOut[sh])
 		})
-		total := 0
-		for sh := range pr.flags {
-			total += len(pr.flags[sh])
+		if total := r.pool.flushStaged(); total > 0 {
+			R = rnd
+			stats.LabelsSynced += total
 		}
-		if total > 0 {
-			R = r
-			stats.LabelsSynced += int64(total)
-		}
-		// Phase 2: apply staged contributions to owned targets, in
-		// worker order for determinism.
-		pr.p.run(func(sh int) {
-			for from := 0; from < pr.w; from++ {
-				ups := pr.relaxOut[from][sh]
-				for _, u := range ups {
-					e.applyRelax(u.w, int(u.src), u.dist, u.sigma)
-				}
-				pr.relaxOut[from][sh] = ups[:0]
-			}
-		})
+		r.runPhase(func(sh, w int) { r.applyRelaxInbox(sh, false) })
+		r.parallelRounds++
 	}
 	if e.PendingUnsent() {
 		panic("core: parallel forward phase terminated with pending unsent labels")
@@ -174,69 +428,146 @@ func (pr *parRun) forward(stats *RunStats) int {
 	return R
 }
 
-// backward runs the parallel accumulation phase (Algorithm 5) and
-// returns the number of backward rounds.
-func (pr *parRun) backward(R int, stats *RunStats) int {
-	e := pr.e
-	e.StartBackward(R)
+// backward runs the level-synchronous accumulation phase (Algorithm 5)
+// and returns the number of backward rounds. The whole schedule is
+// known up front (A_sv = R − τ_sv + 1), so the per-shard bucketing of
+// StartBackward itself runs as one parallel phase.
+func (r *Runner) backward(R int, stats *RunStats) int {
+	e := r.e
+	if r.pool == nil || e.g.NumVertices()*e.k <= inlineFrontierLimit {
+		// Tiny batches build the schedule inline for the same reason
+		// tiny rounds run inline: the phase barrier costs more than the
+		// sweep.
+		e.StartBackward(R)
+	} else {
+		e.totalR = R
+		r.runPhase(func(sh, w int) { e.startBackwardShard(sh, R) })
+	}
 	back := e.BackwardRounds()
-	for r := 1; r <= back; r++ {
-		// Phase 1: generate δ contributions along in-edges. Reads of
-		// other shards (σu, du) touch labels frozen since the forward
-		// phase; δv of a flagged vertex was last written in an earlier
-		// round's apply phase.
-		pr.p.run(func(sh int) {
-			flags := e.backwardFlagsShard(r, sh, pr.flags[sh][:0])
-			pr.flags[sh] = flags
-			out := pr.deltaOut[sh]
-			for _, f := range flags {
-				st := &e.st[f.V]
-				if st.data[f.Src].Sigma == 0 {
-					panic(fmt.Sprintf("core: zero sigma at (%d,%d) during accumulation", f.V, f.Src))
-				}
-				m := (1 + st.data[f.Src].Delta) / st.data[f.Src].Sigma
-				dv := st.data[f.Src].Dist
-				for _, u := range e.g.InNeighbors(f.V) {
-					pu := &e.st[u]
-					du := pu.data[f.Src].Dist
-					if du != graph.InfDist && du+1 == dv {
-						t := e.shardOf(u)
-						out[t] = append(out[t], deltaUpdate{u: u, src: int32(f.Src), val: pu.data[f.Src].Sigma * m})
-					}
-				}
+	var scratch []Flag
+	for rnd := 1; rnd <= back; rnd++ {
+		due := e.backDueCount(rnd)
+		stats.LabelsSynced += int64(due)
+		if r.pool == nil || due <= inlineFrontierLimit {
+			scratch = e.BackwardFlags(rnd, scratch[:0])
+			for _, f := range scratch {
+				e.AccumulateIn(f.V, f.Src)
 			}
-		})
-		for sh := range pr.flags {
-			stats.LabelsSynced += int64(len(pr.flags[sh]))
+			r.inlineRounds++
+			continue
 		}
-		// Phase 2: apply δ contributions to owned predecessors.
-		pr.p.run(func(sh int) {
-			for from := 0; from < pr.w; from++ {
-				ups := pr.deltaOut[from][sh]
-				for _, u := range ups {
-					e.st[u.u].data[u.src].Delta += u.val
-				}
-				pr.deltaOut[from][sh] = ups[:0]
-			}
+		rr := rnd
+		r.runPhase(func(sh, w int) {
+			flags := e.backwardFlagsShard(rr, sh, r.flags[sh][:0])
+			r.flags[sh] = flags
+			r.stageDelta(flags, r.deltaOut[sh])
 		})
+		r.runPhase(func(sh, w int) { r.applyDeltaInbox(sh) })
+		r.parallelRounds++
 	}
 	return back
 }
 
 // fold adds the batch's dependency values into the global scores,
-// partitioned by contiguous vertex ranges.
-func (pr *parRun) fold(batch []uint32, scores []float64) {
-	e := pr.e
-	n := e.g.NumVertices()
-	pr.p.run(func(sh int) {
-		lo, hi := n*sh/pr.w, n*(sh+1)/pr.w
-		for v := lo; v < hi; v++ {
-			for i, s := range batch {
-				d := e.st[v].data[i]
-				if d.Dist != graph.InfDist && uint32(v) != s {
-					scores[v] += d.Delta
-				}
+// partitioned by the engine's contiguous ownership ranges.
+func (r *Runner) fold(batch []uint32, scores []float64) {
+	e := r.e
+	if r.pool == nil || e.g.NumVertices()*e.k <= inlineFrontierLimit {
+		foldRange(e, batch, scores, 0, e.g.NumVertices())
+		return
+	}
+	r.runPhase(func(sh, w int) {
+		lo, hi := e.shardRange(sh)
+		foldRange(e, batch, scores, lo, hi)
+	})
+}
+
+func foldRange(e *Engine, batch []uint32, scores []float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		for i, s := range batch {
+			d := e.st[v].data[i]
+			if d.Dist != graph.InfDist && uint32(v) != s {
+				scores[v] += d.Delta
 			}
 		}
+	}
+}
+
+// flushRunStats folds the runner's scheduler counters into stats.
+func (r *Runner) flushRunStats(stats *RunStats) {
+	stats.InlineRounds += r.inlineRounds
+	stats.ParallelRounds += r.parallelRounds
+	for _, ws := range r.WorkerStats() {
+		stats.Steals += ws.Steals
+		stats.FailedSteals += ws.FailedSteals
+	}
+}
+
+// RelaxAll performs the forward compute phase for a list of
+// just-synchronized flags: every flag's out-edges are relaxed, exactly
+// as calling RelaxOutLocal per flag would, with the work split over the
+// pool when the list is large enough. The distributed runner hands it
+// each round's synchronized set.
+func (r *Runner) RelaxAll(flags []Flag) {
+	r.relaxAll(flags, false, nil)
+}
+
+// RelaxAllCandidates is RelaxAll with ordered-list change collection
+// for candidate dissemination (the RelaxOut analogue). The returned
+// slice holds the same candidate multiset a serial RelaxOut loop
+// produces, grouped by target shard rather than by source flag.
+func (r *Runner) RelaxAllCandidates(flags []Flag, cands []Candidate) []Candidate {
+	return r.relaxAll(flags, true, cands)
+}
+
+func (r *Runner) relaxAll(flags []Flag, collect bool, cands []Candidate) []Candidate {
+	e := r.e
+	if r.pool == nil || len(flags) <= inlineFrontierLimit {
+		r.inlineRounds++
+		if collect {
+			for _, f := range flags {
+				cands = e.RelaxOut(f.V, f.Src, cands)
+			}
+			return cands
+		}
+		for _, f := range flags {
+			e.RelaxOutLocal(f.V, f.Src)
+		}
+		return nil
+	}
+	n := len(flags)
+	r.runPhase(func(chunk, w int) {
+		r.stageRelax(flags[n*chunk/r.tasks:n*(chunk+1)/r.tasks], r.relaxOut[chunk])
 	})
+	r.runPhase(func(sh, w int) { r.applyRelaxInbox(sh, collect) })
+	r.parallelRounds++
+	if collect {
+		for sh := 0; sh < r.tasks; sh++ {
+			cands = append(cands, r.cands[sh]...)
+		}
+	}
+	return cands
+}
+
+// AccumulateAll performs the backward compute phase for a list of
+// just-synchronized flags, equivalent to calling AccumulateIn per flag
+// in order. Chunks stage δ contributions in flag order and targets
+// apply them in chunk order, so every (u, s) sees its contributions in
+// the exact sequence of the serial loop — δ stays bitwise identical to
+// single-worker runs.
+func (r *Runner) AccumulateAll(flags []Flag) {
+	e := r.e
+	if r.pool == nil || len(flags) <= inlineFrontierLimit {
+		r.inlineRounds++
+		for _, f := range flags {
+			e.AccumulateIn(f.V, f.Src)
+		}
+		return
+	}
+	n := len(flags)
+	r.runPhase(func(chunk, w int) {
+		r.stageDelta(flags[n*chunk/r.tasks:n*(chunk+1)/r.tasks], r.deltaOut[chunk])
+	})
+	r.runPhase(func(sh, w int) { r.applyDeltaInbox(sh) })
+	r.parallelRounds++
 }

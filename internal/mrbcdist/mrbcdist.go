@@ -75,6 +75,16 @@ type Options struct {
 	// Workers overrides the cluster's exchange worker-pool size (0:
 	// automatic). Trace content is independent of this value.
 	Workers int
+	// EngineWorkers sets each host's intra-engine worker count for the
+	// compute phases: above 1 the relax/accumulate loops run on the
+	// work-stealing runner of internal/core over a sharded engine. 0 or
+	// 1 keeps the serial per-host engines. Scores and model-trace
+	// content are independent of this value — the runner's staged apply
+	// replays the serial contribution sequence per target — but runs
+	// with EngineWorkers > 1 additionally emit one obs.KindWorker event
+	// per (batch, host, worker) and feed the mrbc_worker_* registry
+	// counters behind /progressz and `bctrace imbalance -per-worker`.
+	EngineWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +100,7 @@ func (o Options) withDefaults() Options {
 type hostState struct {
 	part   *partition.Part
 	engine *core.Engine
+	runner *core.Runner // non-nil iff Options.EngineWorkers > 1
 
 	// Per-round staging.
 	flags     []core.Flag      // this host's locally-detected flags
@@ -209,9 +220,21 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 	states := make([]*hostState, pt.NumHosts)
 	cluster.Compute(func(h int) {
 		p := pt.Parts[h]
+		eng := core.NewEngine(p.Local, k)
+		var run *core.Runner
+		if opts.EngineWorkers > 1 {
+			// The runner needs a sharded engine; contiguous sharding keeps
+			// flag emission in the serial ascending order, so the sync
+			// protocol above sees no difference.
+			eng = core.NewEngineOpts(p.Local, k, core.EngineOpts{
+				Shards: core.ParallelShards(p.Local.NumVertices()),
+			})
+			run = core.NewRunner(eng, opts.EngineWorkers)
+		}
 		st := &hostState{
 			part:      p,
-			engine:    core.NewEngine(p.Local, k),
+			engine:    eng,
+			runner:    run,
 			flagSet:   make(map[uint64]bool),
 			candSet:   make(map[uint64]uint32),
 			flagByV:   make(map[uint32]core.Flag),
@@ -226,6 +249,15 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		}
 		states[h] = st
 	})
+	// Worker pools must not leak even when a fault plan panics the run
+	// out of the batch loop.
+	defer func() {
+		for _, st := range states {
+			if st != nil && st.runner != nil {
+				st.runner.Close()
+			}
+		}
+	}()
 
 	// ---- Forward phase (Algorithm 3 as BSP rounds). ----
 	R := 0
@@ -255,21 +287,28 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		}
 		R = r
 		syncForward(cluster, topo, states, r, tr, bi)
-		// Compute phase B: relax the synchronized entries locally. Only
-		// CandidateSync disseminates the distance candidates the
-		// relaxations create, so only it pays to collect them;
-		// ArbitrationSync uses the allocation-free local path.
+		// Compute phase B: relax the synchronized entries locally —
+		// through the host's work-stealing runner when EngineWorkers
+		// fanned one out, serially otherwise. Only CandidateSync
+		// disseminates the distance candidates the relaxations create, so
+		// only it pays to collect them; ArbitrationSync uses the
+		// allocation-free local path.
 		cluster.Compute(func(h int) {
 			st := states[h]
 			st.cands = st.cands[:0]
 			for k := range st.candSet {
 				delete(st.candSet, k)
 			}
-			if opts.Sync == CandidateSync {
+			switch {
+			case st.runner != nil && opts.Sync == CandidateSync:
+				st.cands = st.runner.RelaxAllCandidates(st.synced, st.cands)
+			case st.runner != nil:
+				st.runner.RelaxAll(st.synced)
+			case opts.Sync == CandidateSync:
 				for _, f := range st.synced {
 					st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
 				}
-			} else {
+			default:
 				for _, f := range st.synced {
 					st.engine.RelaxOutLocal(f.V, f.Src)
 				}
@@ -310,6 +349,10 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		syncBackward(cluster, topo, states, r, tr, bi)
 		cluster.Compute(func(h int) {
 			st := states[h]
+			if st.runner != nil {
+				st.runner.AccumulateAll(st.synced)
+				return
+			}
 			for _, f := range st.synced {
 				st.engine.AccumulateIn(f.V, f.Src)
 			}
@@ -322,6 +365,37 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.KindBatch, Batch: int32(bi), Host: -1,
 			K: int32(k), FwdRounds: int32(R), BackRounds: int32(maxBack)})
+	}
+
+	// Per-worker scheduler counters: one worker event per
+	// (batch, host, worker) for `bctrace imbalance -per-worker`, and
+	// cumulative registry counters (flat index host·EngineWorkers+worker)
+	// for the live /progressz intra-host skew view. Runner pools are
+	// per-batch, so WorkerStats here is exactly this batch's tally.
+	if opts.EngineWorkers > 1 {
+		var tasksVec, stealsVec *obs.CounterVec
+		if opts.Metrics != nil {
+			nw := len(states) * opts.EngineWorkers
+			tasksVec = opts.Metrics.CounterVec("mrbc_worker_tasks_total", "worker", nw)
+			stealsVec = opts.Metrics.CounterVec("mrbc_worker_steals_total", "worker", nw)
+		}
+		for h, st := range states {
+			if st.runner == nil {
+				continue
+			}
+			for w, ws := range st.runner.WorkerStats() {
+				if tr.Enabled() {
+					tr.Emit(obs.Event{Kind: obs.KindWorker, Batch: int32(bi),
+						Host: int32(h), Worker: int32(w),
+						Tasks: ws.Tasks, Steals: ws.Steals,
+						FailedSteals: ws.FailedSteals, Flushes: ws.Flushes})
+				}
+				if tasksVec != nil {
+					tasksVec.At(h*opts.EngineWorkers + w).Add(ws.Tasks)
+					stealsVec.At(h*opts.EngineWorkers + w).Add(ws.Steals)
+				}
+			}
+		}
 	}
 
 	// Fold master dependencies into the global scores.

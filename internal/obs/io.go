@@ -79,12 +79,20 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 }
 
 // Canonical returns a copy of events in a deterministic total order
-// with the wall-clock fields (StartNs, DurNs) stripped. Event content
-// is a pure function of (graph, seed, options); only timings and
-// concurrent emission order vary run to run, so the canonical form of
-// the same configuration is byte-identical across worker counts.
+// with the wall-clock fields (StartNs, DurNs) stripped and worker
+// events dropped entirely (their steal/idle tallies are scheduling
+// artifacts, nondeterministic the same way timings are). Remaining
+// event content is a pure function of (graph, seed, options); only
+// timings and concurrent emission order vary run to run, so the
+// canonical form of the same configuration is byte-identical across
+// worker counts.
 func Canonical(events []Event) []Event {
-	out := append([]Event(nil), events...)
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Kind != KindWorker {
+			out = append(out, e)
+		}
+	}
 	for i := range out {
 		out[i].StartNs = 0
 		out[i].DurNs = 0
@@ -128,14 +136,15 @@ func WriteCanonical(w io.Writer, events []Event) error {
 }
 
 // ModelEvents filters events down to the paper-model stream: transport
-// events (retries, framing, acks — artifacts of the fault layer) are
-// dropped, everything else kept. The model stream of a faulty run is
-// identical to the fault-free run's, mirroring the Stats.Bytes/Messages
-// invariant.
+// events (retries, framing, acks — artifacts of the fault layer) and
+// worker events (steal counts — artifacts of the intra-host scheduler)
+// are dropped, everything else kept. The model stream of a faulty run
+// is identical to the fault-free run's, mirroring the
+// Stats.Bytes/Messages invariant.
 func ModelEvents(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
-		if e.Kind != KindTransport {
+		if e.Kind != KindTransport && e.Kind != KindWorker {
 			out = append(out, e)
 		}
 	}
