@@ -1,0 +1,199 @@
+// Command bcctl coordinates a multi-process BC cluster: it spawns N
+// bcd host daemons on localhost, distributes one job across them over
+// the control protocol, and aggregates the per-host results into the
+// final scores and cluster statistics.
+//
+// Usage:
+//
+//	bcctl -hosts 4 -graph web.gr -sources 32 -top 10
+//	bcctl -hosts 4 -gen rmat -scale 10 -engine sbbc -verify
+//	bcctl -hosts 2 -graph web.gr -trace /tmp/run -verify
+//
+// Each daemon loads the same graph file and recomputes the same
+// deterministic partition plan, so only the job spec travels over the
+// control connections. -verify additionally runs the sequential
+// Brandes oracle in this process and reports the maximum elementwise
+// deviation. -bcd names the daemon binary (default: "bcd" found on
+// PATH).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/clusterrun"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bcdPath   = flag.String("bcd", "bcd", "bcd daemon binary")
+		hosts     = flag.Int("hosts", 4, "number of host processes")
+		graphPath = flag.String("graph", "", "graph file every host loads (text edge list, or .gr/.bin CSR)")
+		genName   = flag.String("gen", "", "generate input instead: rmat | road | webcrawl")
+		scale     = flag.Int("scale", 10, "log2 vertex count for rmat/webcrawl")
+		edgeFac   = flag.Int("edgefactor", 8, "edges per vertex for generators")
+		rows      = flag.Int("rows", 64, "grid rows for -gen road")
+		cols      = flag.Int("cols", 64, "grid cols for -gen road")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		engine    = flag.String("engine", "mrbcdist", "engine: mrbcdist | sbbc")
+		partName  = flag.String("partition", "edgecut", "partition policy: edgecut | cartesian")
+		batch     = flag.Int("batch", 0, "batch size k for mrbcdist (0: engine default)")
+		srcStart  = flag.Int("source-start", 0, "first source vertex")
+		srcCount  = flag.Int("sources", 32, "number of sources (0 = all vertices)")
+		topK      = flag.Int("top", 10, "print the k most central vertices")
+		verify    = flag.Bool("verify", false, "compare against the sequential Brandes oracle")
+		tracePref = flag.String("trace", "", "per-host trace path prefix (writes <prefix>.hostN.jsonl)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "whole-job timeout")
+		verbose   = flag.Bool("v", false, "forward daemon stderr")
+	)
+	flag.Parse()
+
+	path, g, cleanup, err := materializeGraph(*graphPath, *genName, *scale, *edgeFac, *rows, *cols, *seed)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Printf("graph: %d vertices, %d edges (%s)\n", g.NumVertices(), g.NumEdges(), path)
+
+	n := g.NumVertices()
+	count := *srcCount
+	if count == 0 || *srcStart+count > n {
+		count = n - *srcStart
+	}
+	if count <= 0 {
+		return fmt.Errorf("no sources in [%d, %d)", *srcStart, n)
+	}
+	sources := make([]uint32, count)
+	for i := range sources {
+		sources[i] = uint32(*srcStart + i)
+	}
+
+	bcd, err := exec.LookPath(*bcdPath)
+	if err != nil {
+		return fmt.Errorf("bcd binary: %w (build it with: go build ./cmd/bcd)", err)
+	}
+	copts := clusterrun.ClusterOptions{BcdPath: bcd, Hosts: *hosts}
+	if *verbose {
+		copts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	cluster, err := clusterrun.Launch(copts)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster: %d bcd processes up\n", *hosts)
+
+	spec := clusterrun.JobSpec{
+		Engine:    *engine,
+		GraphPath: path,
+		Partition: *partName,
+		Sources:   sources,
+		BatchSize: *batch,
+		TracePath: *tracePref,
+	}
+	start := time.Now()
+	agg, err := cluster.Run(spec, clusterrun.RunOptions{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("done: %d sources in %v, %d rounds, %d messages, %d bytes\n",
+		len(sources), elapsed.Round(time.Millisecond), agg.Rounds, agg.Messages, agg.Bytes)
+	for _, res := range agg.PerHost {
+		fmt.Printf("  host %d: %d msgs, %d bytes", res.Host, res.Messages, res.Bytes)
+		if res.Retries > 0 || res.Redials > 0 {
+			fmt.Printf(", %d retries (%d bytes), %d redials", res.Retries, res.RetryBytes, res.Redials)
+		}
+		fmt.Println()
+	}
+
+	if *verify {
+		oracle := brandes.Sequential(g, sources)
+		diff := clusterrun.MaxScoreDiff(agg.Scores, oracle)
+		fmt.Printf("verify: max |score - brandes| = %.3g\n", diff)
+		if diff > 1e-9 {
+			return fmt.Errorf("verification failed: deviation %.3g exceeds 1e-9", diff)
+		}
+	}
+
+	printTop(agg.Scores, *topK)
+	return nil
+}
+
+// materializeGraph loads -graph, or generates the requested input and
+// saves it to a temporary binary file every daemon can load.
+func materializeGraph(path, genName string, scale, edgeFac, rows, cols int, seed int64) (string, *graph.Graph, func(), error) {
+	nop := func() {}
+	if path != "" {
+		g, err := graph.Load(path)
+		return path, g, nop, err
+	}
+	var g *graph.Graph
+	switch genName {
+	case "rmat":
+		g = gen.RMAT(scale, edgeFac, seed)
+	case "road":
+		g = gen.RoadGrid(rows, cols, seed)
+	case "webcrawl":
+		g = gen.WebCrawl(scale, edgeFac, 1<<(scale-2), 3, seed)
+	case "":
+		return "", nil, nop, fmt.Errorf("need -graph or -gen")
+	default:
+		return "", nil, nop, fmt.Errorf("unknown generator %q", genName)
+	}
+	dir, err := os.MkdirTemp("", "bcctl-*")
+	if err != nil {
+		return "", nil, nop, err
+	}
+	p := filepath.Join(dir, fmt.Sprintf("%s-%d.gr", genName, seed))
+	if err := g.Save(p); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, nop, err
+	}
+	return p, g, func() { os.RemoveAll(dir) }, nil
+}
+
+func printTop(scores []float64, k int) {
+	if k <= 0 || len(scores) == 0 {
+		return
+	}
+	type vs struct {
+		v int
+		s float64
+	}
+	ranked := make([]vs, len(scores))
+	for v, s := range scores {
+		ranked[v] = vs{v, s}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s > ranked[j].s
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	fmt.Printf("top %d vertices:\n", k)
+	for _, r := range ranked[:k] {
+		fmt.Printf("  %8d  %.6f\n", r.v, r.s)
+	}
+}

@@ -1,0 +1,327 @@
+package clusterrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Coordinator side: spawn N bcd daemons on localhost, drive jobs
+// through their control connections, and aggregate per-host results
+// into cluster-level scores and stats.
+
+// readyPrefix is the line a bcd daemon prints once its control
+// listener is bound; the remainder is the control address.
+const readyPrefix = "BCD READY control="
+
+// ClusterOptions configures Launch.
+type ClusterOptions struct {
+	// BcdPath is the bcd binary to spawn.
+	BcdPath string
+	// Hosts is the number of daemon processes.
+	Hosts int
+	// StartTimeout bounds each daemon's time to print its ready line
+	// (default 10 s).
+	StartTimeout time.Duration
+	// Logf receives child stderr lines and lifecycle messages; nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a handle on a running set of bcd daemons. Daemons are
+// persistent: Run may be called repeatedly (the chaos sweep runs many
+// seeds against one spawned cluster); Close kills them.
+type Cluster struct {
+	opts  ClusterOptions
+	procs []*exec.Cmd
+	ctrl  []string // control address per host
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (o ClusterOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Launch spawns opts.Hosts bcd daemons and waits for each to report
+// its control address. On any failure the already-started daemons are
+// killed.
+func Launch(opts ClusterOptions) (*Cluster, error) {
+	if opts.Hosts <= 0 {
+		return nil, fmt.Errorf("clusterrun: invalid host count %d", opts.Hosts)
+	}
+	if opts.StartTimeout <= 0 {
+		opts.StartTimeout = 10 * time.Second
+	}
+	c := &Cluster{opts: opts, ctrl: make([]string, opts.Hosts)}
+	for h := 0; h < opts.Hosts; h++ {
+		cmd := exec.Command(opts.BcdPath, "-listen", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			cmd.Stderr = logWriter{opts.logf, fmt.Sprintf("bcd[%d] ", h)}
+			err = cmd.Start()
+		}
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("clusterrun: spawn bcd %d: %w", h, err)
+		}
+		c.procs = append(c.procs, cmd)
+		addr, err := awaitReady(stdout, opts.StartTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("clusterrun: bcd %d: %w", h, err)
+		}
+		c.ctrl[h] = addr
+		// Keep draining the child's stdout so it never blocks on a full
+		// pipe.
+		go io.Copy(io.Discard, stdout)
+	}
+	return c, nil
+}
+
+// awaitReady scans the daemon's stdout for its ready line.
+func awaitReady(r io.Reader, timeout time.Duration) (string, error) {
+	type res struct {
+		addr string
+		err  error
+	}
+	ch := make(chan res, 1)
+	br := bufio.NewReader(r)
+	go func() {
+		for {
+			line, err := br.ReadString('\n')
+			if s := strings.TrimSpace(line); strings.HasPrefix(s, readyPrefix) {
+				ch <- res{addr: strings.TrimPrefix(s, readyPrefix)}
+				return
+			}
+			if err != nil {
+				ch <- res{err: fmt.Errorf("exited before ready line: %w", err)}
+				return
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.addr, r.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("no ready line within %v", timeout)
+	}
+}
+
+// ControlAddrs returns the daemons' control addresses (for tools that
+// drive daemons directly).
+func (c *Cluster) ControlAddrs() []string { return append([]string(nil), c.ctrl...) }
+
+// Close kills every daemon. Safe to call more than once.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range c.procs {
+		cmd.Wait()
+	}
+}
+
+// Aggregate is the cluster-level outcome of one job: elementwise-
+// summed scores (per-host vectors are disjoint by master ownership),
+// the common round count, summed volume, and the per-host results.
+type Aggregate struct {
+	Scores   []float64
+	Rounds   int
+	Bytes    int64
+	Messages int64
+	PerHost  []*JobResult
+}
+
+// RunOptions tunes one coordinated job.
+type RunOptions struct {
+	// Timeout bounds the whole job, prepare through results (default
+	// 60 s). On expiry the job fails with an error — the daemons stay up.
+	Timeout time.Duration
+	// MapAddrs rewrites the transport address book after prepare and
+	// before start — the hook the fault-proxy suite uses to interpose
+	// proxies (entry h is what every peer dials to reach host h). Nil
+	// passes the real addresses through. The returned closer (may be
+	// nil) runs when the job finishes.
+	MapAddrs func(addrs []string) ([]string, func(), error)
+}
+
+// Run drives one job across the cluster: prepare every daemon (fresh
+// transport listeners), distribute the address book, start every host,
+// and gather results. A structured per-host fault is returned as the
+// reconstructed *dgalois.FaultError; scores from faulted runs are
+// discarded.
+func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	spec.Hosts = c.opts.Hosts
+
+	// Phase 1: prepare — one control connection per daemon, kept open
+	// for the job's whole lifetime.
+	conns := make([]net.Conn, c.opts.Hosts)
+	encs := make([]*json.Encoder, c.opts.Hosts)
+	decs := make([]*json.Decoder, c.opts.Hosts)
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	addrs := make([]string, c.opts.Hosts)
+	for h := 0; h < c.opts.Hosts; h++ {
+		conn, err := net.DialTimeout("tcp", c.ctrl[h], time.Until(deadline))
+		if err != nil {
+			return nil, fmt.Errorf("clusterrun: dial control %d: %w", h, err)
+		}
+		conn.SetDeadline(deadline)
+		conns[h] = conn
+		encs[h] = json.NewEncoder(conn)
+		decs[h] = json.NewDecoder(conn)
+		if err := encs[h].Encode(controlRequest{Op: "prepare"}); err != nil {
+			return nil, fmt.Errorf("clusterrun: prepare %d: %w", h, err)
+		}
+		var rep controlReply
+		if err := decs[h].Decode(&rep); err != nil {
+			return nil, fmt.Errorf("clusterrun: prepare reply %d: %w", h, err)
+		}
+		if !rep.OK {
+			return nil, fmt.Errorf("clusterrun: prepare %d: %s", h, rep.Err)
+		}
+		addrs[h] = rep.Transport
+	}
+
+	// Optional proxy interposition between the real listeners and the
+	// address book the hosts dial through.
+	book := addrs
+	if opts.MapAddrs != nil {
+		mapped, closer, err := opts.MapAddrs(addrs)
+		if err != nil {
+			return nil, err
+		}
+		if closer != nil {
+			defer closer()
+		}
+		book = mapped
+	}
+
+	// Phase 2: start all hosts, then collect every result. Starts go
+	// out before any collection so the SPMD processes can rendezvous.
+	for h := 0; h < c.opts.Hosts; h++ {
+		s := spec
+		s.Host = h
+		s.Addrs = book
+		if spec.TracePath != "" {
+			s.TracePath = fmt.Sprintf("%s.host%d.jsonl", spec.TracePath, h)
+		}
+		if err := encs[h].Encode(controlRequest{Op: "start", Spec: &s}); err != nil {
+			return nil, fmt.Errorf("clusterrun: start %d: %w", h, err)
+		}
+	}
+	results := make([]*JobResult, c.opts.Hosts)
+	errs := make([]error, c.opts.Hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < c.opts.Hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			var rep controlReply
+			if err := decs[h].Decode(&rep); err != nil {
+				errs[h] = fmt.Errorf("host %d: result: %w", h, err)
+				return
+			}
+			if !rep.OK || rep.Result == nil {
+				errs[h] = fmt.Errorf("host %d: %s", h, rep.Err)
+				return
+			}
+			results[h] = rep.Result
+		}(h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("clusterrun: %w", err)
+		}
+	}
+
+	// Aggregate. A fault on any host fails the job with the
+	// reconstructed engine error (the first faulting host's).
+	agg := &Aggregate{Rounds: -1, PerHost: results}
+	for _, res := range results {
+		if res.Fault != nil {
+			return nil, res.Fault.AsError()
+		}
+	}
+	for _, res := range results {
+		if agg.Scores == nil {
+			agg.Scores = make([]float64, len(res.Scores))
+		}
+		if len(res.Scores) != len(agg.Scores) {
+			return nil, fmt.Errorf("clusterrun: host %d returned %d scores, want %d", res.Host, len(res.Scores), len(agg.Scores))
+		}
+		for i, v := range res.Scores {
+			agg.Scores[i] += v
+		}
+		agg.Bytes += res.Bytes
+		agg.Messages += res.Messages
+		// Every SPMD process executes the same BSP loop, so round counts
+		// must agree exactly — a mismatch means the lockstep broke.
+		if agg.Rounds < 0 {
+			agg.Rounds = res.Rounds
+		} else if res.Rounds != agg.Rounds {
+			return nil, fmt.Errorf("clusterrun: host %d ran %d rounds, host 0 ran %d — SPMD lockstep broken", res.Host, res.Rounds, agg.Rounds)
+		}
+	}
+	return agg, nil
+}
+
+// MaxScoreDiff returns the largest absolute elementwise difference
+// between two score vectors (∞ on length mismatch) — the oracle
+// comparison the harness asserts ≤ 1e-9.
+func MaxScoreDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// logWriter forwards child stderr lines to the coordinator's logger.
+type logWriter struct {
+	logf   func(format string, args ...any)
+	prefix string
+}
+
+func (w logWriter) Write(p []byte) (int, error) {
+	if w.logf != nil {
+		for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+			w.logf("%s%s", w.prefix, line)
+		}
+	}
+	return len(p), nil
+}

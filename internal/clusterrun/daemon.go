@@ -1,0 +1,174 @@
+package clusterrun
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/obs"
+)
+
+// Daemon-side control protocol. A bcd daemon listens on one control
+// address and serves jobs over it, one control connection per job, in
+// two phases:
+//
+//  1. {"op":"prepare"} → {"ok":true,"transport":"127.0.0.1:NNN"}
+//     The daemon binds a fresh transport listener for the job and
+//     reports its address. Fresh-per-job listeners let a persistent
+//     daemon run many jobs (the chaos sweep reuses spawned processes)
+//     and let the coordinator interpose fault proxies before any peer
+//     dials.
+//  2. {"op":"start","spec":{...}} → {"ok":true,"result":{...}}
+//     The spec carries the full address book (every host's transport
+//     or proxy address). The daemon builds the TCP transport, runs the
+//     engine SPMD, and replies with its JobResult — including a
+//     structured fault instead of an error when the cluster failed
+//     under it, so the coordinator can tell "host 2 severed" from
+//     "daemon crashed".
+//
+// A malformed request or an internal failure produces {"ok":false,
+// "err":...} and closes the connection; the daemon itself keeps
+// serving.
+
+// controlRequest is one coordinator→daemon message.
+type controlRequest struct {
+	Op   string   `json:"op"`
+	Spec *JobSpec `json:"spec,omitempty"`
+}
+
+// controlReply is one daemon→coordinator message.
+type controlReply struct {
+	OK        bool       `json:"ok"`
+	Err       string     `json:"err,omitempty"`
+	Transport string     `json:"transport,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// DaemonOptions configures ServeControl.
+type DaemonOptions struct {
+	// Once exits after serving a single job (for one-shot invocations).
+	Once bool
+	// Metrics, when non-nil, receives every job's live engine gauges —
+	// the registry behind the daemon's /metrics endpoint.
+	Metrics *obs.Registry
+	// Logf receives daemon lifecycle messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o DaemonOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// ServeControl runs the daemon loop on the given control listener:
+// accept a connection, serve one job through the prepare/start
+// protocol, repeat. Returns when the listener closes or, with
+// opts.Once, after the first job.
+func ServeControl(ln net.Listener, opts DaemonOptions) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		served, err := serveJob(conn, opts)
+		if err != nil {
+			opts.logf("bcd: job failed: %v", err)
+		}
+		if opts.Once && served {
+			return err
+		}
+	}
+}
+
+// serveJob drives one control connection through prepare and start.
+// The returned bool reports whether a start was attempted (a
+// connection that only probed prepare does not consume a -once slot).
+func serveJob(conn net.Conn, opts DaemonOptions) (bool, error) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+
+	var req controlRequest
+	if err := dec.Decode(&req); err != nil {
+		return false, fmt.Errorf("decode request: %w", err)
+	}
+	if req.Op != "prepare" {
+		enc.Encode(controlReply{Err: fmt.Sprintf("expected prepare, got %q", req.Op)})
+		return false, fmt.Errorf("protocol: expected prepare, got %q", req.Op)
+	}
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		enc.Encode(controlReply{Err: err.Error()})
+		return false, err
+	}
+	defer tln.Close()
+	if err := enc.Encode(controlReply{OK: true, Transport: tln.Addr().String()}); err != nil {
+		return false, err
+	}
+
+	req = controlRequest{}
+	if err := dec.Decode(&req); err != nil {
+		return false, fmt.Errorf("decode start: %w", err)
+	}
+	if req.Op != "start" || req.Spec == nil {
+		enc.Encode(controlReply{Err: "expected start with a spec"})
+		return false, fmt.Errorf("protocol: expected start with a spec, got %q", req.Op)
+	}
+	spec := req.Spec
+	opts.logf("bcd: host %d/%d starting %s on %s", spec.Host, spec.Hosts, spec.Engine, spec.GraphPath)
+
+	transport, err := gluon.NewTCPTransport(spec.Host, spec.Addrs, tln, spec.TCPOptions())
+	if err != nil {
+		enc.Encode(controlReply{Err: err.Error()})
+		return true, err
+	}
+	defer transport.Close()
+
+	var trace *obs.Trace
+	if spec.TracePath != "" {
+		trace = obs.NewTrace(1<<16, obs.LevelPhase)
+	}
+	res, err := RunJob(spec, transport, trace, opts.Metrics)
+	if trace != nil {
+		if werr := writeTrace(spec.TracePath, trace); werr != nil {
+			opts.logf("bcd: write trace: %v", werr)
+		}
+	}
+	if err != nil {
+		enc.Encode(controlReply{Err: err.Error()})
+		return true, err
+	}
+	if res.Fault != nil {
+		opts.logf("bcd: host %d aborted: %s", spec.Host, res.Fault.Reason)
+	}
+	return true, enc.Encode(controlReply{OK: true, Result: res})
+}
+
+// writeTrace dumps the job's trace ring as JSONL.
+func writeTrace(path string, trace *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, trace.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// asFault reports whether err carries a *dgalois.FaultError.
+func asFault(err error, out **dgalois.FaultError) bool {
+	return errors.As(err, out)
+}
+
+func millis(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

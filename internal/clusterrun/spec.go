@@ -1,0 +1,192 @@
+// Package clusterrun is the multi-process cluster fabric: the job
+// description a coordinator hands each bcd host daemon, the daemon's
+// control-connection protocol, the coordinator that spawns and drives
+// an N-process localhost cluster, and a deterministic socket-level
+// fault proxy for chaos testing the TCP transport.
+//
+// The division of labor with the engine packages: mrbcdist/sbbc/vprog
+// already run SPMD when handed a remote gluon.Transport — every
+// process executes the same batch loop for its one host. This package
+// supplies everything around that: process lifecycle, the address
+// book, partition-plan distribution (each process recomputes the same
+// deterministic partitioning from the same canonical graph file), and
+// result aggregation (per-process score vectors are disjoint by
+// master ownership, so the coordinator sums them elementwise).
+package clusterrun
+
+import (
+	"fmt"
+
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gluon"
+	"mrbc/internal/graph"
+	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+	"mrbc/internal/sbbc"
+)
+
+// JobSpec describes one BC job for one host daemon. The coordinator
+// fills Host and Addrs per daemon; everything else is identical across
+// the cluster (and must be — each process recomputes the partition
+// plan from GraphPath + Partition and the plans have to agree).
+type JobSpec struct {
+	// Engine selects the algorithm: "mrbcdist" (default) or "sbbc".
+	Engine string `json:"engine"`
+	// GraphPath is the canonical binary graph file every host loads.
+	GraphPath string `json:"graph_path"`
+	// Partition names the deterministic partitioning every process
+	// recomputes identically: "edgecut" (default) or "cartesian".
+	Partition string `json:"partition"`
+	// Hosts is the cluster size; Host is this daemon's host index.
+	Hosts int `json:"hosts"`
+	Host  int `json:"host"`
+	// Addrs is the transport address book, indexed by host. Entries may
+	// point at fault proxies rather than the hosts' real listeners.
+	Addrs []string `json:"addrs"`
+	// Sources are the BC sources, in order.
+	Sources []uint32 `json:"sources"`
+	// BatchSize is mrbcdist's k (0: its default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// CandidateSync selects mrbcdist's CandidateSync mode.
+	CandidateSync bool `json:"candidate_sync,omitempty"`
+	// EngineWorkers is mrbcdist's intra-host worker count.
+	EngineWorkers int `json:"engine_workers,omitempty"`
+	// TracePath, when non-empty, makes the daemon record a phase-level
+	// obs trace for the job and write it as JSONL to this path.
+	TracePath string `json:"trace_path,omitempty"`
+	// DeadlineSteps / StepMillis override the TCP transport's stall
+	// deadline (0: gluon defaults). Chaos tests shorten them so a
+	// severed host fails fast instead of after the full 3 s budget.
+	DeadlineSteps int `json:"deadline_steps,omitempty"`
+	// StepMillis is the reliability step length in milliseconds.
+	StepMillis int `json:"step_millis,omitempty"`
+}
+
+// TCPOptions derives the transport tuning from the spec.
+func (s *JobSpec) TCPOptions() gluon.TCPOptions {
+	opts := gluon.TCPOptions{DeadlineSteps: s.DeadlineSteps}
+	if s.StepMillis > 0 {
+		opts.StepInterval = millis(s.StepMillis)
+	}
+	return opts
+}
+
+// JobResult is one host's outcome: its share of the scores (zero
+// outside its masters), its paper-model stats, and a structured fault
+// if the run aborted.
+type JobResult struct {
+	Host     int       `json:"host"`
+	Scores   []float64 `json:"scores,omitempty"`
+	Rounds   int       `json:"rounds"`
+	Bytes    int64     `json:"bytes"`
+	Messages int64     `json:"messages"`
+	// Retries/RetryBytes/Redials are the host's transport recovery work
+	// (its outgoing channels only).
+	Retries    int64 `json:"retries,omitempty"`
+	RetryBytes int64 `json:"retry_bytes,omitempty"`
+	Redials    int64 `json:"redials,omitempty"`
+	// Fault carries the structured failure, nil on success.
+	Fault *Fault `json:"fault,omitempty"`
+}
+
+// Fault is the JSON projection of *dgalois.FaultError, relayed from a
+// daemon to the coordinator.
+type Fault struct {
+	Host     int    `json:"host"`
+	Exchange int    `json:"exchange"`
+	Step     int    `json:"step"`
+	Pending  int    `json:"pending"`
+	Reason   string `json:"reason"`
+}
+
+// AsError reconstructs the engine-level error, nil for a nil fault.
+func (f *Fault) AsError() error {
+	if f == nil {
+		return nil
+	}
+	return &dgalois.FaultError{Host: f.Host, Exchange: f.Exchange, Step: f.Step, Pending: f.Pending, Reason: f.Reason}
+}
+
+// BuildPartitioning recomputes the job's deterministic partition plan.
+// Every process runs this on the same graph bytes, so the plans agree
+// without shipping them over the wire.
+func BuildPartitioning(g *graph.Graph, name string, hosts int) (*partition.Partitioning, error) {
+	switch name {
+	case "", "edgecut":
+		return partition.EdgeCut(g, hosts), nil
+	case "cartesian":
+		return partition.CartesianCut(g, hosts), nil
+	}
+	return nil, fmt.Errorf("clusterrun: unknown partition %q", name)
+}
+
+// RunJob executes the spec's engine over the given transport and
+// returns this host's result. The transport decides the execution
+// shape: a remote backend runs the spec's one host (SPMD); the
+// in-process MemTransport (or nil) runs the whole simulated cluster —
+// the coordinator uses that for its reference run. A non-nil metrics
+// registry receives the engine's live gauges (the daemon exposes it
+// on /metrics).
+func RunJob(spec *JobSpec, transport gluon.Transport, trace *obs.Trace, metrics *obs.Registry) (*JobResult, error) {
+	g, err := graph.Load(spec.GraphPath)
+	if err != nil {
+		return nil, fmt.Errorf("clusterrun: load graph: %w", err)
+	}
+	pt, err := BuildPartitioning(g, spec.Partition, spec.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		scores []float64
+		stats  dgalois.Stats
+		runErr error
+	)
+	switch spec.Engine {
+	case "", "mrbcdist":
+		opts := mrbcdist.Options{
+			BatchSize:     spec.BatchSize,
+			Trace:         trace,
+			Metrics:       metrics,
+			Transport:     transport,
+			EngineWorkers: spec.EngineWorkers,
+		}
+		if spec.CandidateSync {
+			opts.Sync = mrbcdist.CandidateSync
+		}
+		scores, stats, runErr = mrbcdist.RunChecked(g, pt, spec.Sources, opts)
+	case "sbbc":
+		scores, stats, runErr = sbbc.RunOptsChecked(g, pt, spec.Sources, sbbc.Options{
+			Trace:     trace,
+			Metrics:   metrics,
+			Transport: transport,
+		})
+	default:
+		return nil, fmt.Errorf("clusterrun: unknown engine %q", spec.Engine)
+	}
+	res := &JobResult{
+		Host:     spec.Host,
+		Rounds:   stats.Rounds,
+		Bytes:    stats.Bytes,
+		Messages: stats.Messages,
+	}
+	if transport != nil {
+		var agg gluon.ChannelStats
+		for to := 0; to < spec.Hosts; to++ {
+			agg.Add(transport.Stats(spec.Host, to))
+		}
+		res.Retries = agg.Retries
+		res.RetryBytes = agg.RetryBytes
+		res.Redials = agg.Redials
+	}
+	if runErr != nil {
+		var fe *dgalois.FaultError
+		if !asFault(runErr, &fe) {
+			return nil, runErr
+		}
+		res.Fault = &Fault{Host: fe.Host, Exchange: fe.Exchange, Step: fe.Step, Pending: fe.Pending, Reason: fe.Reason}
+		return res, nil
+	}
+	res.Scores = scores
+	return res, nil
+}

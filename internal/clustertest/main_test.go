@@ -1,0 +1,170 @@
+// Package clustertest is the multi-process integration harness: it
+// builds the bcd daemon once per test run, spawns real localhost
+// clusters of 2/4/8 processes, and checks the distributed results
+// against the sequential Brandes oracle and the in-process simulated
+// cluster — scores, round counts, and communication volume all have to
+// agree. The fault suite reruns the same jobs through deterministic
+// socket-level fault proxies.
+//
+// Set CLUSTERTEST_TRACE_DIR to make every job write its per-host obs
+// traces there (CI uploads the directory as an artifact when the suite
+// fails).
+package clustertest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/clusterrun"
+	"mrbc/internal/gen"
+	"mrbc/internal/graph"
+)
+
+var (
+	bcdPath   string
+	graphPath string
+	testGraph *graph.Graph
+	sources   []uint32
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(testMain(m))
+}
+
+func testMain(m *testing.M) int {
+	dir, err := os.MkdirTemp("", "clustertest-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustertest:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	// Build the daemon once for the whole run; every test shares the
+	// binary.
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustertest:", err)
+		return 1
+	}
+	bcdPath = filepath.Join(dir, "bcd")
+	cmd := exec.Command("go", "build", "-o", bcdPath, "./cmd/bcd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "clustertest: build bcd: %v\n%s", err, out)
+		return 1
+	}
+
+	// One canonical input for every job: small enough that an 8-process
+	// cluster spawns and converges in well under a second, connected
+	// enough that every host pair exchanges real payloads.
+	testGraph = gen.RMAT(8, 8, 7)
+	graphPath = filepath.Join(dir, "rmat8.gr")
+	if err := testGraph.Save(graphPath); err != nil {
+		fmt.Fprintln(os.Stderr, "clustertest:", err)
+		return 1
+	}
+	sources = make([]uint32, 16)
+	for i := range sources {
+		sources[i] = uint32(i)
+	}
+	return m.Run()
+}
+
+var (
+	oracleOnce sync.Once
+	oracleBC   []float64
+)
+
+// oracle returns the sequential Brandes scores for the shared input.
+func oracle() []float64 {
+	oracleOnce.Do(func() { oracleBC = brandes.Sequential(testGraph, sources) })
+	return oracleBC
+}
+
+// launch spawns a bcd cluster wired to the test's log and cleanup.
+func launch(t *testing.T, hosts int) *clusterrun.Cluster {
+	t.Helper()
+	c, err := clusterrun.Launch(clusterrun.ClusterOptions{
+		BcdPath: bcdPath,
+		Hosts:   hosts,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("launch %d-host cluster: %v", hosts, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// baseSpec is the job every test starts from.
+func baseSpec(t *testing.T) clusterrun.JobSpec {
+	return clusterrun.JobSpec{
+		GraphPath: graphPath,
+		Sources:   sources,
+		TracePath: tracePath(t),
+	}
+}
+
+// tracePath routes per-host traces to CLUSTERTEST_TRACE_DIR (CI's
+// failure artifact), empty when unset.
+func tracePath(t *testing.T) string {
+	dir := os.Getenv("CLUSTERTEST_TRACE_DIR")
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("clustertest: trace dir: %v", err)
+		return ""
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name())
+	return filepath.Join(dir, name)
+}
+
+// runWithTimeout enforces the suite's no-hang guarantee at the harness
+// level: every cluster job must finish — successfully or with a
+// structured error — within the budget, or the test fails immediately
+// instead of deadlocking the run.
+func runWithTimeout(t *testing.T, c *clusterrun.Cluster, spec clusterrun.JobSpec, opts clusterrun.RunOptions, budget time.Duration) (*clusterrun.Aggregate, error) {
+	t.Helper()
+	type res struct {
+		agg *clusterrun.Aggregate
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		agg, err := c.Run(spec, opts)
+		ch <- res{agg, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.agg, r.err
+	case <-time.After(budget):
+		t.Fatalf("cluster job still running after %v — the no-hang guarantee is broken", budget)
+		return nil, nil
+	}
+}
+
+// refRun executes the same spec on the in-process simulated cluster —
+// the reference the distributed run's stats must sum to.
+func refRun(t *testing.T, spec clusterrun.JobSpec) *clusterrun.JobResult {
+	t.Helper()
+	ref := spec
+	ref.Host = 0
+	ref.Addrs = nil
+	ref.TracePath = ""
+	res, err := clusterrun.RunJob(&ref, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("in-process reference run: %v", err)
+	}
+	if res.Fault != nil {
+		t.Fatalf("in-process reference run faulted: %+v", res.Fault)
+	}
+	return res
+}

@@ -103,13 +103,33 @@ type Cluster struct {
 	hostPack   []exchangeTally // per-sender pack tallies, atomics (pairs share a sender)
 	hostUnpack []exchangeTally // per-receiver unpack tallies, receiver-serial
 
-	// Reusable communication state: out[from][to]. Writers own the
-	// pack buffers (and the marked-bitvector scratch), decoders own
-	// the per-receiver parse scratch; both persist across exchanges so
-	// the steady-state hot path performs zero heap allocations.
-	bufs     [][][]byte
+	// Reusable communication state. Writers own the pack buffers (and
+	// the marked-bitvector scratch), decoders own the per-receiver
+	// parse scratch; both persist across exchanges so the steady-state
+	// hot path performs zero heap allocations.
 	writers  [][]*gluon.Writer
 	decoders []*gluon.Decoder
+
+	// transport moves the packed buffers. The default is the in-process
+	// MemTransport (mem aliases it, non-nil), whose Send is a slice
+	// hand-off into a preallocated inbox matrix — the refactored form of
+	// the original buffer matrix, byte- and accounting-identical. A
+	// remote transport (ClusterOptions.Transport) puts the cluster in
+	// SPMD mode: this process runs exactly one host (localHost ≥ 0),
+	// Compute/pack/unpack touch only that host, and cross-process
+	// control decisions go through AllReduce.
+	transport gluon.Transport
+	mem       *gluon.MemTransport
+	localHost int // the single local host in SPMD mode; -1 when all hosts are local
+	curEx     int // exchange index the current pack/unpack tasks run under
+	lastNet   gluon.ChannelStats
+
+	// xerr carries a transport failure out of the pool workers to the
+	// coordinator, which converts it into an abortPanic at the exchange
+	// boundary (pool tasks must not panic — they run on detached
+	// goroutines).
+	xmu  sync.Mutex
+	xerr *FaultError
 
 	// Persistent exchange workers and the per-exchange phase state
 	// they read. The bound task funcs are created once so dispatching
@@ -156,6 +176,15 @@ type ClusterOptions struct {
 	// min(GOMAXPROCS, host pairs)). Event content is independent of the
 	// worker count — golden-trace tests sweep this.
 	Workers int
+	// Transport overrides the byte-moving backend. Nil selects the
+	// in-process MemTransport (the default simulated cluster). A remote
+	// backend (gluon.TCPTransport) must own exactly one local host and
+	// puts the cluster in SPMD mode: every process of the job runs the
+	// same engine loop for its own host, and the cluster only computes,
+	// packs, and unpacks for the local one. A remote transport is
+	// incompatible with Plan — fault plans simulate a network the remote
+	// backend replaces (inject real socket faults with a proxy instead).
+	Transport gluon.Transport
 }
 
 // NewCluster creates a cluster of the given number of hosts with a
@@ -227,12 +256,40 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 		c.hostPack = make([]exchangeTally, hosts)
 		c.hostUnpack = make([]exchangeTally, hosts)
 	}
-	c.bufs = make([][][]byte, hosts)
+	c.localHost = -1
+	c.transport = opts.Transport
+	if c.transport == nil {
+		c.mem = gluon.NewMemTransport(hosts)
+		c.transport = c.mem
+	} else {
+		if c.transport.Hosts() != hosts {
+			panic(fmt.Sprintf("dgalois: transport spans %d hosts, cluster has %d", c.transport.Hosts(), hosts))
+		}
+		if m, ok := c.transport.(*gluon.MemTransport); ok {
+			c.mem = m
+		} else {
+			nLocal := 0
+			for h := 0; h < hosts; h++ {
+				if c.transport.Local(h) {
+					c.localHost = h
+					nLocal++
+				}
+			}
+			if nLocal != 1 {
+				panic(fmt.Sprintf("dgalois: remote transport must own exactly one local host, owns %d", nLocal))
+			}
+			if c.plan != nil {
+				panic("dgalois: FaultPlan simulates the network and requires the in-process transport; inject socket-level faults into a remote backend with a proxy instead")
+			}
+		}
+	}
 	c.writers = make([][]*gluon.Writer, hosts)
 	c.decoders = make([]*gluon.Decoder, hosts)
-	for i := range c.bufs {
-		c.bufs[i] = make([][]byte, hosts)
+	for i := 0; i < hosts; i++ {
 		c.writers[i] = make([]*gluon.Writer, hosts)
+		if !c.isLocal(i) {
+			continue
+		}
 		for j := range c.writers[i] {
 			if i != j {
 				c.writers[i][j] = &gluon.Writer{}
@@ -278,6 +335,38 @@ func (c *Cluster) Close() {
 // NumHosts returns the cluster size.
 func (c *Cluster) NumHosts() int { return c.hosts }
 
+// LocalHost returns the single host this process runs in SPMD mode, or
+// -1 when every host is local (the in-process simulated cluster).
+func (c *Cluster) LocalHost() int { return c.localHost }
+
+// IsLocal reports whether host h's engine state lives in this process.
+// Engine loops use it to skip state construction and result folding for
+// remote hosts.
+func (c *Cluster) IsLocal(h int) bool { return c.isLocal(h) }
+
+// Transport returns the byte-moving backend the cluster exchanges run
+// through.
+func (c *Cluster) Transport() gluon.Transport { return c.transport }
+
+func (c *Cluster) isLocal(h int) bool { return c.localHost < 0 || h == c.localHost }
+
+// AllReduce folds one control value per process across the cluster
+// (activity sums, max-round decisions). In-process — where the caller
+// already folded over every host — it is the identity; in SPMD mode it
+// is a genuine blocking all-reduce over the transport. An unreachable
+// cluster aborts via the same structured *FaultError path as a failed
+// exchange.
+func (c *Cluster) AllReduce(local int64, op gluon.ReduceOp) int64 {
+	if c.localHost < 0 {
+		return local
+	}
+	v, err := c.transport.AllReduce(c.localHost, local, op)
+	if err != nil {
+		panic(abortPanic{err: faultErrorFrom(err)})
+	}
+	return v
+}
+
 // Metrics returns the registry holding the cluster's counters (the one
 // injected via ClusterOptions.Metrics, or the private default).
 func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
@@ -288,7 +377,7 @@ func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
 func (c *Cluster) SetEncoding(f gluon.Format) {
 	for i := range c.writers {
 		for j, w := range c.writers[i] {
-			if i != j {
+			if i != j && w != nil {
 				w.ForceFormat(f)
 			}
 		}
@@ -311,6 +400,9 @@ func (c *Cluster) Compute(fn func(host int)) {
 	durations := make([]time.Duration, c.hosts)
 	var wg sync.WaitGroup
 	for h := 0; h < c.hosts; h++ {
+		if !c.isLocal(h) {
+			continue
+		}
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
@@ -347,6 +439,9 @@ func (c *Cluster) Compute(fn func(host int)) {
 			}
 		}
 		for h, d := range durations {
+			if !c.isLocal(h) {
+				continue
+			}
 			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round),
 				Host: int32(h), Phase: obs.PhaseCompute, StartNs: base, DurNs: d.Nanoseconds()})
 			// The barrier slice is the host's idle wait for the round's
@@ -370,15 +465,21 @@ func (c *Cluster) BeginRound() {
 // run in parallel on the worker pool, so the counters are atomics.
 func (c *Cluster) packTask(i int) {
 	from, to := i/c.hosts, i%c.hosts
-	if from == to {
-		c.bufs[from][to] = nil
+	if from == to || !c.isLocal(from) {
 		return
 	}
 	w := c.writers[from][to]
 	w.Reset()
 	c.packFn(from, to, w)
 	buf := w.Bytes()
-	c.bufs[from][to] = buf
+	// Hand the buffer to the transport (in-process: a slice hand-off
+	// into the inbox matrix; remote: copied into a reliable record).
+	// Empty buffers travel too — they are the explicit
+	// nothing-this-exchange marker remote receivers synchronize on.
+	if err := c.transport.Send(c.curEx, from, to, buf); err != nil {
+		c.noteTransportError(err)
+		return
+	}
 	if len(buf) > 0 {
 		c.bytesC.Add(int64(len(buf)))
 		c.messagesC.Add(1)
@@ -409,16 +510,50 @@ func (c *Cluster) packTask(i int) {
 }
 
 // unpackTask consumes every buffer addressed to host i, serially per
-// receiver (receivers run in parallel with each other).
+// receiver (receivers run in parallel with each other). On a remote
+// transport the Gather blocks until every peer's message for the
+// exchange arrived or the stall deadline converts the wait into a
+// structured error.
 func (c *Cluster) unpackTask(to int) {
+	if !c.isLocal(to) {
+		return
+	}
+	bufs, err := c.transport.Gather(c.curEx, to)
+	if err != nil {
+		c.noteTransportError(err)
+		return
+	}
 	for from := 0; from < c.hosts; from++ {
-		if buf := c.bufs[from][to]; len(buf) > 0 {
+		if buf := bufs[from]; len(buf) > 0 {
 			c.unpackFn(to, from, buf, c.decoders[to])
 			if c.trace != nil {
 				c.hostUnpack[to].bytes += int64(len(buf))
 				c.hostUnpack[to].messages++
 			}
 		}
+	}
+}
+
+// noteTransportError records the first transport failure of the
+// current exchange; the coordinator converts it into an abortPanic
+// once the phase drains (checkExchangeErr).
+func (c *Cluster) noteTransportError(err error) {
+	fe := faultErrorFrom(err)
+	c.xmu.Lock()
+	if c.xerr == nil {
+		c.xerr = fe
+	}
+	c.xmu.Unlock()
+}
+
+// checkExchangeErr aborts the run with the recorded transport failure,
+// if any. Runs on the coordinator after the pool handshake, so the
+// plain read is ordered after every task's write.
+func (c *Cluster) checkExchangeErr() {
+	if c.xerr != nil {
+		err := c.xerr
+		c.xerr = nil
+		panic(abortPanic{err: err})
 	}
 }
 
@@ -496,9 +631,12 @@ func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func
 	if c.trace != nil {
 		c.resetExchangeTallies()
 	}
+	c.curEx = c.exchanges
+	c.exchanges++
 	start := time.Now()
 	c.runPackPhase(pack)
 	packEnd := time.Now()
+	c.checkExchangeErr()
 	c.unpackFn = unpack
 	c.pool.runAll(c.hosts, c.unpackTaskFn)
 	c.unpackFn = nil
@@ -508,7 +646,43 @@ func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func
 	c.commHist.Observe(wall.Seconds())
 	if c.trace != nil {
 		c.emitExchangeEvents(packSeq, unpackSeq, start, packEnd, end)
+		c.emitNetTransportEvent(unpackSeq, start, end)
 	}
+	c.checkExchangeErr()
+}
+
+// emitNetTransportEvent publishes one transport event per exchange for
+// remote backends: the backend label plus the exchange's logical volume
+// and recovery-work deltas aggregated over the local host's outgoing
+// channels. The in-process backend emits nothing here, keeping the
+// canonical golden trace byte-identical to the pre-transport substrate.
+func (c *Cluster) emitNetTransportEvent(seq int64, start, end time.Time) {
+	if c.localHost < 0 {
+		return
+	}
+	var agg gluon.ChannelStats
+	for to := 0; to < c.hosts; to++ {
+		agg.Add(c.transport.Stats(c.localHost, to))
+	}
+	d := agg
+	last := c.lastNet
+	c.lastNet = agg
+	d.Messages -= last.Messages
+	d.Bytes -= last.Bytes
+	d.Control -= last.Control
+	d.Retries -= last.Retries
+	d.RetryBytes -= last.RetryBytes
+	d.Redials -= last.Redials
+	c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: seq,
+		Round: int32(c.roundsC.Load() - c.baseRounds), Host: int32(c.localHost),
+		Backend:    c.transport.Backend(),
+		Bytes:      d.Bytes,
+		Messages:   d.Messages,
+		Retries:    d.Retries,
+		RetryBytes: d.RetryBytes,
+		Redials:    d.Redials,
+		StartNs:    start.Sub(c.epoch).Nanoseconds(),
+		DurNs:      end.Sub(start).Nanoseconds()})
 }
 
 // Stats is a snapshot of execution costs. Bytes and Messages are the

@@ -1,8 +1,11 @@
 package dgalois
 
 import (
+	"errors"
 	"fmt"
 	"time"
+
+	"mrbc/internal/gluon"
 )
 
 // Fault injection for the host-to-host exchange path. A FaultPlan is a
@@ -179,6 +182,22 @@ func (e *FaultError) Error() string {
 	}
 	return fmt.Sprintf("dgalois: exchange %d exceeded its deadline at delivery step %d (%s, %d messages pending): %s",
 		e.Exchange, e.Step, host, e.Pending, e.Reason)
+}
+
+// faultErrorFrom converts a transport-layer failure (a stalled or
+// severed peer on a remote backend) into the substrate's structured
+// FaultError, so engine callers see one error type regardless of
+// whether the network was simulated or real.
+func faultErrorFrom(err error) *FaultError {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe
+	}
+	var te *gluon.TransportError
+	if errors.As(err, &te) {
+		return &FaultError{Host: te.Host, Exchange: te.Exchange, Step: te.Steps, Pending: te.Pending, Reason: te.Reason}
+	}
+	return &FaultError{Host: -1, Exchange: -1, Reason: err.Error()}
 }
 
 // abortPanic carries a FaultError up the BSP driver's stack; Capture

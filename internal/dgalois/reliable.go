@@ -74,11 +74,15 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	p := c.plan
 	ex := c.exchanges
 	c.exchanges++
+	c.curEx = ex
 
 	// Pack phase: the same pair-parallel pooled-writer loop as the
 	// fault-free path, which also does the paper-model volume
 	// accounting (each payload counted exactly once, before any fault
-	// can touch it).
+	// can touch it). Packed buffers land in the in-process transport's
+	// inbox matrix (a FaultPlan requires the MemTransport — enforced at
+	// construction), from which the delivery-step loop below picks them
+	// up for framed, faulted redelivery.
 	c.runPackPhase(pack)
 	packEnd := time.Now()
 
@@ -86,8 +90,9 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	// the pooled writers are free for the next exchange regardless of
 	// how long retransmission keeps frames alive.
 	var chans []*reliableChannel
-	for from := range c.bufs {
-		for to, buf := range c.bufs[from] {
+	for from := 0; from < c.hosts; from++ {
+		for to := 0; to < c.hosts; to++ {
+			buf := c.mem.Buffered(from, to)
 			if len(buf) == 0 {
 				continue
 			}

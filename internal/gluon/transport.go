@@ -1,0 +1,293 @@
+package gluon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport is the byte-moving boundary of the BSP exchange: it carries
+// one framed sync buffer per ordered host pair per exchange, plus the
+// small all-reduce control values the SPMD engine loops use for global
+// termination decisions. Two backends exist:
+//
+//   - MemTransport: the in-process delivery the simulated cluster has
+//     always used — every host lives in one address space and a "send"
+//     is a slice hand-off. Byte- and accounting-identical to the
+//     pre-interface substrate, and allocation-free at steady state.
+//   - TCPTransport (tcp.go): a real network backend for multi-process
+//     clusters — one process per host, framed messages with per-channel
+//     sequence numbers, acks, retransmission, and re-dial over TCP.
+//
+// Contract, shared by all backends (pinned by the conformance test in
+// transport_conformance_test.go):
+//
+//   - Exchanges are numbered 0,1,2,… by the caller and run in lockstep:
+//     a host sends exactly one message to every other host per exchange
+//     (an empty buffer is the explicit "nothing this exchange" marker),
+//     and calls Gather for the same exchange afterwards. A host never
+//     sends exchange e+1 before its Gather of exchange e returned, so a
+//     backend must buffer at most one exchange ahead.
+//   - Send is only valid for local `from` hosts; Gather only for local
+//     `to` hosts. The buffer passed to Send must stay valid until the
+//     receiving side's Gather of the same exchange returns (remote
+//     backends copy on send; the in-process backend hands the slice
+//     through).
+//   - Gather returns the payloads indexed by sender (entry `to` and
+//     empty-marker entries have length 0); the returned slice is valid
+//     until the next Gather for the same receiver. Remote backends
+//     block until every peer's message arrived or the stall deadline
+//     expires; the in-process backend relies on the caller's BSP
+//     barrier instead (all Sends of the exchange complete before any
+//     Gather — the dgalois worker-pool handshake provides exactly
+//     this), so it never waits.
+//   - AllReduce folds one int64 per host with a commutative operation;
+//     every host must call it the same number of times, in lockstep
+//     with its exchanges. It moves control bytes only: nothing it sends
+//     appears in data-channel stats' Messages/Bytes.
+//   - Concurrent use: Send for distinct (from, to) pairs, Gather for
+//     distinct receivers, and AllReduce for distinct hosts may run
+//     concurrently (the conformance suite runs them under -race).
+type Transport interface {
+	// Hosts returns the cluster size.
+	Hosts() int
+	// Local reports whether host h's engine runs in this process.
+	Local(h int) bool
+	// Backend names the implementation ("inproc", "tcp") — the label
+	// transport-level obs events carry for remote backends.
+	Backend() string
+	// Send hands the (from → to) channel host from's message for the
+	// given exchange. from must be local and from != to. An empty buf is
+	// the explicit nothing-this-exchange marker.
+	Send(exchange, from, to int, buf []byte) error
+	// Gather returns the exchange's payloads addressed to local host
+	// `to`, indexed by sender.
+	Gather(exchange, to int) ([][]byte, error)
+	// AllReduce combines one value per host with op across the cluster
+	// and returns the folded result to every host.
+	AllReduce(host int, local int64, op ReduceOp) (int64, error)
+	// Stats returns the cumulative per-channel tallies for a channel
+	// with a local sender. (Channels with a remote sender read as zero:
+	// each process accounts only the traffic it originates.)
+	Stats(from, to int) ChannelStats
+	// Close releases the backend's resources (sockets, goroutines).
+	// Safe to call more than once.
+	Close() error
+}
+
+// ChannelStats counts one directed channel's transport activity.
+// Messages/Bytes are logical sync payloads (the paper-model volume the
+// dgalois Stats also track); Control counts empty-marker and all-reduce
+// records; Retries/RetryBytes and Redials are remote-backend recovery
+// work (always zero in-process).
+type ChannelStats struct {
+	Messages   int64 `json:"messages"`
+	Bytes      int64 `json:"bytes"`
+	Control    int64 `json:"control"`
+	Retries    int64 `json:"retries"`
+	RetryBytes int64 `json:"retry_bytes"`
+	Redials    int64 `json:"redials"`
+}
+
+// Add accumulates o into c.
+func (c *ChannelStats) Add(o ChannelStats) {
+	c.Messages += o.Messages
+	c.Bytes += o.Bytes
+	c.Control += o.Control
+	c.Retries += o.Retries
+	c.RetryBytes += o.RetryBytes
+	c.Redials += o.Redials
+}
+
+// ReduceOp is the fold applied by Transport.AllReduce. The byte values
+// are fixed: they appear on the TCP wire.
+type ReduceOp byte
+
+const (
+	// ReduceSum folds with addition.
+	ReduceSum ReduceOp = 1
+	// ReduceMax folds with max.
+	ReduceMax ReduceOp = 2
+)
+
+// Apply folds b into a.
+func (op ReduceOp) Apply(a, b int64) int64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("gluon: unknown reduce op %d", byte(op)))
+}
+
+func (op ReduceOp) String() string {
+	switch op {
+	case ReduceSum:
+		return "sum"
+	case ReduceMax:
+		return "max"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", byte(op))
+}
+
+// TransportError is the structured failure a remote backend raises when
+// an exchange or reduce cannot complete within its stall deadline (a
+// peer severed past recovery, or the transport was closed under it). It
+// is the transport-level analogue of the dgalois *FaultError, which the
+// cluster substrate converts it into at the exchange boundary — a dead
+// peer therefore surfaces as a structured error, never a hang.
+type TransportError struct {
+	Host     int    // implicated peer, -1 if none identified
+	Exchange int    // exchange index, -1 for reduces / lifecycle errors
+	Pending  int    // messages still missing when the deadline expired
+	Steps    int    // stall steps elapsed without progress
+	Reason   string // human-readable cause
+}
+
+func (e *TransportError) Error() string {
+	host := "unknown peer"
+	if e.Host >= 0 {
+		host = fmt.Sprintf("peer %d", e.Host)
+	}
+	return fmt.Sprintf("gluon: transport stalled (%s, exchange %d, %d pending, %d idle steps): %s",
+		host, e.Exchange, e.Pending, e.Steps, e.Reason)
+}
+
+// MemTransport is the in-process backend: every host is local and a
+// send is a slice hand-off into a preallocated inbox matrix. It is the
+// refactored form of the substrate's original buffer matrix, so the
+// steady-state exchange path performs zero heap allocations and the
+// accounting the cluster derives from it is byte-identical to the
+// pre-interface code.
+type MemTransport struct {
+	hosts int
+	// inbox[to][from]: the current exchange's buffer on each channel.
+	inbox [][][]byte
+	// stats[from*hosts+to], written only by the (from, to) pack task —
+	// distinct channels never share a slot, so plain fields race-free
+	// under the caller's BSP barrier.
+	stats []ChannelStats
+
+	reduce memReduce
+}
+
+// NewMemTransport returns an in-process transport for the given host
+// count.
+func NewMemTransport(hosts int) *MemTransport {
+	if hosts <= 0 {
+		panic(fmt.Sprintf("gluon: invalid host count %d", hosts))
+	}
+	m := &MemTransport{hosts: hosts}
+	m.inbox = make([][][]byte, hosts)
+	for to := range m.inbox {
+		m.inbox[to] = make([][]byte, hosts)
+	}
+	m.stats = make([]ChannelStats, hosts*hosts)
+	m.reduce.init(hosts)
+	return m
+}
+
+// Hosts returns the cluster size.
+func (m *MemTransport) Hosts() int { return m.hosts }
+
+// Local reports true for every host: the whole cluster shares this
+// address space.
+func (m *MemTransport) Local(h int) bool { return h >= 0 && h < m.hosts }
+
+// Backend returns "inproc".
+func (m *MemTransport) Backend() string { return "inproc" }
+
+// Send stores the buffer on the (from → to) channel. The slice is
+// handed through, not copied: it must stay valid until the receiver's
+// Gather of this exchange returns (the BSP barrier guarantees the
+// writer is not reused before then).
+func (m *MemTransport) Send(exchange, from, to int, buf []byte) error {
+	m.inbox[to][from] = buf
+	s := &m.stats[from*m.hosts+to]
+	if len(buf) > 0 {
+		s.Messages++
+		s.Bytes += int64(len(buf))
+	} else {
+		s.Control++
+	}
+	return nil
+}
+
+// Gather returns the exchange's buffers addressed to host `to`, indexed
+// by sender. It never blocks: the in-process caller's BSP barrier has
+// already sequenced every Send before the first Gather.
+func (m *MemTransport) Gather(exchange, to int) ([][]byte, error) {
+	return m.inbox[to], nil
+}
+
+// Buffered returns the buffer currently held on the (from → to)
+// channel. The reliable (fault-plan) exchange path of internal/dgalois
+// uses it to pick up the packed payloads it frames and delivers through
+// its simulated lossy network.
+func (m *MemTransport) Buffered(from, to int) []byte { return m.inbox[to][from] }
+
+// AllReduce folds one value per host across all hosts. Unlike Send and
+// Gather it is a genuine rendezvous — callers block until every host
+// contributed — because concurrent drivers (the conformance suite) have
+// no outer barrier to lean on. The lockstep in-process cluster never
+// calls it: with every host local, the coordinator's own accumulator is
+// already the global value.
+func (m *MemTransport) AllReduce(host int, local int64, op ReduceOp) (int64, error) {
+	if host < 0 || host >= m.hosts {
+		return 0, fmt.Errorf("gluon: AllReduce host %d out of range [0,%d)", host, m.hosts)
+	}
+	return m.reduce.join(local, op), nil
+}
+
+// Stats returns the channel's cumulative tallies.
+func (m *MemTransport) Stats(from, to int) ChannelStats {
+	return m.stats[from*m.hosts+to]
+}
+
+// Close is a no-op: the in-process backend holds no external resources.
+func (m *MemTransport) Close() error { return nil }
+
+// memReduce is a reusable all-reduce rendezvous: hosts of one round
+// block until all N contributed, every caller receives the fold, and
+// the barrier resets for the next round (generation-counted so a fast
+// host entering round r+1 never corrupts round r's result).
+type memReduce struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	hosts   int
+	arrived int
+	acc     int64
+	gen     uint64
+	out     int64
+}
+
+func (r *memReduce) init(hosts int) {
+	r.hosts = hosts
+	r.cond = sync.NewCond(&r.mu)
+}
+
+func (r *memReduce) join(local int64, op ReduceOp) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen := r.gen
+	if r.arrived == 0 {
+		r.acc = local
+	} else {
+		r.acc = op.Apply(r.acc, local)
+	}
+	r.arrived++
+	if r.arrived == r.hosts {
+		r.out = r.acc
+		r.arrived = 0
+		r.gen++
+		r.cond.Broadcast()
+		return r.out
+	}
+	for r.gen == gen {
+		r.cond.Wait()
+	}
+	return r.out
+}

@@ -75,6 +75,15 @@ type Options struct {
 	// Workers overrides the cluster's exchange worker-pool size (0:
 	// automatic). Trace content is independent of this value.
 	Workers int
+	// Transport overrides the cluster's byte-moving backend (nil: the
+	// in-process simulated network). A remote backend (gluon.TCPTransport)
+	// runs this process as one host of a multi-process SPMD cluster:
+	// every process executes the same batch loop, engine state exists
+	// only for the local host, termination decisions go through the
+	// transport's all-reduce, and the returned scores hold only the
+	// local host's master contributions (zero elsewhere) — the
+	// coordinator sums the per-process vectors elementwise.
+	Transport gluon.Transport
 	// EngineWorkers sets each host's intra-engine worker count for the
 	// compute phases: above 1 the relax/accumulate loops run on the
 	// work-stealing runner of internal/core over a sharded engine. 0 or
@@ -190,10 +199,11 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 	}
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
-		Plan:    opts.Fault,
-		Trace:   opts.Trace,
-		Metrics: opts.Metrics,
-		Workers: opts.Workers,
+		Plan:      opts.Fault,
+		Trace:     opts.Trace,
+		Metrics:   opts.Metrics,
+		Workers:   opts.Workers,
+		Transport: opts.Transport,
 	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
@@ -280,6 +290,9 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			}
 			atomic.AddInt64(&activity, p)
 		})
+		// Global quiescence: in SPMD mode the local sum is only this
+		// host's share, so fold across processes (identity in-process).
+		activity = cluster.AllReduce(activity, gluon.ReduceSum)
 		prog.round.Set(int64(r))
 		prog.frontier.Set(activity)
 		if activity == 0 {
@@ -327,10 +340,16 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 	cluster.Compute(func(h int) { states[h].engine.StartBackward(R) })
 	maxBack := 0
 	for _, st := range states {
+		if st == nil {
+			continue
+		}
 		if b := st.engine.BackwardRounds(); b > maxBack {
 			maxBack = b
 		}
 	}
+	// Every process must run the same number of backward rounds — the
+	// deepest host's (identity in-process).
+	maxBack = int(cluster.AllReduce(int64(maxBack), gluon.ReduceMax))
 	prog.backward.Set(1)
 	for r := 1; r <= maxBack; r++ {
 		cluster.BeginRound()
@@ -380,7 +399,7 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			stealsVec = opts.Metrics.CounterVec("mrbc_worker_steals_total", "worker", nw)
 		}
 		for h, st := range states {
-			if st.runner == nil {
+			if st == nil || st.runner == nil {
 				continue
 			}
 			for w, ws := range st.runner.WorkerStats() {
@@ -398,8 +417,13 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		}
 	}
 
-	// Fold master dependencies into the global scores.
+	// Fold master dependencies into the global scores (only the local
+	// hosts' masters in SPMD mode: the per-process vectors are disjoint
+	// and sum to the full scores).
 	for _, st := range states {
+		if st == nil {
+			continue
+		}
 		for l, gid := range st.part.GlobalID {
 			if !st.part.IsMaster[l] {
 				continue

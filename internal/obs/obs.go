@@ -134,6 +134,13 @@ type Event struct {
 	Steps       int64 `json:"steps,omitempty"`
 	Injected    int64 `json:"injected,omitempty"`
 	Stalled     int64 `json:"stalled,omitempty"`
+	// Backend labels a transport event with the gluon backend that moved
+	// the bytes ("tcp"). Empty — and therefore omitted, keeping the
+	// in-process canonical trace byte-identical — for the simulated
+	// in-process network.
+	Backend string `json:"backend,omitempty"`
+	// Redials counts connection re-establishments (remote backends).
+	Redials int64 `json:"redials,omitempty"`
 
 	// Monotonic timings, nanoseconds since the trace/cluster epoch.
 	// Stripped by Canonical: wall time is the one nondeterministic

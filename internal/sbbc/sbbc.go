@@ -65,6 +65,13 @@ type Options struct {
 	// Workers overrides the cluster's exchange worker-pool size (0:
 	// automatic). Trace content is independent of this value.
 	Workers int
+	// Transport overrides the cluster's byte-moving backend (nil: the
+	// in-process simulated network). A remote backend runs this process
+	// as one host of a multi-process SPMD cluster: engine state exists
+	// only for the local host, termination goes through the transport's
+	// all-reduce, and the returned scores hold only the local host's
+	// master contributions (the coordinator sums per-process vectors).
+	Transport gluon.Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -123,15 +130,19 @@ func RunOptsChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32
 	}
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
-		Plan:    opts.Fault,
-		Trace:   opts.Trace,
-		Metrics: opts.Metrics,
-		Workers: opts.Workers,
+		Plan:      opts.Fault,
+		Trace:     opts.Trace,
+		Metrics:   opts.Metrics,
+		Workers:   opts.Workers,
+		Transport: opts.Transport,
 	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	states := make([]*hostState, pt.NumHosts)
 	for h, p := range pt.Parts {
+		if !cluster.IsLocal(h) {
+			continue
+		}
 		np := p.NumProxies()
 		p.Local.EnsureInEdges()
 		states[h] = &hostState{
@@ -247,6 +258,9 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 			st.inFrontier.Reset()
 			atomic.AddInt64(&active, st.relaxed)
 		})
+		// Global quiescence: fold the per-process relaxation counts
+		// (identity in-process).
+		active = cluster.AllReduce(active, gluon.ReduceSum)
 		prog.level.Set(int64(level))
 		prog.frontier.Set(active)
 		if active == 0 {
@@ -303,6 +317,9 @@ func runSource(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostSta
 	cluster.Compute(func(h int) { _ = h })
 	for h, st := range states {
 		_ = h
+		if st == nil {
+			continue
+		}
 		for l, gid := range st.part.GlobalID {
 			if st.part.IsMaster[l] && gid != src && st.dist[l] != graph.InfDist {
 				scores[gid] += st.delta[l]

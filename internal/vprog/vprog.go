@@ -42,6 +42,12 @@ type PushOptions struct {
 	Metrics *obs.Registry
 	// Workers overrides the exchange worker-pool size (0: automatic).
 	Workers int
+	// Transport overrides the cluster's byte-moving backend (nil: the
+	// in-process simulated network). A remote backend runs this process
+	// as one host of a multi-process SPMD cluster; the returned labels
+	// carry only the local host's master values (the coordinator merges
+	// per-process vectors).
+	Transport gluon.Transport
 }
 
 // PushProgram describes a data-driven label-propagation program over a
@@ -87,10 +93,11 @@ func RunPushOpts(g gview, pt *partition.Partitioning, prog PushProgram, opts Pus
 		panic("vprog: incomplete push program")
 	}
 	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
-		Plan:    opts.Plan,
-		Trace:   opts.Trace,
-		Metrics: opts.Metrics,
-		Workers: opts.Workers,
+		Plan:      opts.Plan,
+		Trace:     opts.Trace,
+		Metrics:   opts.Metrics,
+		Workers:   opts.Workers,
+		Transport: opts.Transport,
 	})
 	defer cluster.Close()
 	// Live progress gauges, updated from the coordinator only (detached
@@ -137,7 +144,6 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 	for r := 1; ; r++ {
 		cluster.BeginRound()
 		roundG.Set(int64(r))
-		var any bool
 		activity := make([]bool, pt.NumHosts)
 		cluster.Compute(func(h int) {
 			st := states[h]
@@ -157,10 +163,14 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 			st.inActive.Reset()
 			activity[h] = st.dirty.Any()
 		})
+		var local int64
 		for _, a := range activity {
-			any = any || a
+			if a {
+				local++
+			}
 		}
-		if !any {
+		// Global quiescence across processes (identity in-process).
+		if cluster.AllReduce(local, gluon.ReduceSum) == 0 {
 			activeG.Set(0)
 			break
 		}
@@ -255,6 +265,9 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 		// the gauge tracks the frontier the next round will push from.
 		var active int64
 		for _, st := range states {
+			if st == nil {
+				continue
+			}
 			active += int64(len(st.active))
 		}
 		activeG.Set(active)
@@ -262,6 +275,9 @@ func runPush(cluster *dgalois.Cluster, g gview, pt *partition.Partitioning, prog
 
 	out := make([]uint64, n)
 	for _, st := range states {
+		if st == nil {
+			continue
+		}
 		for l, gid := range st.part.GlobalID {
 			if st.part.IsMaster[l] {
 				out[gid] = st.labels[l]
