@@ -9,6 +9,7 @@
 //	bcbench -exp table2 -scale tiny
 //	bcbench -exp obs -obs trace.jsonl
 //	bcbench -exp regress -scale tiny
+//	bcbench -exp pipeline -scale tiny
 //	bcbench -exp all -cpuprofile cpu.pprof
 //	bcbench -exp summary -serve 127.0.0.1:9464
 //
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -45,6 +47,39 @@ type runCtx struct {
 	scale       bench.Scale
 	obsPath     string // -obs: detail-trace output (obs experiment only)
 	baselineDir string // -baseline: directory holding the BENCH_*.json documents
+	bcdPath     string // -bcd: bcd daemon binary (pipeline experiment only)
+}
+
+// resolveBcd returns the bcd binary for the pipeline experiment's TCP
+// cluster: the -bcd flag if given, else a fresh build of ./cmd/bcd into
+// a temp directory (requires a Go toolchain and running inside the
+// module, like the clustertest harness).
+func resolveBcd(ctx runCtx) (string, func(), error) {
+	if ctx.bcdPath != "" {
+		return ctx.bcdPath, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "bcbench-bcd-*")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "bcd")
+	cmd := exec.Command("go", "build", "-o", path, "mrbc/cmd/bcd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("build bcd (pass -bcd to use a prebuilt binary): %v\n%s", err, out)
+	}
+	return path, func() { os.RemoveAll(dir) }, nil
+}
+
+// runPipelineBench resolves the daemon binary and measures the depth
+// sweep on both transports.
+func runPipelineBench(ctx runCtx) (bench.PipelineReport, error) {
+	bcd, cleanup, err := resolveBcd(ctx)
+	if err != nil {
+		return bench.PipelineReport{}, err
+	}
+	defer cleanup()
+	return bench.PipelineBench(ctx.scale, bcd)
 }
 
 // experiments maps every -exp value to its runner. Runners print to
@@ -150,6 +185,37 @@ var experiments = map[string]func(out io.Writer, ctx runCtx) error{
 		}
 		return err
 	},
+	// Pipelined-exchange depth sweep on both transports (JSON, emitted
+	// as BENCH_pipeline.json); not in "all". Spawns a localhost bcd
+	// cluster for the TCP leg (building the daemon unless -bcd is
+	// given). Errors if the fresh measurement violates the pipeline
+	// guards for this machine.
+	"pipeline": func(out io.Writer, ctx runCtx) error {
+		report, err := runPipelineBench(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatPipelineBench(report))
+		return bench.CheckPipelineBench(report)
+	},
+	// Regenerate BENCH_pipeline.json from the current build; not in
+	// "all".
+	"pipeline-baseline": func(out io.Writer, ctx runCtx) error {
+		report, err := runPipelineBench(ctx)
+		if err != nil {
+			return err
+		}
+		if err := bench.CheckPipelineBench(report); err != nil {
+			return err
+		}
+		path := filepath.Join(ctx.baselineDir, bench.PipelineBaselineFile)
+		if err := bench.WritePipelineBaseline(path, report); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatPipelineBench(report))
+		fmt.Fprintf(out, "wrote %s\n", path)
+		return nil
+	},
 	// Regenerate BENCH_regress.json from the current build (after an
 	// intentional perf or protocol change); not in "all".
 	"regress-baseline": func(out io.Writer, ctx runCtx) error {
@@ -194,6 +260,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /statz, /progressz, pprof) on this address while experiments run")
 		linger      = fs.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
 		baselineDir = fs.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+		bcdPath     = fs.String("bcd", "", "prebuilt bcd daemon binary for -exp pipeline (default: build ./cmd/bcd)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -241,7 +308,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	ctx := runCtx{inputs: bench.Suite(scale), scale: scale, obsPath: *obsPath, baselineDir: *baselineDir}
+	ctx := runCtx{inputs: bench.Suite(scale), scale: scale, obsPath: *obsPath, baselineDir: *baselineDir, bcdPath: *bcdPath}
 	if *only != "" {
 		in, err := bench.Find(ctx.inputs, *only)
 		if err != nil {

@@ -7,7 +7,7 @@
 //
 //	bctrace summary trace.jsonl
 //	bctrace imbalance [-per-worker] trace.jsonl
-//	bctrace rounds trace.jsonl
+//	bctrace rounds [-overlap] trace.jsonl
 //	bctrace check [-H max-distance] trace.jsonl
 //	bctrace diff a.jsonl b.jsonl
 //
@@ -37,6 +37,8 @@ commands:
   imbalance  per-host compute load and the max/mean imbalance ratio
              (-per-worker adds intra-host engine-worker scheduler totals)
   rounds     per-round latency and the critical-path host
+             (-overlap adds exchange time vs. time hidden behind
+             pipelined compute per round)
   check      verify the Lemma 8 round bounds and reversal symmetry
   diff       compare two traces canonically, report first divergence
 `)
@@ -57,7 +59,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	case "imbalance":
 		return runImbalanceCmd(rest, stdout, stderr)
 	case "rounds":
-		return streamCmd(rest, stdout, stderr, runRounds)
+		return runRoundsCmd(rest, stdout, stderr)
 	case "check":
 		return runCheck(rest, stdout, stderr)
 	case "diff":
@@ -198,7 +200,20 @@ func runImbalance(er *obs.EventReader, out io.Writer, perWorker bool) error {
 	return nil
 }
 
-func runRounds(er *obs.EventReader, out io.Writer) error {
+// runRoundsCmd parses rounds' flags and streams the trace.
+func runRoundsCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bctrace rounds", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	overlap := fs.Bool("overlap", false, "additionally report per-round exchange time vs. the wait the pipelined exchange hid behind compute")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	return streamCmd(fs.Args(), stdout, stderr, func(er *obs.EventReader, out io.Writer) error {
+		return runRounds(er, out, *overlap)
+	})
+}
+
+func runRounds(er *obs.EventReader, out io.Writer, overlap bool) error {
 	var a obs.RoundAccum
 	if _, err := drain(er, a.Observe); err != nil {
 		return err
@@ -256,6 +271,31 @@ func runRounds(er *obs.EventReader, out io.Writer) error {
 	for _, h := range hosts {
 		fmt.Fprintf(out, "  host %-4d %d\n", h, r.SlowestCount[h])
 	}
+	if !overlap {
+		return nil
+	}
+	// Overlap: the exchange wall time each round kept on the critical
+	// path vs. the wait the pipelined exchange hid behind other batches'
+	// compute (HiddenNs; zero everywhere on non-pipelined traces).
+	fmt.Fprintln(out, "round  exchange      hidden        hidden-share")
+	var exchNs, hiddenNs int64
+	for _, rc := range r.Rounds {
+		exchNs += rc.ExchangeNs
+		hiddenNs += rc.HiddenNs
+		share := 0.0
+		if tot := rc.ExchangeNs + rc.HiddenNs; tot > 0 {
+			share = float64(rc.HiddenNs) / float64(tot)
+		}
+		fmt.Fprintf(out, "%-5d  %-12s  %-12s  %5.1f%%\n",
+			rc.Round, time.Duration(rc.ExchangeNs), time.Duration(rc.HiddenNs), 100*share)
+	}
+	fmt.Fprintf(out, "exchange.total %s\n", time.Duration(exchNs))
+	fmt.Fprintf(out, "hidden.total   %s\n", time.Duration(hiddenNs))
+	eff := 0.0
+	if tot := exchNs + hiddenNs; tot > 0 {
+		eff = float64(hiddenNs) / float64(tot)
+	}
+	fmt.Fprintf(out, "overlap.efficiency %s\n", formatG(eff))
 	return nil
 }
 

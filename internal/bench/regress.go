@@ -230,6 +230,13 @@ func CheckCommittedBaselines(dir string) error {
 	if err := CheckScalingBench(scalingRep); err != nil {
 		return fmt.Errorf("committed %s fails its guard: %w", ScalingBaselineFile, err)
 	}
+	pipelineRep, err := LoadPipelineBaseline(filepath.Join(dir, PipelineBaselineFile))
+	if err != nil {
+		return err
+	}
+	if err := CheckPipelineBench(pipelineRep); err != nil {
+		return fmt.Errorf("committed %s fails its guard: %w", PipelineBaselineFile, err)
+	}
 	return nil
 }
 

@@ -55,6 +55,12 @@ var engines = []engine{
 	{"mrbc-cand", func(g *graph.Graph, pt *partition.Partitioning, sources []uint32, plan *dgalois.FaultPlan) ([]float64, dgalois.Stats, error) {
 		return mrbcdist.RunChecked(g, pt, sources, mrbcdist.Options{BatchSize: 8, Sync: mrbcdist.CandidateSync, Fault: plan})
 	}},
+	// Software-pipelined batches (small batches so the 16-source jobs
+	// really keep two in flight): the reliable transport's retransmission
+	// machinery must compose with the per-batch exchange-ID streams.
+	{"mrbc-arb-pipe2", func(g *graph.Graph, pt *partition.Partitioning, sources []uint32, plan *dgalois.FaultPlan) ([]float64, dgalois.Stats, error) {
+		return mrbcdist.RunChecked(g, pt, sources, mrbcdist.Options{BatchSize: 4, Sync: mrbcdist.ArbitrationSync, Fault: plan, PipelineDepth: 2})
+	}},
 	{"sbbc", func(g *graph.Graph, pt *partition.Partitioning, sources []uint32, plan *dgalois.FaultPlan) ([]float64, dgalois.Stats, error) {
 		return sbbc.RunOptsChecked(g, pt, sources, sbbc.Options{Fault: plan})
 	}},

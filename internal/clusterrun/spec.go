@@ -52,6 +52,9 @@ type JobSpec struct {
 	CandidateSync bool `json:"candidate_sync,omitempty"`
 	// EngineWorkers is mrbcdist's intra-host worker count.
 	EngineWorkers int `json:"engine_workers,omitempty"`
+	// PipelineDepth is mrbcdist's software-pipelining window: how many
+	// source batches may be in flight at once (0/1: serial batches).
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 	// TracePath, when non-empty, makes the daemon record a phase-level
 	// obs trace for the job and write it as JSONL to this path.
 	TracePath string `json:"trace_path,omitempty"`
@@ -81,6 +84,10 @@ type JobResult struct {
 	Rounds   int       `json:"rounds"`
 	Bytes    int64     `json:"bytes"`
 	Messages int64     `json:"messages"`
+	// CommNs/HiddenNs split the host's exchange wall time into waits on
+	// the critical path and waits hidden behind pipelined compute.
+	CommNs   int64 `json:"comm_ns,omitempty"`
+	HiddenNs int64 `json:"hidden_ns,omitempty"`
 	// Retries/RetryBytes/Redials are the host's transport recovery work
 	// (its outgoing channels only).
 	Retries    int64 `json:"retries,omitempty"`
@@ -150,6 +157,7 @@ func RunJob(spec *JobSpec, transport gluon.Transport, trace *obs.Trace, metrics 
 			Metrics:       metrics,
 			Transport:     transport,
 			EngineWorkers: spec.EngineWorkers,
+			PipelineDepth: spec.PipelineDepth,
 		}
 		if spec.CandidateSync {
 			opts.Sync = mrbcdist.CandidateSync
@@ -169,6 +177,8 @@ func RunJob(spec *JobSpec, transport gluon.Transport, trace *obs.Trace, metrics 
 		Rounds:   stats.Rounds,
 		Bytes:    stats.Bytes,
 		Messages: stats.Messages,
+		CommNs:   stats.CommTime.Nanoseconds(),
+		HiddenNs: stats.HiddenTime.Nanoseconds(),
 	}
 	if transport != nil {
 		var agg gluon.ChannelStats

@@ -90,6 +90,7 @@ type Cluster struct {
 
 	computeWall    time.Duration
 	commWall       time.Duration
+	hiddenWall     time.Duration // exchange wait hidden behind detached compute
 	perHostCompute []time.Duration
 	imbalanceSum   float64
 	imbalanceN     int
@@ -98,16 +99,26 @@ type Cluster struct {
 	// site is behind one branch and no tally work happens. seq is the
 	// coordinator-assigned phase counter — serial, hence deterministic
 	// across worker counts.
-	trace      *obs.Trace
-	seq        int64
-	hostPack   []exchangeTally // per-sender pack tallies, atomics (pairs share a sender)
-	hostUnpack []exchangeTally // per-receiver unpack tallies, receiver-serial
+	trace *obs.Trace
+	seq   int64
 
-	// Reusable communication state. Writers own the pack buffers (and
-	// the marked-bitvector scratch), decoders own the per-receiver
-	// parse scratch; both persist across exchanges so the steady-state
-	// hot path performs zero heap allocations.
-	writers  [][]*gluon.Writer
+	// Exchange tickets: one per concurrently-open exchange. Each ticket
+	// owns a full writer matrix and (when tracing) its own pack/unpack
+	// tallies, so a detached exchange's buffers survive until its
+	// Complete while later exchanges pack into their own. curWriters/
+	// curPack/curUnpack point at the ticket whose pack or unpack phase
+	// the pool is currently running. With MaxInflight=1 there is exactly
+	// one ticket and the hot path is identical to the pre-pipeline code.
+	maxInflight int
+	tickets     []PendingExchange
+	curWriters  [][]*gluon.Writer
+	curPack     []exchangeTally // per-sender pack tallies, atomics (pairs share a sender)
+	curUnpack   []exchangeTally // per-receiver unpack tallies, receiver-serial
+
+	// Reusable communication state. Decoders own the per-receiver parse
+	// scratch; they are shared across tickets because unpack phases of
+	// distinct exchanges never run concurrently (Begin/Complete are
+	// coordinator-serial).
 	decoders []*gluon.Decoder
 
 	// transport moves the packed buffers. The default is the in-process
@@ -120,9 +131,20 @@ type Cluster struct {
 	// control decisions go through AllReduce.
 	transport gluon.Transport
 	mem       *gluon.MemTransport
-	localHost int // the single local host in SPMD mode; -1 when all hosts are local
-	curEx     int // exchange index the current pack/unpack tasks run under
+	streamer  gluon.Streamer // per-sender gather, remote backends only
+	localHost int            // the single local host in SPMD mode; -1 when all hosts are local
+	curEx     int            // exchange identifier the current pack/unpack tasks run under
 	lastNet   gluon.ChannelStats
+
+	// Exchange-identifier streams. stream < 0 (the default) numbers
+	// exchanges 0,1,2,… globally; SetStream(batch) switches to per-batch
+	// identifiers (slot<<20 | counter) so pipelined batches' exchanges
+	// stay distinct per stream on the wire and in transport buffers.
+	// eventBatch tags emitted phase/transport events with the active
+	// batch; 0 outside streams, so non-pipelined traces are unchanged.
+	stream     int32
+	streamN    map[int32]int
+	eventBatch int32
 
 	// xerr carries a transport failure out of the pool workers to the
 	// coordinator, which converts it into an abortPanic at the exchange
@@ -160,6 +182,48 @@ type exchangeTally struct {
 	all      int64
 }
 
+// PendingExchange is one exchange's in-flight state: the ticket
+// BeginExchange returns and Complete consumes. Tickets are preallocated
+// at construction (one per MaxInflight slot) and recycled, so the
+// pipelined exchange path allocates nothing at steady state. All
+// Begin/Complete calls must come from the cluster's coordinating
+// goroutine (or be externally serialized, as the pipelined batch
+// turnstile does) — the Cluster is not a thread-safe object.
+type PendingExchange struct {
+	c        *Cluster
+	inUse    bool
+	detached bool // true between BeginExchange and Complete
+	ex       int
+	packSeq  int64
+	unpackSeq int64
+	round    int64
+	batch    int32
+	start    time.Time
+	packEnd  time.Time
+	writers  [][]*gluon.Writer
+	hostPack []exchangeTally
+	hostUnpack []exchangeTally
+	unpack   func(to, from int, data []byte, dec *gluon.Decoder)
+}
+
+// noopPending is what BeginExchange returns when the exchange already
+// ran synchronously (the reliable fault-plan path); its Complete is a
+// no-op.
+var noopPending = &PendingExchange{}
+
+// Complete finishes a detached exchange: it blocks until every peer's
+// buffer arrived (remote backends), runs the unpack phase, and folds
+// the exchange's timing into the cluster statistics. The wait that
+// elapsed between BeginExchange's return and this call was hidden
+// behind the caller's compute and is tallied as such. Calling Complete
+// more than once is a no-op.
+func (p *PendingExchange) Complete() {
+	if p == nil || !p.inUse {
+		return
+	}
+	p.c.complete(p)
+}
+
 // ClusterOptions configures a cluster beyond its host count. The zero
 // value reproduces NewCluster exactly.
 type ClusterOptions struct {
@@ -185,6 +249,11 @@ type ClusterOptions struct {
 	// incompatible with Plan — fault plans simulate a network the remote
 	// backend replaces (inject real socket faults with a proxy instead).
 	Transport gluon.Transport
+	// MaxInflight is the number of exchanges that may be open
+	// concurrently (BeginExchange called, Complete pending). 0 or 1
+	// reproduce the strictly synchronous BSP exchange. A provided
+	// in-process Transport must have a window of at least this size.
+	MaxInflight int
 }
 
 // NewCluster creates a cluster of the given number of hosts with a
@@ -252,14 +321,15 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 		c.hostBytesC[h] = hostBytesV.At(h)
 		c.hostMsgsC[h] = hostMsgsV.At(h)
 	}
-	if c.trace != nil {
-		c.hostPack = make([]exchangeTally, hosts)
-		c.hostUnpack = make([]exchangeTally, hosts)
+	c.maxInflight = opts.MaxInflight
+	if c.maxInflight < 1 {
+		c.maxInflight = 1
 	}
+	c.stream = -1
 	c.localHost = -1
 	c.transport = opts.Transport
 	if c.transport == nil {
-		c.mem = gluon.NewMemTransport(hosts)
+		c.mem = gluon.NewMemTransportWindow(hosts, c.maxInflight)
 		c.transport = c.mem
 	} else {
 		if c.transport.Hosts() != hosts {
@@ -267,6 +337,9 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 		}
 		if m, ok := c.transport.(*gluon.MemTransport); ok {
 			c.mem = m
+			if m.Window() < c.maxInflight {
+				panic(fmt.Sprintf("dgalois: MaxInflight %d exceeds the transport's %d-exchange window", c.maxInflight, m.Window()))
+			}
 		} else {
 			nLocal := 0
 			for h := 0; h < hosts; h++ {
@@ -283,19 +356,38 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 			}
 		}
 	}
-	c.writers = make([][]*gluon.Writer, hosts)
-	c.decoders = make([]*gluon.Decoder, hosts)
-	for i := 0; i < hosts; i++ {
-		c.writers[i] = make([]*gluon.Writer, hosts)
-		if !c.isLocal(i) {
-			continue
-		}
-		for j := range c.writers[i] {
-			if i != j {
-				c.writers[i][j] = &gluon.Writer{}
+	if c.localHost >= 0 {
+		// Per-sender streaming unpack applies only to remote backends:
+		// the in-process transport's BSP barrier already sequenced every
+		// send, so gathering whole exchanges there stays byte-identical.
+		c.streamer, _ = c.transport.(gluon.Streamer)
+	}
+	c.tickets = make([]PendingExchange, c.maxInflight)
+	for k := range c.tickets {
+		t := &c.tickets[k]
+		t.c = c
+		t.writers = make([][]*gluon.Writer, hosts)
+		for i := 0; i < hosts; i++ {
+			t.writers[i] = make([]*gluon.Writer, hosts)
+			if !c.isLocal(i) {
+				continue
+			}
+			for j := range t.writers[i] {
+				if i != j {
+					t.writers[i][j] = &gluon.Writer{}
+				}
 			}
 		}
-		c.decoders[i] = gluon.NewDecoder()
+		if c.trace != nil {
+			t.hostPack = make([]exchangeTally, hosts)
+			t.hostUnpack = make([]exchangeTally, hosts)
+		}
+	}
+	c.decoders = make([]*gluon.Decoder, hosts)
+	for i := 0; i < hosts; i++ {
+		if c.isLocal(i) {
+			c.decoders[i] = gluon.NewDecoder()
+		}
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -375,13 +467,65 @@ func (c *Cluster) Metrics() *obs.Registry { return c.metrics }
 // (gluon.FormatAuto, the default, selects the smallest per message).
 // Used by ablations to reproduce the seed dense-only wire format.
 func (c *Cluster) SetEncoding(f gluon.Format) {
-	for i := range c.writers {
-		for j, w := range c.writers[i] {
-			if i != j && w != nil {
-				w.ForceFormat(f)
+	for k := range c.tickets {
+		writers := c.tickets[k].writers
+		for i := range writers {
+			for j, w := range writers[i] {
+				if i != j && w != nil {
+					w.ForceFormat(f)
+				}
 			}
 		}
 	}
+}
+
+// SetStream switches exchange identifiers onto the given batch's
+// stream and tags subsequently emitted events with the batch. The
+// pipelined batch runner calls it whenever a batch's segment takes the
+// turn, so concurrently-open exchanges of different batches use
+// disjoint identifier spaces (per-batch channel IDs on the wire) and
+// trace events of interleaved batches stay attributable. A negative
+// batch restores the global sequential numbering (and untagged
+// events) — the state every cluster starts in, which the non-pipelined
+// path never leaves.
+func (c *Cluster) SetStream(batch int) {
+	if batch < 0 {
+		c.stream = -1
+		c.eventBatch = 0
+		return
+	}
+	c.stream = int32(batch % streamSlots)
+	c.eventBatch = int32(batch)
+	if c.streamN == nil {
+		c.streamN = make(map[int32]int, 8)
+	}
+}
+
+// EndStream retires a finished batch's identifier stream. Safe to call
+// for streams that never opened an exchange.
+func (c *Cluster) EndStream(batch int) {
+	if batch >= 0 && c.streamN != nil {
+		delete(c.streamN, int32(batch%streamSlots))
+	}
+}
+
+// streamSlots is how many batch streams the identifier space
+// distinguishes: exchange IDs are slot<<20 | counter, fitting the TCP
+// wire's u32 exchange field with 20 bits of per-stream counter. Safe
+// because at most MaxInflight (≪ 4096) batches are ever open at once,
+// and a batch's exchanges are all consumed before its slot recurs.
+const streamSlots = 4096
+
+// nextExchangeID assigns the next exchange identifier: globally
+// sequential outside streams, slot-tagged within one.
+func (c *Cluster) nextExchangeID() int {
+	c.exchanges++
+	if c.stream < 0 {
+		return c.exchanges - 1
+	}
+	n := c.streamN[c.stream]
+	c.streamN[c.stream] = n + 1
+	return int(c.stream)<<20 | n
 }
 
 // nextSeq hands out the coordinator-serial phase sequence number.
@@ -442,11 +586,11 @@ func (c *Cluster) Compute(fn func(host int)) {
 			if !c.isLocal(h) {
 				continue
 			}
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round),
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round), Batch: c.eventBatch,
 				Host: int32(h), Phase: obs.PhaseCompute, StartNs: base, DurNs: d.Nanoseconds()})
 			// The barrier slice is the host's idle wait for the round's
 			// slowest host.
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round),
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: seq, Round: int32(round), Batch: c.eventBatch,
 				Host: int32(h), Phase: obs.PhaseBarrier,
 				StartNs: base + d.Nanoseconds(), DurNs: (maxD - d).Nanoseconds()})
 		}
@@ -468,7 +612,7 @@ func (c *Cluster) packTask(i int) {
 	if from == to || !c.isLocal(from) {
 		return
 	}
-	w := c.writers[from][to]
+	w := c.curWriters[from][to]
 	w.Reset()
 	c.packFn(from, to, w)
 	buf := w.Bytes()
@@ -486,7 +630,7 @@ func (c *Cluster) packTask(i int) {
 		c.hostBytesC[from].Add(int64(len(buf)))
 		c.hostMsgsC[from].Add(1)
 		if c.trace != nil {
-			t := &c.hostPack[from]
+			t := &c.curPack[from]
 			atomic.AddInt64(&t.bytes, int64(len(buf)))
 			atomic.AddInt64(&t.messages, 1)
 		}
@@ -496,7 +640,7 @@ func (c *Cluster) packTask(i int) {
 		c.encSparseC.Add(enc.Sparse)
 		c.encAllC.Add(enc.All)
 		if c.trace != nil {
-			t := &c.hostPack[from]
+			t := &c.curPack[from]
 			atomic.AddInt64(&t.dense, enc.Dense)
 			atomic.AddInt64(&t.sparse, enc.Sparse)
 			atomic.AddInt64(&t.all, enc.All)
@@ -518,6 +662,31 @@ func (c *Cluster) unpackTask(to int) {
 	if !c.isLocal(to) {
 		return
 	}
+	if c.streamer != nil {
+		// Per-sender streaming gather: consume senders in the fixed
+		// 0..hosts-1 order (the deterministic apply order), but start
+		// unpacking each as soon as its bytes arrive instead of waiting
+		// for the whole exchange. Early peers' deserialization overlaps
+		// late peers' wire time.
+		for from := 0; from < c.hosts; from++ {
+			if from == to {
+				continue
+			}
+			buf, err := c.streamer.GatherFrom(c.curEx, to, from)
+			if err != nil {
+				c.noteTransportError(err)
+				return
+			}
+			if len(buf) > 0 {
+				c.unpackFn(to, from, buf, c.decoders[to])
+				if c.trace != nil {
+					c.curUnpack[to].bytes += int64(len(buf))
+					c.curUnpack[to].messages++
+				}
+			}
+		}
+		return
+	}
 	bufs, err := c.transport.Gather(c.curEx, to)
 	if err != nil {
 		c.noteTransportError(err)
@@ -527,8 +696,8 @@ func (c *Cluster) unpackTask(to int) {
 		if buf := bufs[from]; len(buf) > 0 {
 			c.unpackFn(to, from, buf, c.decoders[to])
 			if c.trace != nil {
-				c.hostUnpack[to].bytes += int64(len(buf))
-				c.hostUnpack[to].messages++
+				c.curUnpack[to].bytes += int64(len(buf))
+				c.curUnpack[to].messages++
 			}
 		}
 	}
@@ -565,44 +734,57 @@ func (c *Cluster) runPackPhase(pack func(from, to int, w *gluon.Writer)) {
 	c.packFn = nil
 }
 
-// resetExchangeTallies clears the per-host trace tallies (no-op when
-// tracing is disabled).
-func (c *Cluster) resetExchangeTallies() {
-	for i := range c.hostPack {
-		c.hostPack[i] = exchangeTally{}
-		c.hostUnpack[i] = exchangeTally{}
+// claimTicket hands out a free exchange ticket. The caller bound
+// (Exchange and Complete are coordinator-serial, and at most
+// MaxInflight exchanges are open) guarantees one is free.
+func (c *Cluster) claimTicket() *PendingExchange {
+	for k := range c.tickets {
+		if t := &c.tickets[k]; !t.inUse {
+			t.inUse = true
+			return t
+		}
+	}
+	panic(fmt.Sprintf("dgalois: more than %d exchanges in flight (raise ClusterOptions.MaxInflight)", c.maxInflight))
+}
+
+// resetTallies clears the ticket's per-host trace tallies.
+func (t *PendingExchange) resetTallies() {
+	for i := range t.hostPack {
+		t.hostPack[i] = exchangeTally{}
+		t.hostUnpack[i] = exchangeTally{}
 	}
 }
 
 // emitExchangeEvents publishes the per-host pack/unpack phase events
 // plus the cluster-wide exchange slice. Only hosts that moved data
 // appear, so event content mirrors the message-level accounting.
-func (c *Cluster) emitExchangeEvents(packSeq, unpackSeq int64, start, packEnd, end time.Time) {
-	round := int32(c.roundsC.Load() - c.baseRounds)
-	packBase := start.Sub(c.epoch).Nanoseconds()
-	packDur := packEnd.Sub(start).Nanoseconds()
-	unpackBase := packEnd.Sub(c.epoch).Nanoseconds()
-	unpackDur := end.Sub(packEnd).Nanoseconds()
-	for h := range c.hostPack {
-		if t := &c.hostPack[h]; t.messages > 0 {
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: packSeq, Round: round,
+func (c *Cluster) emitExchangeEvents(t *PendingExchange, completeStart, end time.Time, hidden time.Duration) {
+	round := int32(t.round)
+	packBase := t.start.Sub(c.epoch).Nanoseconds()
+	packDur := t.packEnd.Sub(t.start).Nanoseconds()
+	unpackBase := completeStart.Sub(c.epoch).Nanoseconds()
+	unpackDur := end.Sub(completeStart).Nanoseconds()
+	for h := range t.hostPack {
+		if ht := &t.hostPack[h]; ht.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: t.packSeq, Round: round, Batch: t.batch,
 				Host: int32(h), Phase: obs.PhasePack,
-				Bytes: t.bytes, Messages: t.messages,
-				Dense: t.dense, Sparse: t.sparse, All: t.all,
+				Bytes: ht.bytes, Messages: ht.messages,
+				Dense: ht.dense, Sparse: ht.sparse, All: ht.all,
 				StartNs: packBase, DurNs: packDur})
 		}
 	}
-	for h := range c.hostUnpack {
-		if t := &c.hostUnpack[h]; t.messages > 0 {
-			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: unpackSeq, Round: round,
+	for h := range t.hostUnpack {
+		if ht := &t.hostUnpack[h]; ht.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: t.unpackSeq, Round: round, Batch: t.batch,
 				Host: int32(h), Phase: obs.PhaseUnpack,
-				Bytes: t.bytes, Messages: t.messages,
+				Bytes: ht.bytes, Messages: ht.messages,
 				StartNs: unpackBase, DurNs: unpackDur})
 		}
 	}
-	c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: packSeq, Round: round,
+	c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: t.packSeq, Round: round, Batch: t.batch,
 		Host: -1, Phase: obs.PhaseExchange,
-		StartNs: packBase, DurNs: end.Sub(start).Nanoseconds()})
+		StartNs: packBase, DurNs: end.Sub(t.start).Nanoseconds(),
+		HiddenNs: hidden.Nanoseconds()})
 }
 
 // Exchange performs one communication step: every host produces a
@@ -626,28 +808,85 @@ func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func
 		c.exchangeReliable(pack, unpack)
 		return
 	}
-	packSeq := c.nextSeq()
-	unpackSeq := c.nextSeq()
-	if c.trace != nil {
-		c.resetExchangeTallies()
+	t := c.claimTicket()
+	c.begin(t, pack, unpack)
+	c.complete(t)
+}
+
+// BeginExchange starts a detached exchange: the pack phase runs and
+// every buffer is handed to the transport (remote backends put the
+// bytes on the wire immediately), but the unpack phase is deferred to
+// the returned ticket's Complete. Compute that does not depend on the
+// exchange's incoming data may run between the two — the wire time it
+// covers is tallied as hidden exchange time. At most
+// ClusterOptions.MaxInflight exchanges may be open at once. Under a
+// fault plan the exchange runs synchronously through the reliable
+// delivery loop instead (its step-clocked retransmission is the
+// simulated network's wire time) and the returned ticket's Complete is
+// a no-op.
+func (c *Cluster) BeginExchange(pack func(from, to int, w *gluon.Writer), unpack func(to, from int, data []byte, dec *gluon.Decoder)) *PendingExchange {
+	if c.plan != nil {
+		c.exchangeReliable(pack, unpack)
+		return noopPending
 	}
-	c.curEx = c.exchanges
-	c.exchanges++
-	start := time.Now()
+	t := c.claimTicket()
+	t.detached = true
+	c.begin(t, pack, unpack)
+	return t
+}
+
+// begin runs the pack phase of an exchange under the given ticket and
+// records everything Complete needs to finish it later.
+func (c *Cluster) begin(t *PendingExchange, pack func(from, to int, w *gluon.Writer), unpack func(to, from int, data []byte, dec *gluon.Decoder)) {
+	t.packSeq = c.nextSeq()
+	t.unpackSeq = c.nextSeq()
+	if c.trace != nil {
+		t.resetTallies()
+	}
+	t.ex = c.nextExchangeID()
+	t.round = c.roundsC.Load() - c.baseRounds
+	t.batch = c.eventBatch
+	c.curEx = t.ex
+	c.curWriters = t.writers
+	c.curPack = t.hostPack
+	t.start = time.Now()
 	c.runPackPhase(pack)
-	packEnd := time.Now()
+	t.packEnd = time.Now()
 	c.checkExchangeErr()
-	c.unpackFn = unpack
+	t.unpack = unpack
+}
+
+// complete runs the unpack phase of a begun exchange and retires its
+// ticket.
+func (c *Cluster) complete(t *PendingExchange) {
+	completeStart := time.Now()
+	c.curEx = t.ex
+	c.curUnpack = t.hostUnpack
+	c.unpackFn = t.unpack
 	c.pool.runAll(c.hosts, c.unpackTaskFn)
 	c.unpackFn = nil
+	t.unpack = nil
 	end := time.Now()
-	wall := end.Sub(start)
+	var hidden time.Duration
+	if t.detached {
+		// The gap between the pack finishing and Complete being called
+		// was covered by the caller's own compute: exchange wait the
+		// pipeline hid. Only the pack and unpack phases themselves count
+		// as non-overlapped communication.
+		if hidden = completeStart.Sub(t.packEnd); hidden < 0 {
+			hidden = 0
+		}
+	}
+	wall := t.packEnd.Sub(t.start) + end.Sub(completeStart)
 	c.commWall += wall
+	c.hiddenWall += hidden
 	c.commHist.Observe(wall.Seconds())
 	if c.trace != nil {
-		c.emitExchangeEvents(packSeq, unpackSeq, start, packEnd, end)
-		c.emitNetTransportEvent(unpackSeq, start, end)
+		c.emitExchangeEvents(t, completeStart, end, hidden)
+		c.emitNetTransportEvent(t.unpackSeq, t.batch, t.start, end)
 	}
+	t.detached = false
+	t.inUse = false
 	c.checkExchangeErr()
 }
 
@@ -656,7 +895,7 @@ func (c *Cluster) Exchange(pack func(from, to int, w *gluon.Writer), unpack func
 // and recovery-work deltas aggregated over the local host's outgoing
 // channels. The in-process backend emits nothing here, keeping the
 // canonical golden trace byte-identical to the pre-transport substrate.
-func (c *Cluster) emitNetTransportEvent(seq int64, start, end time.Time) {
+func (c *Cluster) emitNetTransportEvent(seq int64, batch int32, start, end time.Time) {
 	if c.localHost < 0 {
 		return
 	}
@@ -673,7 +912,7 @@ func (c *Cluster) emitNetTransportEvent(seq int64, start, end time.Time) {
 	d.Retries -= last.Retries
 	d.RetryBytes -= last.RetryBytes
 	d.Redials -= last.Redials
-	c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: seq,
+	c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: seq, Batch: batch,
 		Round: int32(c.roundsC.Load() - c.baseRounds), Host: int32(c.localHost),
 		Backend:    c.transport.Backend(),
 		Bytes:      d.Bytes,
@@ -697,6 +936,7 @@ type Stats struct {
 	Messages       int64         // inter-host buffers exchanged (paper model)
 	ComputeTime    time.Duration // max total compute time across hosts
 	CommTime       time.Duration // non-overlapped communication wall time
+	HiddenTime     time.Duration // exchange wait hidden behind pipelined compute
 	ExecutionTime  time.Duration // ComputeTime + CommTime
 	LoadImbalance  float64       // mean over rounds of max/mean over participating hosts
 	PerHostCompute []time.Duration
@@ -734,6 +974,7 @@ func (c *Cluster) Stats() Stats {
 		Messages:      c.messagesC.Load() - c.baseMessages,
 		ComputeTime:   maxCompute,
 		CommTime:      c.commWall,
+		HiddenTime:    c.hiddenWall,
 		LoadImbalance: imb,
 		Encoding: gluon.EncodingCounts{
 			Dense:  c.encDenseC.Load() - c.baseEnc.Dense,
@@ -763,6 +1004,7 @@ func (s *Stats) Add(o Stats) {
 	s.Messages += o.Messages
 	s.ComputeTime += o.ComputeTime
 	s.CommTime += o.CommTime
+	s.HiddenTime += o.HiddenTime
 	s.ExecutionTime += o.ExecutionTime
 	s.Encoding.Add(o.Encoding)
 	if s.Hosts == 0 {

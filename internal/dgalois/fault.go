@@ -204,6 +204,14 @@ func faultErrorFrom(err error) *FaultError {
 // converts it back into an error at the run boundary.
 type abortPanic struct{ err *FaultError }
 
+// Abort unwinds the calling BSP driver with the given structured error,
+// exactly as a failed exchange would; the nearest Capture converts it
+// back into the error. The pipelined batch runner uses it to take every
+// batch goroutine down the same abort path once one of them failed.
+func Abort(err *FaultError) {
+	panic(abortPanic{err: err})
+}
+
 // Capture runs fn and converts a transport abort into its FaultError.
 // Any other panic propagates unchanged.
 func Capture(fn func()) (err error) {

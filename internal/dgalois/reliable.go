@@ -63,18 +63,29 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	// The reliable path consumes exactly as many phase sequence numbers
 	// as the perfect path (pack, then unpack; the transport event rides
 	// on the unpack seq), so the paper-model event stream of a faulty
-	// run lines up event-for-event with the fault-free run's.
-	packSeq := c.nextSeq()
-	unpackSeq := c.nextSeq()
+	// run lines up event-for-event with the fault-free run's. It claims
+	// an exchange ticket like the perfect path but stays fully
+	// synchronous, and its exchange indices stay globally sequential
+	// even inside a batch stream — stall schedules key on them.
+	t := c.claimTicket()
+	t.packSeq = c.nextSeq()
+	t.unpackSeq = c.nextSeq()
 	if c.trace != nil {
-		c.resetExchangeTallies()
+		t.resetTallies()
 	}
+	t.round = c.roundsC.Load() - c.baseRounds
+	t.batch = c.eventBatch
 	fBefore := c.faults
 	start := time.Now()
+	t.start = start
 	p := c.plan
 	ex := c.exchanges
 	c.exchanges++
+	t.ex = ex
 	c.curEx = ex
+	c.curWriters = t.writers
+	c.curPack = t.hostPack
+	c.curUnpack = t.hostUnpack
 
 	// Pack phase: the same pair-parallel pooled-writer loop as the
 	// fault-free path, which also does the paper-model volume
@@ -85,6 +96,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	// up for framed, faulted redelivery.
 	c.runPackPhase(pack)
 	packEnd := time.Now()
+	t.packEnd = packEnd
 
 	// Frame every non-empty buffer. EncodeFrame copies the payload, so
 	// the pooled writers are free for the next exchange regardless of
@@ -92,7 +104,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	var chans []*reliableChannel
 	for from := 0; from < c.hosts; from++ {
 		for to := 0; to < c.hosts; to++ {
-			buf := c.mem.Buffered(from, to)
+			buf := c.mem.Buffered(ex, from, to)
 			if len(buf) == 0 {
 				continue
 			}
@@ -238,8 +250,8 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 					// verified), so receiver tallies match the fault-free
 					// run exactly. Delivery runs on the coordinator, so no
 					// atomics are needed here.
-					c.hostUnpack[ch.to].bytes += int64(len(payload))
-					c.hostUnpack[ch.to].messages++
+					c.curUnpack[ch.to].bytes += int64(len(payload))
+					c.curUnpack[ch.to].messages++
 				}
 			}
 			// Ack travels back unless faulted or the sender is deaf; a
@@ -261,6 +273,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 		}
 	}
 
+	c.mem.Reclaim(ex)
 	c.faults.DeliverySteps += int64(step)
 	if step > c.faults.MaxDeliverySteps {
 		c.faults.MaxDeliverySteps = step
@@ -270,13 +283,13 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	c.commWall += wall
 	c.commHist.Observe(wall.Seconds())
 	if c.trace != nil {
-		c.emitExchangeEvents(packSeq, unpackSeq, start, packEnd, end)
+		c.emitExchangeEvents(t, packEnd, end, 0)
 		f := &c.faults
 		injected := (f.Drops - fBefore.Drops) + (f.Dups - fBefore.Dups) +
 			(f.Delays - fBefore.Delays) + (f.Truncations - fBefore.Truncations) +
 			(f.Corruptions - fBefore.Corruptions) + (f.Reorders - fBefore.Reorders) +
 			(f.AckDrops - fBefore.AckDrops)
-		c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: unpackSeq,
+		c.trace.Emit(obs.Event{Kind: obs.KindTransport, Seq: t.unpackSeq, Batch: t.batch,
 			Round: int32(c.roundsC.Load()), Host: -1,
 			Retries:     f.RetryMessages - fBefore.RetryMessages,
 			RetryBytes:  f.RetryBytes - fBefore.RetryBytes,
@@ -289,6 +302,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 			StartNs:     start.Sub(c.epoch).Nanoseconds(),
 			DurNs:       wall.Nanoseconds()})
 	}
+	t.inUse = false
 }
 
 // deadlineError builds the structured error for an exchange that could

@@ -103,9 +103,11 @@ type TCPTransport struct {
 }
 
 type exchangeBox struct {
-	bufs [][]byte
-	got  []bool
-	n    int // peers heard from
+	bufs   [][]byte
+	got    []bool
+	n      int    // peers heard from
+	taken  []bool // consumed by GatherFrom
+	nTaken int
 }
 
 type reduceCell struct {
@@ -223,6 +225,56 @@ func (t *TCPTransport) Gather(exchange, to int) ([][]byte, error) {
 			host, pending := t.firstMissing(exchange)
 			return nil, &TransportError{Host: host, Exchange: exchange, Pending: pending, Steps: steps,
 				Reason: "stall deadline exceeded waiting for exchange messages"}
+		}
+	}
+}
+
+// GatherFrom returns one sender's payload for the exchange as soon as
+// it arrives (the Streamer interface): the per-sender half of Gather,
+// letting the caller unpack early peers while late peers' bytes are
+// still in flight. The exchange's box is released once every remote
+// sender has been consumed this way.
+func (t *TCPTransport) GatherFrom(exchange, to, from int) ([]byte, error) {
+	if to != t.self {
+		return nil, fmt.Errorf("gluon: tcp GatherFrom for non-local host %d (self %d)", to, t.self)
+	}
+	if from == to || t.hosts == 1 {
+		return nil, nil
+	}
+	if from < 0 || from >= t.hosts {
+		return nil, fmt.Errorf("gluon: tcp GatherFrom from invalid host %d", from)
+	}
+	steps := 0
+	for {
+		t.mu.Lock()
+		box := t.boxes[exchange]
+		if box != nil && box.got[from] {
+			buf := box.bufs[from]
+			if !box.taken[from] {
+				box.taken[from] = true
+				box.nTaken++
+				if box.nTaken == t.hosts-1 {
+					delete(t.boxes, exchange)
+				}
+			}
+			t.mu.Unlock()
+			return buf, nil
+		}
+		t.mu.Unlock()
+		if err := t.peerError(); err != nil {
+			return nil, err
+		}
+		select {
+		case <-t.progress:
+			steps = 0
+		case <-time.After(t.opts.StepInterval):
+			steps++
+		case <-t.closed:
+			return nil, &TransportError{Host: from, Exchange: exchange, Steps: steps, Reason: "transport closed"}
+		}
+		if steps > t.opts.DeadlineSteps {
+			return nil, &TransportError{Host: from, Exchange: exchange, Pending: 1, Steps: steps,
+				Reason: "stall deadline exceeded waiting for exchange message"}
 		}
 	}
 }
@@ -503,7 +555,7 @@ func (t *TCPTransport) dispatchLocked(from int, body []byte) {
 		ex := int(binary.LittleEndian.Uint32(body[1:]))
 		box := t.boxes[ex]
 		if box == nil {
-			box = &exchangeBox{bufs: make([][]byte, t.hosts), got: make([]bool, t.hosts)}
+			box = &exchangeBox{bufs: make([][]byte, t.hosts), got: make([]bool, t.hosts), taken: make([]bool, t.hosts)}
 			t.boxes[ex] = box
 		}
 		if box.got[from] {

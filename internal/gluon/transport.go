@@ -21,12 +21,17 @@ import (
 // Contract, shared by all backends (pinned by the conformance test in
 // transport_conformance_test.go):
 //
-//   - Exchanges are numbered 0,1,2,… by the caller and run in lockstep:
-//     a host sends exactly one message to every other host per exchange
-//     (an empty buffer is the explicit "nothing this exchange" marker),
-//     and calls Gather for the same exchange afterwards. A host never
-//     sends exchange e+1 before its Gather of exchange e returned, so a
-//     backend must buffer at most one exchange ahead.
+//   - Exchanges carry caller-chosen, pairwise-distinct int identifiers
+//     (the non-pipelined cluster numbers them 0,1,2,…; the pipelined
+//     cluster tags them with a per-batch stream). Within one exchange a
+//     host sends exactly one message to every other host (an empty
+//     buffer is the explicit "nothing this exchange" marker) and
+//     gathers the same exchange afterwards. Callers may hold a bounded
+//     window of exchanges open concurrently — sent but not yet fully
+//     gathered — and every host must observe the same window bound. The
+//     in-process backend's window is fixed at construction
+//     (NewMemTransportWindow); the TCP backend buffers per-exchange
+//     boxes on demand.
 //   - Send is only valid for local `from` hosts; Gather only for local
 //     `to` hosts. The buffer passed to Send must stay valid until the
 //     receiving side's Gather of the same exchange returns (remote
@@ -34,7 +39,9 @@ import (
 //     through).
 //   - Gather returns the payloads indexed by sender (entry `to` and
 //     empty-marker entries have length 0); the returned slice is valid
-//     until the next Gather for the same receiver. Remote backends
+//     until the exchange's buffer slot is reused, which cannot happen
+//     before the caller opens a new exchange after every receiver of
+//     this one gathered. Remote backends
 //     block until every peer's message arrived or the stall deadline
 //     expires; the in-process backend relies on the caller's BSP
 //     barrier instead (all Sends of the exchange complete before any
@@ -72,6 +79,23 @@ type Transport interface {
 	// Close releases the backend's resources (sockets, goroutines).
 	// Safe to call more than once.
 	Close() error
+}
+
+// Streamer is the optional per-sender gather a backend can offer: it
+// returns one sender's payload for an exchange as soon as that sender's
+// message arrives, instead of blocking for the whole exchange. The
+// cluster substrate uses it to start unpacking early-arriving peers
+// while slower peers' bytes are still in flight — the apply order stays
+// the deterministic sender order (the substrate always consumes senders
+// 0..hosts-1 in order), only the waiting overlaps.
+//
+// For a given (exchange, to) a caller must use either Gather or
+// GatherFrom, never both, and must call GatherFrom exactly once per
+// remote sender. GatherFrom(e, to, to) returns (nil, nil) without
+// consuming anything. The returned payload follows Gather's validity
+// rule.
+type Streamer interface {
+	GatherFrom(exchange, to, from int) ([]byte, error)
 }
 
 // ChannelStats counts one directed channel's transport activity.
@@ -163,9 +187,13 @@ func (e *TransportError) Error() string {
 // accounting the cluster derives from it is byte-identical to the
 // pre-interface code.
 type MemTransport struct {
-	hosts int
-	// inbox[to][from]: the current exchange's buffer on each channel.
-	inbox [][][]byte
+	hosts  int
+	window int
+	// slots hold the inbox matrices of the concurrently-open exchanges.
+	// Slot claim/free is guarded by mu; the inbox cells themselves are
+	// written lock-free (distinct (from, to) pairs never share a cell).
+	mu    sync.Mutex
+	slots []memSlot
 	// stats[from*hosts+to], written only by the (from, to) pack task —
 	// distinct channels never share a slot, so plain fields race-free
 	// under the caller's BSP barrier.
@@ -174,20 +202,88 @@ type MemTransport struct {
 	reduce memReduce
 }
 
+// memSlot is one open exchange's preallocated inbox matrix. id is the
+// exchange identifier, -1 when free. A slot is released once every
+// receiver gathered (or the caller reclaimed the exchange); the inbox
+// cells are left in place — every remote channel is re-sent before the
+// next gather of a reusing exchange, and diagonal cells stay nil.
+type memSlot struct {
+	id int
+	// inbox[to][from]: the exchange's buffer on each channel.
+	inbox    [][][]byte
+	gathered []bool
+	n        int
+}
+
 // NewMemTransport returns an in-process transport for the given host
-// count.
+// count with a single-exchange window (the classic BSP lockstep).
 func NewMemTransport(hosts int) *MemTransport {
+	return NewMemTransportWindow(hosts, 1)
+}
+
+// NewMemTransportWindow returns an in-process transport that can hold
+// up to window exchanges open (sent but not yet fully gathered) at
+// once. All slot storage is preallocated: the steady-state exchange
+// path stays allocation-free at any window.
+func NewMemTransportWindow(hosts, window int) *MemTransport {
 	if hosts <= 0 {
 		panic(fmt.Sprintf("gluon: invalid host count %d", hosts))
 	}
-	m := &MemTransport{hosts: hosts}
-	m.inbox = make([][][]byte, hosts)
-	for to := range m.inbox {
-		m.inbox[to] = make([][]byte, hosts)
+	if window <= 0 {
+		panic(fmt.Sprintf("gluon: invalid exchange window %d", window))
+	}
+	m := &MemTransport{hosts: hosts, window: window}
+	m.slots = make([]memSlot, window)
+	for i := range m.slots {
+		s := &m.slots[i]
+		s.id = -1
+		s.inbox = make([][][]byte, hosts)
+		for to := range s.inbox {
+			s.inbox[to] = make([][]byte, hosts)
+		}
+		s.gathered = make([]bool, hosts)
 	}
 	m.stats = make([]ChannelStats, hosts*hosts)
 	m.reduce.init(hosts)
 	return m
+}
+
+// Window returns the number of exchanges the transport can hold open
+// concurrently.
+func (m *MemTransport) Window() int { return m.window }
+
+// slotFor returns the slot holding exchange, claiming a free one when
+// claim is set and the exchange has no slot yet.
+func (m *MemTransport) slotFor(exchange int, claim bool) *memSlot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var free *memSlot
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.id == exchange {
+			return s
+		}
+		if free == nil && s.id == -1 {
+			free = s
+		}
+	}
+	if !claim {
+		return nil
+	}
+	if free == nil {
+		panic(fmt.Sprintf("gluon: exchange %d exceeds the in-process window of %d open exchanges", exchange, m.window))
+	}
+	free.id = exchange
+	return free
+}
+
+// releaseLocked returns a slot to the free pool. Caller holds m.mu.
+func (s *memSlot) releaseLocked() {
+	s.id = -1
+	s.n = 0
+	for i := range s.gathered {
+		s.gathered[i] = false
+	}
 }
 
 // Hosts returns the cluster size.
@@ -205,7 +301,8 @@ func (m *MemTransport) Backend() string { return "inproc" }
 // Gather of this exchange returns (the BSP barrier guarantees the
 // writer is not reused before then).
 func (m *MemTransport) Send(exchange, from, to int, buf []byte) error {
-	m.inbox[to][from] = buf
+	slot := m.slotFor(exchange, true)
+	slot.inbox[to][from] = buf
 	s := &m.stats[from*m.hosts+to]
 	if len(buf) > 0 {
 		s.Messages++
@@ -218,16 +315,48 @@ func (m *MemTransport) Send(exchange, from, to int, buf []byte) error {
 
 // Gather returns the exchange's buffers addressed to host `to`, indexed
 // by sender. It never blocks: the in-process caller's BSP barrier has
-// already sequenced every Send before the first Gather.
+// already sequenced every Send before the first Gather. Once every
+// receiver gathered, the exchange's slot returns to the free pool.
 func (m *MemTransport) Gather(exchange, to int) ([][]byte, error) {
-	return m.inbox[to], nil
+	slot := m.slotFor(exchange, true)
+	bufs := slot.inbox[to]
+	m.mu.Lock()
+	if !slot.gathered[to] {
+		slot.gathered[to] = true
+		slot.n++
+		if slot.n == m.hosts {
+			slot.releaseLocked()
+		}
+	}
+	m.mu.Unlock()
+	return bufs, nil
 }
 
-// Buffered returns the buffer currently held on the (from → to)
+// Buffered returns the buffer held on the exchange's (from → to)
 // channel. The reliable (fault-plan) exchange path of internal/dgalois
 // uses it to pick up the packed payloads it frames and delivers through
-// its simulated lossy network.
-func (m *MemTransport) Buffered(from, to int) []byte { return m.inbox[to][from] }
+// its simulated lossy network; it pairs with Reclaim instead of Gather.
+func (m *MemTransport) Buffered(exchange, from, to int) []byte {
+	slot := m.slotFor(exchange, false)
+	if slot == nil {
+		return nil
+	}
+	return slot.inbox[to][from]
+}
+
+// Reclaim releases an exchange's buffer slot without gathering it, for
+// callers (the reliable exchange path) that consume the buffers through
+// Buffered instead.
+func (m *MemTransport) Reclaim(exchange int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.slots {
+		if s := &m.slots[i]; s.id == exchange {
+			s.releaseLocked()
+			return
+		}
+	}
+}
 
 // AllReduce folds one value per host across all hosts. Unlike Send and
 // Gather it is a genuine rendezvous — callers block until every host

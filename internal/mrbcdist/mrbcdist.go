@@ -8,11 +8,15 @@
 //
 // Sources are processed in batches of k (the batch size studied in
 // Figure 1); each batch costs at most k + H forward rounds and the
-// same again backward (Lemma 8).
+// same again backward (Lemma 8). With Options.PipelineDepth > 1 the
+// batches are software-pipelined (pipeline.go): while one batch's
+// exchange is on the wire, another batch computes — scores and the
+// model trace stay bitwise identical to the serial loop.
 package mrbcdist
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"mrbc/internal/core"
@@ -94,6 +98,18 @@ type Options struct {
 	// per (batch, host, worker) and feed the mrbc_worker_* registry
 	// counters behind /progressz and `bctrace imbalance -per-worker`.
 	EngineWorkers int
+	// PipelineDepth software-pipelines source batches: up to this many
+	// batches run concurrently, each handing the cluster to the next
+	// while its own exchange's bytes are on the wire (see pipeline.go).
+	// 0 or 1 run the strictly serial batch loop — the default, with
+	// traces and stats byte-identical to prior releases. Scores and the
+	// model-event stream are independent of the depth: batches retire
+	// in index order, replaying the serial floating-point fold exactly.
+	// The depth is clamped to the number of batches. A caller-provided
+	// in-process Transport must have a window of at least this depth
+	// (gluon.NewMemTransportWindow); SPMD processes of one job must
+	// agree on the depth.
+	PipelineDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +120,18 @@ func (o Options) withDefaults() Options {
 		o.BatchSize = maxBatch
 	}
 	return o
+}
+
+// pipelineDepth clamps the configured depth to [1, number of batches].
+func pipelineDepth(opts Options, nSources int) int {
+	d := opts.PipelineDepth
+	if d < 1 {
+		d = 1
+	}
+	if n := (nSources + opts.BatchSize - 1) / opts.BatchSize; n > 0 && d > n {
+		d = n
+	}
+	return d
 }
 
 type hostState struct {
@@ -197,19 +225,25 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 			panic(fmt.Sprintf("mrbcdist: source %d out of range [0,%d)", s, n))
 		}
 	}
+	depth := pipelineDepth(opts, len(sources))
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
-		Plan:      opts.Fault,
-		Trace:     opts.Trace,
-		Metrics:   opts.Metrics,
-		Workers:   opts.Workers,
-		Transport: opts.Transport,
+		Plan:        opts.Fault,
+		Trace:       opts.Trace,
+		Metrics:     opts.Metrics,
+		Workers:     opts.Workers,
+		Transport:   opts.Transport,
+		MaxInflight: depth,
 	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	scores := make([]float64, n)
 	prog := newProgressGauges(opts.Metrics)
 	err := dgalois.Capture(func() {
+		if depth > 1 {
+			runPipelined(cluster, topo, pt, sources, scores, opts, depth, prog)
+			return
+		}
 		for start, bi := 0, 0; start < len(sources); start, bi = start+opts.BatchSize, bi+1 {
 			end := start + opts.BatchSize
 			if end > len(sources) {
@@ -221,12 +255,10 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 	return scores, cluster.Stats(), err
 }
 
-func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options, bi int, prog progressGauges) {
+// makeStates builds one batch's per-host engine state in a single BSP
+// compute phase (shared by the serial and pipelined batch runners).
+func makeStates(cluster *dgalois.Cluster, pt *partition.Partitioning, batch []uint32, opts Options) []*hostState {
 	k := len(batch)
-	tr := opts.Trace
-	prog.batch.Set(int64(bi))
-	prog.round.Set(0)
-	prog.backward.Set(0)
 	states := make([]*hostState, pt.NumHosts)
 	cluster.Compute(func(h int) {
 		p := pt.Parts[h]
@@ -259,85 +291,104 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 		}
 		states[h] = st
 	})
-	// Worker pools must not leak even when a fault plan panics the run
-	// out of the batch loop.
-	defer func() {
-		for _, st := range states {
-			if st != nil && st.runner != nil {
-				st.runner.Close()
-			}
-		}
-	}()
+	return states
+}
 
-	// ---- Forward phase (Algorithm 3 as BSP rounds). ----
-	R := 0
-	for r := 1; ; r++ {
-		cluster.BeginRound()
-		var activity int64
-		cluster.Compute(func(h int) {
-			st := states[h]
-			st.flags = st.engine.ForwardFlags(r, st.flags[:0])
-			st.synced = st.synced[:0]
-			clear(st.flagSet)
-			clear(st.flagByV)
-			clear(st.bcastByV)
-			for _, f := range st.flags {
-				st.flagByV[f.V] = f
-			}
-			p := int64(len(st.flags))
-			if st.engine.PendingUnsent() {
-				p++
-			}
-			atomic.AddInt64(&activity, p)
-		})
-		// Global quiescence: in SPMD mode the local sum is only this
-		// host's share, so fold across processes (identity in-process).
-		activity = cluster.AllReduce(activity, gluon.ReduceSum)
-		prog.round.Set(int64(r))
-		prog.frontier.Set(activity)
-		if activity == 0 {
-			break
-		}
-		R = r
-		syncForward(cluster, topo, states, r, tr, bi)
-		// Compute phase B: relax the synchronized entries locally —
-		// through the host's work-stealing runner when EngineWorkers
-		// fanned one out, serially otherwise. Only CandidateSync
-		// disseminates the distance candidates the relaxations create, so
-		// only it pays to collect them; ArbitrationSync uses the
-		// allocation-free local path.
-		cluster.Compute(func(h int) {
-			st := states[h]
-			st.cands = st.cands[:0]
-			for k := range st.candSet {
-				delete(st.candSet, k)
-			}
-			switch {
-			case st.runner != nil && opts.Sync == CandidateSync:
-				st.cands = st.runner.RelaxAllCandidates(st.synced, st.cands)
-			case st.runner != nil:
-				st.runner.RelaxAll(st.synced)
-			case opts.Sync == CandidateSync:
-				for _, f := range st.synced {
-					st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
-				}
-			default:
-				for _, f := range st.synced {
-					st.engine.RelaxOutLocal(f.V, f.Src)
-				}
-			}
-		})
-		// In CandidateSync mode, additionally disseminate candidate
-		// distances so every proxy's ordered list stays identical to
-		// the CONGEST list (ArbitrationSync instead resolves schedule
-		// ties at the master).
-		if opts.Sync == CandidateSync {
-			syncCandidates(cluster, topo, states)
+// closeRunners releases the per-host worker pools of a batch's states.
+func closeRunners(states []*hostState) {
+	for _, st := range states {
+		if st != nil && st.runner != nil {
+			st.runner.Close()
 		}
 	}
+}
 
-	// ---- Backward phase (Algorithm 5 as BSP rounds). ----
-	cluster.Compute(func(h int) { states[h].engine.StartBackward(R) })
+// forwardFlagsFn is compute phase A of a forward round: collect the
+// round's due flags, rebuild the pack lookup tables, and fold this
+// host's activity (due pairs + pending entries) into *activity.
+func forwardFlagsFn(states []*hostState, r int, activity *int64) func(h int) {
+	return func(h int) {
+		st := states[h]
+		st.flags = st.engine.ForwardFlags(r, st.flags[:0])
+		st.synced = st.synced[:0]
+		clear(st.flagSet)
+		clear(st.flagByV)
+		clear(st.bcastByV)
+		for _, f := range st.flags {
+			st.flagByV[f.V] = f
+		}
+		p := int64(len(st.flags))
+		if st.engine.PendingUnsent() {
+			p++
+		}
+		atomic.AddInt64(activity, p)
+	}
+}
+
+// relaxFn is compute phase B of a forward round: relax the synchronized
+// entries locally — through the host's work-stealing runner when
+// EngineWorkers fanned one out, serially otherwise. Only CandidateSync
+// disseminates the distance candidates the relaxations create, so only
+// it pays to collect them; ArbitrationSync uses the allocation-free
+// local path.
+func relaxFn(states []*hostState, sync SyncMode) func(h int) {
+	return func(h int) {
+		st := states[h]
+		st.cands = st.cands[:0]
+		for k := range st.candSet {
+			delete(st.candSet, k)
+		}
+		switch {
+		case st.runner != nil && sync == CandidateSync:
+			st.cands = st.runner.RelaxAllCandidates(st.synced, st.cands)
+		case st.runner != nil:
+			st.runner.RelaxAll(st.synced)
+		case sync == CandidateSync:
+			for _, f := range st.synced {
+				st.cands = st.engine.RelaxOut(f.V, f.Src, st.cands)
+			}
+		default:
+			for _, f := range st.synced {
+				st.engine.RelaxOutLocal(f.V, f.Src)
+			}
+		}
+	}
+}
+
+// backwardFlagsFn collects one backward round's due flags and rebuilds
+// the pack lookup tables.
+func backwardFlagsFn(states []*hostState, r int) func(h int) {
+	return func(h int) {
+		st := states[h]
+		st.flags = st.engine.BackwardFlags(r, st.flags[:0])
+		st.synced = st.synced[:0]
+		clear(st.flagSet)
+		clear(st.flagByV)
+		clear(st.bcastByV)
+		for _, f := range st.flags {
+			st.flagByV[f.V] = f
+		}
+	}
+}
+
+// accumulateFn folds one backward round's synchronized dependencies
+// into the predecessors' δ partials.
+func accumulateFn(states []*hostState) func(h int) {
+	return func(h int) {
+		st := states[h]
+		if st.runner != nil {
+			st.runner.AccumulateAll(st.synced)
+			return
+		}
+		for _, f := range st.synced {
+			st.engine.AccumulateIn(f.V, f.Src)
+		}
+	}
+}
+
+// localBackwardRounds returns the deepest local host's backward round
+// count (the all-reduce folds it across processes).
+func localBackwardRounds(states []*hostState) int {
 	maxBack := 0
 	for _, st := range states {
 		if st == nil {
@@ -347,79 +398,51 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 			maxBack = b
 		}
 	}
-	// Every process must run the same number of backward rounds — the
-	// deepest host's (identity in-process).
-	maxBack = int(cluster.AllReduce(int64(maxBack), gluon.ReduceMax))
-	prog.backward.Set(1)
-	for r := 1; r <= maxBack; r++ {
-		cluster.BeginRound()
-		prog.round.Set(int64(r))
-		cluster.Compute(func(h int) {
-			st := states[h]
-			st.flags = st.engine.BackwardFlags(r, st.flags[:0])
-			st.synced = st.synced[:0]
-			clear(st.flagSet)
-			clear(st.flagByV)
-			clear(st.bcastByV)
-			for _, f := range st.flags {
-				st.flagByV[f.V] = f
-			}
-		})
-		syncBackward(cluster, topo, states, r, tr, bi)
-		cluster.Compute(func(h int) {
-			st := states[h]
-			if st.runner != nil {
-				st.runner.AccumulateAll(st.synced)
-				return
-			}
-			for _, f := range st.synced {
-				st.engine.AccumulateIn(f.V, f.Src)
-			}
-		})
-	}
+	return maxBack
+}
 
-	// One summary event per batch: K sources, R forward rounds, maxBack
-	// backward rounds — the inputs of the Lemma 8 bound
-	// fwd + back + 1 ≤ 2(k+H) + 1 the trace harness checks.
-	if tr.Enabled() {
-		tr.Emit(obs.Event{Kind: obs.KindBatch, Batch: int32(bi), Host: -1,
-			K: int32(k), FwdRounds: int32(R), BackRounds: int32(maxBack)})
+// emitWorkerStats publishes the per-worker scheduler counters of one
+// finished batch: one worker event per (batch, host, worker) for
+// `bctrace imbalance -per-worker`, and cumulative registry counters
+// (flat index host·EngineWorkers+worker) for the live /progressz
+// intra-host skew view. Runner pools are per-batch, so WorkerStats here
+// is exactly this batch's tally.
+func emitWorkerStats(states []*hostState, opts Options, bi int) {
+	if opts.EngineWorkers <= 1 {
+		return
 	}
-
-	// Per-worker scheduler counters: one worker event per
-	// (batch, host, worker) for `bctrace imbalance -per-worker`, and
-	// cumulative registry counters (flat index host·EngineWorkers+worker)
-	// for the live /progressz intra-host skew view. Runner pools are
-	// per-batch, so WorkerStats here is exactly this batch's tally.
-	if opts.EngineWorkers > 1 {
-		var tasksVec, stealsVec *obs.CounterVec
-		if opts.Metrics != nil {
-			nw := len(states) * opts.EngineWorkers
-			tasksVec = opts.Metrics.CounterVec("mrbc_worker_tasks_total", "worker", nw)
-			stealsVec = opts.Metrics.CounterVec("mrbc_worker_steals_total", "worker", nw)
+	tr := opts.Trace
+	var tasksVec, stealsVec *obs.CounterVec
+	if opts.Metrics != nil {
+		nw := len(states) * opts.EngineWorkers
+		tasksVec = opts.Metrics.CounterVec("mrbc_worker_tasks_total", "worker", nw)
+		stealsVec = opts.Metrics.CounterVec("mrbc_worker_steals_total", "worker", nw)
+	}
+	for h, st := range states {
+		if st == nil || st.runner == nil {
+			continue
 		}
-		for h, st := range states {
-			if st == nil || st.runner == nil {
-				continue
+		for w, ws := range st.runner.WorkerStats() {
+			if tr.Enabled() {
+				tr.Emit(obs.Event{Kind: obs.KindWorker, Batch: int32(bi),
+					Host: int32(h), Worker: int32(w),
+					Tasks: ws.Tasks, Steals: ws.Steals,
+					FailedSteals: ws.FailedSteals, Flushes: ws.Flushes})
 			}
-			for w, ws := range st.runner.WorkerStats() {
-				if tr.Enabled() {
-					tr.Emit(obs.Event{Kind: obs.KindWorker, Batch: int32(bi),
-						Host: int32(h), Worker: int32(w),
-						Tasks: ws.Tasks, Steals: ws.Steals,
-						FailedSteals: ws.FailedSteals, Flushes: ws.Flushes})
-				}
-				if tasksVec != nil {
-					tasksVec.At(h*opts.EngineWorkers + w).Add(ws.Tasks)
-					stealsVec.At(h*opts.EngineWorkers + w).Add(ws.Steals)
-				}
+			if tasksVec != nil {
+				tasksVec.At(h*opts.EngineWorkers + w).Add(ws.Tasks)
+				stealsVec.At(h*opts.EngineWorkers + w).Add(ws.Steals)
 			}
 		}
 	}
+}
 
-	// Fold master dependencies into the global scores (only the local
-	// hosts' masters in SPMD mode: the per-process vectors are disjoint
-	// and sum to the full scores).
+// foldScores folds one finished batch's master dependencies into the
+// global scores (only the local hosts' masters in SPMD mode: the
+// per-process vectors are disjoint and sum to the full scores). The
+// iteration order — hosts ascending, then local vertices, then batch
+// index — is the floating-point fold order both batch runners replay.
+func foldScores(states []*hostState, batch []uint32, scores []float64) {
 	for _, st := range states {
 		if st == nil {
 			continue
@@ -438,6 +461,68 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 	}
 }
 
+func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Partitioning, batch []uint32, scores []float64, opts Options, bi int, prog progressGauges) {
+	k := len(batch)
+	tr := opts.Trace
+	prog.batch.Set(int64(bi))
+	prog.round.Set(0)
+	prog.backward.Set(0)
+	states := makeStates(cluster, pt, batch, opts)
+	// Worker pools must not leak even when a fault plan panics the run
+	// out of the batch loop.
+	defer closeRunners(states)
+
+	// ---- Forward phase (Algorithm 3 as BSP rounds). ----
+	R := 0
+	for r := 1; ; r++ {
+		cluster.BeginRound()
+		var activity int64
+		cluster.Compute(forwardFlagsFn(states, r, &activity))
+		// Global quiescence: in SPMD mode the local sum is only this
+		// host's share, so fold across processes (identity in-process).
+		activity = cluster.AllReduce(activity, gluon.ReduceSum)
+		prog.round.Set(int64(r))
+		prog.frontier.Set(activity)
+		if activity == 0 {
+			break
+		}
+		R = r
+		syncForward(cluster, topo, states, r, tr, bi)
+		cluster.Compute(relaxFn(states, opts.Sync))
+		// In CandidateSync mode, additionally disseminate candidate
+		// distances so every proxy's ordered list stays identical to
+		// the CONGEST list (ArbitrationSync instead resolves schedule
+		// ties at the master).
+		if opts.Sync == CandidateSync {
+			syncCandidates(cluster, topo, states)
+		}
+	}
+
+	// ---- Backward phase (Algorithm 5 as BSP rounds). ----
+	cluster.Compute(func(h int) { states[h].engine.StartBackward(R) })
+	// Every process must run the same number of backward rounds — the
+	// deepest host's (identity in-process).
+	maxBack := int(cluster.AllReduce(int64(localBackwardRounds(states)), gluon.ReduceMax))
+	prog.backward.Set(1)
+	for r := 1; r <= maxBack; r++ {
+		cluster.BeginRound()
+		prog.round.Set(int64(r))
+		cluster.Compute(backwardFlagsFn(states, r))
+		syncBackward(cluster, topo, states, r, tr, bi)
+		cluster.Compute(accumulateFn(states))
+	}
+
+	// One summary event per batch: K sources, R forward rounds, maxBack
+	// backward rounds — the inputs of the Lemma 8 bound
+	// fwd + back + 1 ≤ 2(k+H) + 1 the trace harness checks.
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.KindBatch, Batch: int32(bi), Host: -1,
+			K: int32(k), FwdRounds: int32(R), BackRounds: int32(maxBack)})
+	}
+	emitWorkerStats(states, opts, bi)
+	foldScores(states, batch, scores)
+}
+
 // syncForward implements the round-r label synchronization: due
 // mirrors propose (src, dist, σ-partial) to masters; masters arbitrate
 // one winner per vertex (the lexicographically smallest proposal — in
@@ -445,50 +530,61 @@ func runBatch(cluster *dgalois.Cluster, topo *gluon.Topology, pt *partition.Part
 // arbitration is a no-op), merge the winner's σ partials, apply the
 // finalized value, and broadcast (src, dist, σ) to every mirror.
 func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int, tr *obs.Trace, bi int) {
-	// Reduce: due mirror proxies -> master (proposals are buffered;
-	// nothing is merged until arbitration picks the winners).
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			list := topo.MirrorList(from, to)
-			if len(list) == 0 || len(st.flags) == 0 {
-				return
-			}
-			// At most one due source per vertex per round on one host,
-			// so a vertex-level bitvector suffices.
-			marked := w.Scratch(len(list))
-			for pos, lid := range list {
-				if _, ok := st.flagByV[lid]; ok {
-					marked.Set(pos)
-				}
-			}
-			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
-				f := st.flagByV[list[pos]]
-				d := st.engine.Get(f.V, f.Src)
-				w.U32(uint32(f.Src))
-				w.U32(d.Dist)
-				w.F64(d.Sigma)
-			})
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MasterList(from, to)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				st.proposals = append(st.proposals, proposal{
-					v:     list[pos],
-					src:   int(rd.U32()),
-					dist:  rd.U32(),
-					sigma: rd.F64(),
-				})
-			})
-		},
-	)
+	pack, unpack := fwdReduceExchange(states, topo)
+	cluster.Exchange(pack, unpack)
+	cluster.Compute(fwdArbitrateFn(states, r, tr, bi))
+	pack, unpack = fwdBroadcastExchange(states, topo, r)
+	cluster.Exchange(pack, unpack)
+}
 
-	// Arbitration: per vertex, the lexicographically smallest proposal
-	// wins; losers are dropped (their hosts keep the entry unsent, and
-	// the winner's broadcast pushes their schedule to a later round).
-	// The winner's σ partials are merged and the label finalized.
-	cluster.Compute(func(h int) {
+// fwdReduceExchange builds the forward reduce step: due mirror proxies
+// -> master (proposals are buffered; nothing is merged until
+// arbitration picks the winners).
+func fwdReduceExchange(states []*hostState, topo *gluon.Topology) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		list := topo.MirrorList(from, to)
+		if len(list) == 0 || len(st.flags) == 0 {
+			return
+		}
+		// At most one due source per vertex per round on one host,
+		// so a vertex-level bitvector suffices.
+		marked := w.Scratch(len(list))
+		for pos, lid := range list {
+			if _, ok := st.flagByV[lid]; ok {
+				marked.Set(pos)
+			}
+		}
+		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
+			f := st.flagByV[list[pos]]
+			d := st.engine.Get(f.V, f.Src)
+			w.U32(uint32(f.Src))
+			w.U32(d.Dist)
+			w.F64(d.Sigma)
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MasterList(from, to)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			st.proposals = append(st.proposals, proposal{
+				v:     list[pos],
+				src:   int(rd.U32()),
+				dist:  rd.U32(),
+				sigma: rd.F64(),
+			})
+		})
+	}
+	return pack, unpack
+}
+
+// fwdArbitrateFn builds the arbitration compute: per vertex, the
+// lexicographically smallest proposal wins; losers are dropped (their
+// hosts keep the entry unsent, and the winner's broadcast pushes their
+// schedule to a later round). The winner's σ partials are merged and
+// the label finalized.
+func fwdArbitrateFn(states []*hostState, r int, tr *obs.Trace, bi int) func(h int) {
+	return func(h int) {
 		st := states[h]
 		for _, f := range st.flags {
 			if st.part.IsMaster[f.V] {
@@ -502,7 +598,16 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 				winners[p.v] = p
 			}
 		}
-		for _, w := range winners {
+		// Winners are processed in ascending vertex order, not map order:
+		// st.synced's order is the relax order, and with it the order σ
+		// partials accumulate downstream — it must not vary run to run.
+		order := make([]uint32, 0, len(winners))
+		for v := range winners {
+			order = append(order, v)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, v := range order {
+			w := winners[v]
 			for _, p := range st.proposals {
 				if p.v != w.v || p.src != w.src || p.own {
 					continue
@@ -528,44 +633,46 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 			}
 		}
 		st.proposals = st.proposals[:0]
-	})
+	}
+}
 
-	// Broadcast: masters -> all mirrors.
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			list := topo.MasterList(to, from)
-			if len(list) == 0 || len(st.flagSet) == 0 {
-				return
+// fwdBroadcastExchange builds the forward broadcast step: masters ->
+// all mirrors.
+func fwdBroadcastExchange(states []*hostState, topo *gluon.Topology, r int) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		list := topo.MasterList(to, from)
+		if len(list) == 0 || len(st.flagSet) == 0 {
+			return
+		}
+		marked := w.Scratch(len(list))
+		for pos, lid := range list {
+			if _, ok := st.bcastByV[lid]; ok {
+				marked.Set(pos)
 			}
-			marked := w.Scratch(len(list))
-			for pos, lid := range list {
-				if _, ok := st.bcastByV[lid]; ok {
-					marked.Set(pos)
-				}
-			}
-			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
-				lid := list[pos]
-				src := st.bcastByV[lid]
-				d := st.engine.Get(lid, src)
-				w.U32(uint32(src))
-				w.U32(d.Dist)
-				w.F64(d.Sigma)
-			})
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MirrorList(to, from)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				lid := list[pos]
-				src := int(rd.U32())
-				dist := rd.U32()
-				sigma := rd.F64()
-				st.engine.ApplySync(lid, src, dist, sigma, r)
-				st.synced = append(st.synced, core.Flag{V: lid, Src: src})
-			})
-		},
-	)
+		}
+		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
+			lid := list[pos]
+			src := st.bcastByV[lid]
+			d := st.engine.Get(lid, src)
+			w.U32(uint32(src))
+			w.U32(d.Dist)
+			w.F64(d.Sigma)
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MirrorList(to, from)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			lid := list[pos]
+			src := int(rd.U32())
+			dist := rd.U32()
+			sigma := rd.F64()
+			st.engine.ApplySync(lid, src, dist, sigma, r)
+			st.synced = append(st.synced, core.Flag{V: lid, Src: src})
+		})
+	}
+	return pack, unpack
 }
 
 // syncCandidates disseminates this round's distance candidates:
@@ -575,34 +682,45 @@ func syncForward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostS
 // so this preserves the delayed-synchronization optimization while
 // keeping every proxy's ordered list identical.
 func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState) {
-	encode := func(w *gluon.Writer, list []uint32, byV map[uint32][]core.Candidate, dist func(c core.Candidate) uint32) {
-		if len(list) == 0 || len(byV) == 0 {
-			return
-		}
-		marked := w.Scratch(len(list))
-		for pos, lid := range list {
-			if _, ok := byV[lid]; ok {
-				marked.Set(pos)
-			}
-		}
-		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
-			cs := byV[list[pos]]
-			w.U32(uint32(len(cs)))
-			for _, c := range cs {
-				w.U32(uint32(c.Src))
-				w.U32(dist(c))
-			}
-		})
-	}
+	cluster.Compute(candGroupFn(states))
+	pack, unpack := candReduceExchange(states, topo)
+	cluster.Exchange(pack, unpack)
+	cluster.Compute(candMergeFn(states))
+	pack, unpack = candBroadcastExchange(states, topo)
+	cluster.Exchange(pack, unpack)
+}
 
-	// Group this round's candidates by vertex once per host, in a
-	// compute phase: the pack calls below run in parallel per
-	// destination pair and only read the map. Parallel intra-round
-	// relaxations can propose the same (v, src) pair more than once
-	// (and how often depends on vertex processing order); the master
-	// min-folds anyway, so keep only the minimum distance per pair —
-	// the wire volume stays deterministic across runs.
-	cluster.Compute(func(h int) {
+// encodeCandidates packs per-vertex candidate lists for the marked
+// vertices of one shared list.
+func encodeCandidates(w *gluon.Writer, list []uint32, byV map[uint32][]core.Candidate, dist func(c core.Candidate) uint32) {
+	if len(list) == 0 || len(byV) == 0 {
+		return
+	}
+	marked := w.Scratch(len(list))
+	for pos, lid := range list {
+		if _, ok := byV[lid]; ok {
+			marked.Set(pos)
+		}
+	}
+	gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
+		cs := byV[list[pos]]
+		w.U32(uint32(len(cs)))
+		for _, c := range cs {
+			w.U32(uint32(c.Src))
+			w.U32(dist(c))
+		}
+	})
+}
+
+// candGroupFn groups this round's candidates by vertex once per host,
+// in a compute phase: the pack calls of the reduce below run in
+// parallel per destination pair and only read the map. Parallel
+// intra-round relaxations can propose the same (v, src) pair more than
+// once (and how often depends on vertex processing order); the master
+// min-folds anyway, so keep only the minimum distance per pair — the
+// wire volume stays deterministic across runs.
+func candGroupFn(states []*hostState) func(h int) {
+	return func(h int) {
 		st := states[h]
 		clear(st.candByV)
 		for _, c := range st.cands {
@@ -621,39 +739,43 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 				st.candByV[c.V] = append(cs, c)
 			}
 		}
-	})
+	}
+}
 
-	// Reduce: mirror candidates -> masters.
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			if len(st.candByV) == 0 {
-				return
-			}
-			encode(w, topo.MirrorList(from, to), st.candByV, func(c core.Candidate) uint32 { return c.Dist })
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MasterList(from, to)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				lid := list[pos]
-				cnt := int(rd.U32())
-				for i := 0; i < cnt; i++ {
-					src := int(rd.U32())
-					d := rd.U32()
-					st.engine.MergeCandidate(lid, src, d)
-					kk := key(lid, src)
-					if cur, ok := st.candSet[kk]; !ok || d < cur {
-						st.candSet[kk] = d
-					}
+// candReduceExchange builds the candidate reduce step: mirror
+// candidates -> masters.
+func candReduceExchange(states []*hostState, topo *gluon.Topology) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		if len(st.candByV) == 0 {
+			return
+		}
+		encodeCandidates(w, topo.MirrorList(from, to), st.candByV, func(c core.Candidate) uint32 { return c.Dist })
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MasterList(from, to)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			lid := list[pos]
+			cnt := int(rd.U32())
+			for i := 0; i < cnt; i++ {
+				src := int(rd.U32())
+				d := rd.U32()
+				st.engine.MergeCandidate(lid, src, d)
+				kk := key(lid, src)
+				if cur, ok := st.candSet[kk]; !ok || d < cur {
+					st.candSet[kk] = d
 				}
-			})
-		},
-	)
+			}
+		})
+	}
+	return pack, unpack
+}
 
-	// Masters fold their own local candidates into the union, then
-	// group the merged union by vertex for the broadcast packs.
-	cluster.Compute(func(h int) {
+// candMergeFn folds the masters' own local candidates into the union,
+// then groups the merged union by vertex for the broadcast packs.
+func candMergeFn(states []*hostState) func(h int) {
+	return func(h int) {
 		st := states[h]
 		for _, c := range st.cands {
 			if st.part.IsMaster[c.V] {
@@ -664,88 +786,117 @@ func syncCandidates(cluster *dgalois.Cluster, topo *gluon.Topology, states []*ho
 			}
 		}
 		clear(st.mergedByV)
+		// Sorted (v, src) order keeps each vertex's merged candidate list —
+		// and with it the broadcast's wire bytes — identical across runs.
+		keys := make([]uint64, 0, len(st.candSet))
 		for kk := range st.candSet {
+			keys = append(keys, kk)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, kk := range keys {
 			v := uint32(kk >> 20)
 			s := int(kk & (1<<20 - 1))
 			st.mergedByV[v] = append(st.mergedByV[v], core.Candidate{V: v, Src: s})
 		}
-	})
+	}
+}
 
-	// Broadcast: merged candidates -> all mirrors, with the master's
-	// post-merge (minimum) distance.
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			if len(st.mergedByV) == 0 {
-				return
+// candBroadcastExchange builds the candidate broadcast step: merged
+// candidates -> all mirrors, with the master's post-merge (minimum)
+// distance.
+func candBroadcastExchange(states []*hostState, topo *gluon.Topology) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		if len(st.mergedByV) == 0 {
+			return
+		}
+		encodeCandidates(w, topo.MasterList(to, from), st.mergedByV, func(c core.Candidate) uint32 {
+			return st.engine.Get(c.V, c.Src).Dist
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MirrorList(to, from)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			lid := list[pos]
+			cnt := int(rd.U32())
+			for i := 0; i < cnt; i++ {
+				src := int(rd.U32())
+				st.engine.MergeCandidate(lid, src, rd.U32())
 			}
-			encode(w, topo.MasterList(to, from), st.mergedByV, func(c core.Candidate) uint32 {
-				return st.engine.Get(c.V, c.Src).Dist
-			})
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MirrorList(to, from)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				lid := list[pos]
-				cnt := int(rd.U32())
-				for i := 0; i < cnt; i++ {
-					src := int(rd.U32())
-					st.engine.MergeCandidate(lid, src, rd.U32())
-				}
-			})
-		},
-	)
+		})
+	}
+	return pack, unpack
 }
 
 // syncBackward synchronizes the dependency labels of backward-flagged
 // pairs: mirrors push δ partials (then reset them), masters sum and
 // broadcast the final dependency.
 func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*hostState, r int, tr *obs.Trace, bi int) {
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			list := topo.MirrorList(from, to)
-			if len(list) == 0 || len(st.flags) == 0 {
-				return
-			}
-			marked := w.Scratch(len(list))
-			for pos, lid := range list {
-				if _, ok := st.flagByV[lid]; ok {
-					marked.Set(pos)
-				}
-			}
-			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
-				f := st.flagByV[list[pos]]
-				w.U32(uint32(f.Src))
-				w.F64(st.engine.DeltaPartial(f.V, f.Src))
-				// Hand the partial to the master; the broadcast below
-				// restores the final value. Each mirror vertex appears
-				// in exactly one (from, to) shared list, so this write
-				// is safe under the pair-parallel pack loop.
-				st.engine.ApplyDeltaSync(f.V, f.Src, 0)
-			})
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MasterList(from, to)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				lid := list[pos]
-				src := int(rd.U32())
-				st.engine.AddDeltaPartial(lid, src, rd.F64())
-				st.flagSet[key(lid, src)] = true
-			})
-		},
-	)
+	pack, unpack := backReduceExchange(states, topo)
+	cluster.Exchange(pack, unpack)
+	cluster.Compute(backUnionFn(states, r, tr, bi))
+	pack, unpack = backBroadcastExchange(states, topo)
+	cluster.Exchange(pack, unpack)
+}
 
-	cluster.Compute(func(h int) {
+// backReduceExchange builds the backward reduce step: due mirrors hand
+// their δ partials to the masters (and reset them locally).
+func backReduceExchange(states []*hostState, topo *gluon.Topology) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		list := topo.MirrorList(from, to)
+		if len(list) == 0 || len(st.flags) == 0 {
+			return
+		}
+		marked := w.Scratch(len(list))
+		for pos, lid := range list {
+			if _, ok := st.flagByV[lid]; ok {
+				marked.Set(pos)
+			}
+		}
+		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
+			f := st.flagByV[list[pos]]
+			w.U32(uint32(f.Src))
+			w.F64(st.engine.DeltaPartial(f.V, f.Src))
+			// Hand the partial to the master; the broadcast below
+			// restores the final value. Each mirror vertex appears
+			// in exactly one (from, to) shared list, so this write
+			// is safe under the pair-parallel pack loop.
+			st.engine.ApplyDeltaSync(f.V, f.Src, 0)
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MasterList(from, to)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			lid := list[pos]
+			src := int(rd.U32())
+			st.engine.AddDeltaPartial(lid, src, rd.F64())
+			st.flagSet[key(lid, src)] = true
+		})
+	}
+	return pack, unpack
+}
+
+// backUnionFn builds the master-side union compute of one backward
+// round: the host's own flags plus the mirror partials just received.
+func backUnionFn(states []*hostState, r int, tr *obs.Trace, bi int) func(h int) {
+	return func(h int) {
 		st := states[h]
 		for _, f := range st.flags {
 			if st.part.IsMaster[f.V] {
 				st.flagSet[key(f.V, f.Src)] = true
 			}
 		}
+		// Sorted (v, src) order: st.synced's order is the δ-accumulation
+		// order at the predecessors, which must not vary run to run.
+		keys := make([]uint64, 0, len(st.flagSet))
 		for kk := range st.flagSet {
+			keys = append(keys, kk)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, kk := range keys {
 			v := uint32(kk >> 20)
 			s := int(kk & (1<<20 - 1))
 			st.synced = append(st.synced, core.Flag{V: v, Src: s})
@@ -760,37 +911,40 @@ func syncBackward(cluster *dgalois.Cluster, topo *gluon.Topology, states []*host
 					V: int32(st.part.GlobalID[v]), Src: int32(s)})
 			}
 		}
-	})
+	}
+}
 
-	cluster.Exchange(
-		func(from, to int, w *gluon.Writer) {
-			st := states[from]
-			list := topo.MasterList(to, from)
-			if len(list) == 0 || len(st.flagSet) == 0 {
-				return
+// backBroadcastExchange builds the backward broadcast step: masters
+// push the summed dependency back to every mirror.
+func backBroadcastExchange(states []*hostState, topo *gluon.Topology) (func(from, to int, w *gluon.Writer), func(to, from int, data []byte, dec *gluon.Decoder)) {
+	pack := func(from, to int, w *gluon.Writer) {
+		st := states[from]
+		list := topo.MasterList(to, from)
+		if len(list) == 0 || len(st.flagSet) == 0 {
+			return
+		}
+		marked := w.Scratch(len(list))
+		for pos, lid := range list {
+			if _, ok := st.bcastByV[lid]; ok {
+				marked.Set(pos)
 			}
-			marked := w.Scratch(len(list))
-			for pos, lid := range list {
-				if _, ok := st.bcastByV[lid]; ok {
-					marked.Set(pos)
-				}
-			}
-			gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
-				lid := list[pos]
-				src := st.bcastByV[lid]
-				w.U32(uint32(src))
-				w.F64(st.engine.DeltaPartial(lid, src))
-			})
-		},
-		func(to, from int, data []byte, dec *gluon.Decoder) {
-			st := states[to]
-			list := topo.MirrorList(to, from)
-			dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
-				lid := list[pos]
-				src := int(rd.U32())
-				st.engine.ApplyDeltaSync(lid, src, rd.F64())
-				st.synced = append(st.synced, core.Flag{V: lid, Src: src})
-			})
-		},
-	)
+		}
+		gluon.EncodeUpdates(w, len(list), marked, func(pos int, w *gluon.Writer) {
+			lid := list[pos]
+			src := st.bcastByV[lid]
+			w.U32(uint32(src))
+			w.F64(st.engine.DeltaPartial(lid, src))
+		})
+	}
+	unpack := func(to, from int, data []byte, dec *gluon.Decoder) {
+		st := states[to]
+		list := topo.MirrorList(to, from)
+		dec.DecodeUpdates(len(list), data, func(pos int, rd *gluon.Reader) {
+			lid := list[pos]
+			src := int(rd.U32())
+			st.engine.ApplyDeltaSync(lid, src, rd.F64())
+			st.synced = append(st.synced, core.Flag{V: lid, Src: src})
+		})
+	}
+	return pack, unpack
 }

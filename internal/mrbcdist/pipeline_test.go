@@ -1,0 +1,310 @@
+package mrbcdist
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/dgalois"
+	"mrbc/internal/gen"
+	"mrbc/internal/gluon"
+	"mrbc/internal/graph"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+)
+
+// modelStream projects a trace onto the depth-invariant model events:
+// the per-(vertex, source) send events and the per-batch summaries,
+// both tagged with batch-relative rounds. Phase events carry the
+// coordinator's global round/seq numbering, which legitimately differs
+// between pipeline depths (rounds of concurrent batches interleave),
+// so they are excluded from the cross-depth comparison.
+func modelStream(events []obs.Event) []obs.Event {
+	var out []obs.Event
+	for _, e := range obs.Canonical(events) {
+		if e.Kind == obs.KindSend || e.Kind == obs.KindBatch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestPipelineDepthsBitwiseAgree is the determinism contract of the
+// software-pipelined batch runner: for every sync mode and engine
+// configuration, depths 1, 2, and 4 must produce bit-identical scores,
+// identical paper-model volume, and an identical model-event stream
+// (sends + batch summaries) — the only thing the depth may change is
+// wall-clock interleaving.
+func TestPipelineDepthsBitwiseAgree(t *testing.T) {
+	g := gen.RMAT(7, 8, 3)
+	sources := brandes.FirstKSources(g, 0, 32) // BatchSize 8 -> 4 batches
+	oracle := brandes.Sequential(g, sources)
+
+	cases := []struct {
+		name string
+		opts Options
+		pt   *partition.Partitioning
+	}{
+		{"arb/edge-cut", Options{BatchSize: 8}, partition.EdgeCut(g, 4)},
+		{"cand/edge-cut", Options{BatchSize: 8, Sync: CandidateSync}, partition.EdgeCut(g, 4)},
+		{"arb/cartesian", Options{BatchSize: 8}, partition.CartesianCut(g, 4)},
+		{"arb/workers-4", Options{BatchSize: 8, EngineWorkers: 4}, partition.EdgeCut(g, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				refScores []float64
+				refStats  dgalois.Stats
+				refModel  []obs.Event
+			)
+			for _, depth := range []int{1, 2, 4} {
+				opts := tc.opts
+				opts.PipelineDepth = depth
+				opts.Trace = obs.NewTrace(1<<20, obs.LevelDetail)
+				scores, stats := Run(g, tc.pt, sources, opts)
+				if opts.Trace.Dropped() > 0 {
+					t.Fatalf("depth %d: trace dropped %d events", depth, opts.Trace.Dropped())
+				}
+				if !approxEqual(scores, oracle, 1e-9) {
+					t.Fatalf("depth %d: scores diverged from Brandes oracle", depth)
+				}
+				model := modelStream(opts.Trace.Events())
+				if depth == 1 {
+					refScores, refStats, refModel = scores, stats, model
+					continue
+				}
+				for v := range scores {
+					if math.Float64bits(scores[v]) != math.Float64bits(refScores[v]) {
+						t.Fatalf("depth %d: score of vertex %d = %x, depth 1 = %x",
+							depth, v, math.Float64bits(scores[v]), math.Float64bits(refScores[v]))
+					}
+				}
+				if stats.Bytes != refStats.Bytes || stats.Messages != refStats.Messages || stats.Rounds != refStats.Rounds {
+					t.Fatalf("depth %d: volume %d B / %d msgs / %d rounds, depth 1: %d / %d / %d",
+						depth, stats.Bytes, stats.Messages, stats.Rounds,
+						refStats.Bytes, refStats.Messages, refStats.Rounds)
+				}
+				if len(model) != len(refModel) {
+					t.Fatalf("depth %d: %d model events, depth 1: %d", depth, len(model), len(refModel))
+				}
+				for i := range model {
+					if model[i] != refModel[i] {
+						t.Fatalf("depth %d: model event %d = %+v, depth 1 = %+v",
+							depth, i, model[i], refModel[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDepthClamped pins the clamp: a depth larger than the
+// batch count degrades to one coroutine per batch, and depth 0/1 run
+// the serial loop (covered implicitly by every existing test, asserted
+// here for the boundary values).
+func TestPipelineDepthClamped(t *testing.T) {
+	g := gen.RoadGrid(6, 6, 5)
+	pt := partition.EdgeCut(g, 2)
+	sources := brandes.FirstKSources(g, 0, 10)
+	oracle := brandes.Sequential(g, sources)
+	for _, depth := range []int{0, 1, 3, 64} {
+		got, _ := Run(g, pt, sources, Options{BatchSize: 4, PipelineDepth: depth})
+		if !approxEqual(got, oracle, 1e-9) {
+			t.Fatalf("depth %d: scores diverged from oracle", depth)
+		}
+	}
+}
+
+// TestPipelineHiddenTimeAccounted checks that a pipelined run reports
+// overlap: with depth >= 2 some exchange completions happen after
+// other batches computed in between, so Stats.HiddenTime and the
+// exchange events' HiddenNs must be populated and consistent.
+func TestPipelineHiddenTimeAccounted(t *testing.T) {
+	g := gen.RMAT(7, 8, 3)
+	pt := partition.EdgeCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 32)
+
+	tr := obs.NewTrace(1<<18, obs.LevelPhase)
+	_, serial := Run(g, pt, sources, Options{BatchSize: 8, Trace: tr})
+	if serial.HiddenTime != 0 {
+		t.Fatalf("serial run reported %v hidden exchange time", serial.HiddenTime)
+	}
+	var serialHidden int64
+	for _, e := range tr.Events() {
+		serialHidden += e.HiddenNs
+	}
+	if serialHidden != 0 {
+		t.Fatalf("serial trace carries %d ns of HiddenNs", serialHidden)
+	}
+
+	tr = obs.NewTrace(1<<18, obs.LevelPhase)
+	_, piped := Run(g, pt, sources, Options{BatchSize: 8, PipelineDepth: 2, Trace: tr})
+	if piped.HiddenTime <= 0 {
+		t.Fatalf("pipelined run hid no exchange time (HiddenTime = %v)", piped.HiddenTime)
+	}
+	var traceHidden int64
+	for _, e := range tr.Events() {
+		traceHidden += e.HiddenNs
+	}
+	if traceHidden != int64(piped.HiddenTime) {
+		t.Fatalf("trace HiddenNs sum %d != Stats.HiddenTime %d", traceHidden, int64(piped.HiddenTime))
+	}
+}
+
+// tcpViews builds an N-host localhost TCP mesh (listeners first so the
+// address book is complete before any transport dials).
+func tcpViews(t *testing.T, hosts int) []gluon.Transport {
+	t.Helper()
+	lns := make([]net.Listener, hosts)
+	addrs := make([]string, hosts)
+	for h := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen host %d: %v", h, err)
+		}
+		lns[h] = ln
+		addrs[h] = ln.Addr().String()
+	}
+	views := make([]gluon.Transport, hosts)
+	for h := range views {
+		tr, err := gluon.NewTCPTransport(h, addrs, lns[h], gluon.TCPOptions{})
+		if err != nil {
+			t.Fatalf("transport host %d: %v", h, err)
+		}
+		views[h] = tr
+	}
+	return views
+}
+
+// runTCPSPMD executes one SPMD cluster run (one goroutine per host
+// over a real localhost TCP mesh) and returns the elementwise sum of
+// the per-host score vectors. The vectors are disjoint by master
+// ownership, so the sum is exact.
+func runTCPSPMD(t *testing.T, g *graph.Graph, pt *partition.Partitioning, sources []uint32, opts Options) []float64 {
+	t.Helper()
+	hosts := pt.NumHosts
+	views := tcpViews(t, hosts)
+	defer func() {
+		for _, v := range views {
+			v.Close()
+		}
+	}()
+	perHost := make([][]float64, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			o := opts
+			o.Transport = views[h]
+			perHost[h], _, errs[h] = RunChecked(g, pt, sources, o)
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			t.Fatalf("host %d: %v", h, err)
+		}
+	}
+	sum := make([]float64, g.NumVertices())
+	for _, scores := range perHost {
+		for v, s := range scores {
+			sum[v] += s
+		}
+	}
+	return sum
+}
+
+// TestPipelineTCPSPMD runs the pipelined engine as a real 4-process
+// SPMD cluster over localhost TCP: depth 2 must agree bit for bit with
+// the depth-1 run on the same transport and match the Brandes oracle.
+// This exercises the per-batch exchange-identifier streams on the
+// wire: concurrently-open exchanges of different batches must land in
+// the right transport boxes regardless of arrival order.
+func TestPipelineTCPSPMD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("localhost TCP cluster; skipped in -short")
+	}
+	g := gen.RMAT(6, 8, 1)
+	pt := partition.EdgeCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 16) // BatchSize 4 -> 4 batches
+	oracle := brandes.Sequential(g, sources)
+
+	serial := runTCPSPMD(t, g, pt, sources, Options{BatchSize: 4, PipelineDepth: 1})
+	piped := runTCPSPMD(t, g, pt, sources, Options{BatchSize: 4, PipelineDepth: 2})
+	if !approxEqual(piped, oracle, 1e-9) {
+		t.Fatal("pipelined TCP SPMD scores diverged from Brandes oracle")
+	}
+	for v := range piped {
+		if math.Float64bits(piped[v]) != math.Float64bits(serial[v]) {
+			t.Fatalf("vertex %d: depth-2 score %x != depth-1 score %x over TCP",
+				v, math.Float64bits(piped[v]), math.Float64bits(serial[v]))
+		}
+	}
+}
+
+// TestPipelineUnderFaultPlans drives the depth-2 runner through seeded
+// recoverable fault schedules: retransmission and ack machinery must
+// interleave correctly with the pipelined exchange streams, and scores
+// must stay oracle-exact.
+func TestPipelineUnderFaultPlans(t *testing.T) {
+	g := gen.RMAT(6, 8, 42)
+	pt := partition.EdgeCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 16)
+	oracle := brandes.Sequential(g, sources)
+
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		plan := dgalois.RandomPlan(uint64(seed), 0.20, pt.NumHosts)
+		got, stats, err := RunChecked(g, pt, sources, Options{BatchSize: 8, PipelineDepth: 2, Fault: plan})
+		if err != nil {
+			t.Fatalf("seed %d: recoverable plan errored: %v", seed, err)
+		}
+		if !approxEqual(got, oracle, 1e-9) {
+			t.Fatalf("seed %d: pipelined scores diverged from oracle under faults", seed)
+		}
+		if stats.Faults == nil {
+			t.Fatalf("seed %d: stats carry no fault accounting", seed)
+		}
+	}
+}
+
+// TestPipelineUnrecoverableFaultErrors pins the abort path of the
+// pipelined runner: a permanently stalled host must surface as the
+// structured *dgalois.FaultError on the coordinator (every batch
+// goroutine unwound, no hang, no panic escaping RunChecked).
+func TestPipelineUnrecoverableFaultErrors(t *testing.T) {
+	g := gen.RoadGrid(5, 5, 1)
+	pt := partition.EdgeCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 8)
+	plan := &dgalois.FaultPlan{
+		Seed:          1,
+		DeadlineSteps: 16,
+		Stalls:        []dgalois.Stall{{Host: 1, Exchange: 2, Steps: -1}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := RunChecked(g, pt, sources, Options{BatchSize: 4, PipelineDepth: 2, Fault: plan})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var fe *dgalois.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("got %v, want *dgalois.FaultError", err)
+		}
+		if fe.Host != 1 {
+			t.Fatalf("error implicates host %d, want stalled host 1", fe.Host)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("pipelined runner hung on permanently stalled host")
+	}
+}

@@ -196,6 +196,11 @@ type RoundCost struct {
 	// compute dispatches of the slowest host's slice, plus its exchange
 	// slices.
 	WallNs int64
+	// ExchangeNs sums the round's exchange slices; HiddenNs is the part
+	// of that wait the pipelined exchange hid behind compute (0 on
+	// non-pipelined traces).
+	ExchangeNs int64
+	HiddenNs   int64
 	// SlowHost is the host with the most compute time in the round
 	// (the round's critical-path host); SlowNs is that time.
 	SlowHost int32
@@ -213,6 +218,7 @@ type RoundReport struct {
 type roundAgg struct {
 	computeMax map[int64]int64 // seq -> max host slice
 	exchangeNs int64
+	hiddenNs   int64
 	hostNs     map[int32]int64
 }
 
@@ -240,6 +246,7 @@ func (a *RoundAccum) Observe(e Event) {
 		g.hostNs[e.Host] += e.DurNs
 	case PhaseExchange:
 		g.exchangeNs += e.DurNs
+		g.hiddenNs += e.HiddenNs
 	}
 }
 
@@ -247,7 +254,8 @@ func (a *RoundAccum) Observe(e Event) {
 func (a *RoundAccum) Report() RoundReport {
 	r := RoundReport{SlowestCount: make(map[int32]int)}
 	for round, g := range a.rounds {
-		c := RoundCost{Round: round, WallNs: g.exchangeNs, SlowHost: -1}
+		c := RoundCost{Round: round, WallNs: g.exchangeNs,
+			ExchangeNs: g.exchangeNs, HiddenNs: g.hiddenNs, SlowHost: -1}
 		for _, d := range g.computeMax {
 			c.WallNs += d
 		}

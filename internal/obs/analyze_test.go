@@ -69,7 +69,7 @@ func TestRoundAccumReport(t *testing.T) {
 	if len(r.Rounds) != 2 {
 		t.Fatalf("rounds = %+v", r.Rounds)
 	}
-	if r.Rounds[0] != (RoundCost{Round: 1, WallNs: 35, SlowHost: 0, SlowNs: 30}) {
+	if r.Rounds[0] != (RoundCost{Round: 1, WallNs: 35, ExchangeNs: 5, SlowHost: 0, SlowNs: 30}) {
 		t.Fatalf("round 1 = %+v", r.Rounds[0])
 	}
 	if r.Rounds[1] != (RoundCost{Round: 2, WallNs: 30, SlowHost: 1, SlowNs: 30}) {

@@ -79,13 +79,13 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 }
 
 // Canonical returns a copy of events in a deterministic total order
-// with the wall-clock fields (StartNs, DurNs) stripped and worker
-// events dropped entirely (their steal/idle tallies are scheduling
-// artifacts, nondeterministic the same way timings are). Remaining
-// event content is a pure function of (graph, seed, options); only
-// timings and concurrent emission order vary run to run, so the
-// canonical form of the same configuration is byte-identical across
-// worker counts.
+// with the wall-clock fields (StartNs, DurNs, HiddenNs) stripped and
+// worker events dropped entirely (their steal/idle tallies are
+// scheduling artifacts, nondeterministic the same way timings are).
+// Remaining event content is a pure function of (graph, seed,
+// options); only timings and concurrent emission order vary run to
+// run, so the canonical form of the same configuration is
+// byte-identical across worker counts.
 func Canonical(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
@@ -96,6 +96,7 @@ func Canonical(events []Event) []Event {
 	for i := range out {
 		out[i].StartNs = 0
 		out[i].DurNs = 0
+		out[i].HiddenNs = 0
 	}
 	sort.Slice(out, func(i, j int) bool { return canonLess(out[i], out[j]) })
 	return out

@@ -144,9 +144,13 @@ type Event struct {
 
 	// Monotonic timings, nanoseconds since the trace/cluster epoch.
 	// Stripped by Canonical: wall time is the one nondeterministic
-	// field an event carries.
-	StartNs int64 `json:"start_ns,omitempty"`
-	DurNs   int64 `json:"dur_ns,omitempty"`
+	// field an event carries. HiddenNs, on exchange phase events, is
+	// the slice of the exchange's wire wait that elapsed between
+	// BeginExchange and Complete — time the pipeline hid behind
+	// compute (always 0 on synchronous exchanges).
+	StartNs  int64 `json:"start_ns,omitempty"`
+	DurNs    int64 `json:"dur_ns,omitempty"`
+	HiddenNs int64 `json:"hidden_ns,omitempty"`
 }
 
 // Level selects how much a Trace records.

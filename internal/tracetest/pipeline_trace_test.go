@@ -1,0 +1,179 @@
+package tracetest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrbc/internal/brandes"
+	"mrbc/internal/gen"
+	"mrbc/internal/mrbcdist"
+	"mrbc/internal/obs"
+	"mrbc/internal/partition"
+)
+
+// pipelinedEvents records a detail trace of the golden workload run at
+// the given pipeline depth.
+func pipelinedEvents(t *testing.T, depth int) []obs.Event {
+	t.Helper()
+	g := gen.RMAT(6, 8, 42)
+	pt := partition.EdgeCut(g, 4)
+	sources := brandes.FirstKSources(g, 0, 16)
+	tr := obs.NewTrace(traceCap, obs.LevelDetail)
+	_, _, err := mrbcdist.RunChecked(g, pt, sources, mrbcdist.Options{
+		BatchSize: 4, PipelineDepth: depth, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return requireComplete(t, tr)
+}
+
+// interleavedBatches reports whether the raw emission order mixes
+// events of different batches (a batch index appears again after a
+// higher one was seen) — the stream shape the pipelined runner
+// produces and the checkers must accept.
+func interleavedBatches(events []obs.Event) bool {
+	maxSeen := int32(-1)
+	for _, e := range events {
+		if e.Kind != obs.KindSend && e.Kind != obs.KindPhase {
+			continue
+		}
+		if e.Batch < maxSeen {
+			return true
+		}
+		if e.Batch > maxSeen {
+			maxSeen = e.Batch
+		}
+	}
+	return false
+}
+
+// TestCheckersAcceptInterleavedBatchStreams runs the software-pipelined
+// engine at depths 2 and 4 and feeds the raw (genuinely interleaved)
+// event stream to both invariant checkers: batch-keyed bookkeeping must
+// hold the Lemma 8 bounds and reversal symmetry per batch regardless of
+// how the batches' rounds interleave in emission order.
+func TestCheckersAcceptInterleavedBatchStreams(t *testing.T) {
+	g := gen.RMAT(6, 8, 42)
+	sources := brandes.FirstKSources(g, 0, 16)
+	h := maxFiniteDistance(g, sources)
+	for _, depth := range []int{2, 4} {
+		events := pipelinedEvents(t, depth)
+		if !interleavedBatches(events) {
+			t.Fatalf("depth %d: trace is not batch-interleaved; the pipeline did not overlap", depth)
+		}
+		if err := obs.CheckRoundBounds(events, h); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := obs.CheckReversal(events); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+// TestPipelinedModelStreamMatchesSerial pins cross-depth determinism at
+// the trace level: the canonical send + batch-summary stream of a
+// pipelined run is byte-identical to the serial run's. (Phase events
+// carry the coordinator's global round/seq numbering, which a pipeline
+// legitimately interleaves differently, so they are excluded.)
+func TestPipelinedModelStreamMatchesSerial(t *testing.T) {
+	sendsAndBatches := func(events []obs.Event) []obs.Event {
+		var out []obs.Event
+		for _, e := range events {
+			if e.Kind == obs.KindSend || e.Kind == obs.KindBatch {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	want := canonicalJSONL(t, sendsAndBatches(pipelinedEvents(t, 1)))
+	for _, depth := range []int{2, 4} {
+		if got := canonicalJSONL(t, sendsAndBatches(pipelinedEvents(t, depth))); !bytes.Equal(got, want) {
+			t.Fatalf("canonical send/batch stream at depth %d differs from the serial stream", depth)
+		}
+	}
+}
+
+// TestGoldenTraceDepth1Identity pins the refactor's depth-1 contract:
+// running the golden workload with an explicit PipelineDepth of 1 (the
+// serial loop through the new begin/complete exchange path) leaves the
+// committed canonical fixture byte-identical.
+func TestGoldenTraceDepth1Identity(t *testing.T) {
+	g := gen.RMAT(5, 8, 3)
+	pt := partition.CartesianCut(g, 2)
+	sources := brandes.FirstKSources(g, 0, 8)
+	tr := obs.NewTrace(traceCap, obs.LevelDetail)
+	_, _, err := mrbcdist.RunChecked(g, pt, sources, mrbcdist.Options{
+		BatchSize: 4, PipelineDepth: 1, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalJSONL(t, requireComplete(t, tr))
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("canonical trace with explicit PipelineDepth=1 diverged from the golden fixture")
+	}
+}
+
+// TestPerturbedPipelineFixtureFails is the pipelined harness's negative
+// control: a committed depth-2 trace in which two backward sends of one
+// batch swapped rounds (an out-of-order reversal within that batch)
+// must fail CheckReversal. Regenerated with -update.
+func TestPerturbedPipelineFixtureFails(t *testing.T) {
+	perturbed := filepath.Join("testdata", "perturbed_pipeline_trace.jsonl")
+	if *update {
+		events := obs.Canonical(pipelinedEvents(t, 2))
+		// Swap the backward rounds of the first two backward sends of one
+		// batch that landed in different rounds: the set of synchronized
+		// pairs is untouched, only their within-batch order breaks.
+		first := -1
+		swapped := false
+		for i := range events {
+			if events[i].Kind != obs.KindSend || events[i].Dir != obs.DirBackward {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			if events[i].Batch == events[first].Batch && events[i].Round != events[first].Round {
+				events[i].Round, events[first].Round = events[first].Round, events[i].Round
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			t.Fatal("workload yielded no swappable backward sends")
+		}
+		f, err := os.Create(perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJSONL(f, events); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(perturbed)
+	if err != nil {
+		t.Fatalf("missing perturbed pipeline fixture (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckReversal(events); err == nil {
+		t.Fatal("CheckReversal accepted the out-of-order reversal")
+	} else {
+		t.Logf("reversal correctly rejected: %v", err)
+	}
+}
