@@ -8,6 +8,13 @@
 //	bcctl -hosts 4 -graph web.gr -sources 32 -top 10
 //	bcctl -hosts 4 -gen rmat -scale 10 -engine sbbc -verify
 //	bcctl -hosts 2 -graph web.gr -trace /tmp/run -verify
+//	bcctl -hosts 4 -spares 1 -gen rmat -scale 8 -kill-host 2 -kill-after 300ms -verify
+//
+// The last form is the elastic chaos smoke: daemons checkpoint at
+// every source-batch boundary, host 2's daemon is SIGKILLed mid-run,
+// and the coordinator promotes a spare into its slot, rolls the
+// cluster back to the latest common boundary, and resumes — the
+// verified scores must still match the oracle.
 //
 // Each daemon loads the same graph file and recomputes the same
 // deterministic partition plan, so only the job spec travels over the
@@ -60,8 +67,20 @@ func run() error {
 		tracePref = flag.String("trace", "", "per-host trace path prefix (writes <prefix>.hostN.jsonl)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "whole-job timeout")
 		verbose   = flag.Bool("v", false, "forward daemon stderr")
+		spares    = flag.Int("spares", 0, "standby bcd daemons kept warm for elastic host replacement")
+		elasticOn = flag.Bool("elastic", false, "checkpoint at batch boundaries and recover from host deaths")
+		ckptDir   = flag.String("checkpoint", "", "shared checkpoint directory for -elastic (default: a temp dir)")
+		killHost  = flag.Int("kill-host", -1, "chaos: SIGKILL this host's daemon mid-run (implies -elastic)")
+		killAfter = flag.Duration("kill-after", 500*time.Millisecond, "chaos: delay before -kill-host fires")
+		deadline  = flag.Int("deadline-steps", 0, "transport stall deadline in reliability steps (0: gluon default)")
 	)
 	flag.Parse()
+	if *killHost >= 0 {
+		*elasticOn = true
+	}
+	if *elasticOn && *engine != "mrbcdist" && *engine != "" {
+		return fmt.Errorf("-elastic requires the mrbcdist engine (checkpointing), not %q", *engine)
+	}
 
 	path, g, cleanup, err := materializeGraph(*graphPath, *genName, *scale, *edgeFac, *rows, *cols, *seed)
 	if err != nil {
@@ -87,7 +106,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("bcd binary: %w (build it with: go build ./cmd/bcd)", err)
 	}
-	copts := clusterrun.ClusterOptions{BcdPath: bcd, Hosts: *hosts}
+	copts := clusterrun.ClusterOptions{BcdPath: bcd, Hosts: *hosts, Spares: *spares}
 	if *verbose {
 		copts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -98,18 +117,51 @@ func run() error {
 		return err
 	}
 	defer cluster.Close()
-	fmt.Printf("cluster: %d bcd processes up\n", *hosts)
+	fmt.Printf("cluster: %d bcd processes up (+%d spares)\n", *hosts, *spares)
 
 	spec := clusterrun.JobSpec{
-		Engine:    *engine,
-		GraphPath: path,
-		Partition: *partName,
-		Sources:   sources,
-		BatchSize: *batch,
-		TracePath: *tracePref,
+		Engine:        *engine,
+		GraphPath:     path,
+		Partition:     *partName,
+		Sources:       sources,
+		BatchSize:     *batch,
+		TracePath:     *tracePref,
+		DeadlineSteps: *deadline,
 	}
 	start := time.Now()
-	agg, err := cluster.Run(spec, clusterrun.RunOptions{Timeout: *timeout})
+	var agg *clusterrun.Aggregate
+	if *elasticOn {
+		dir := *ckptDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "bcctl-ckpt-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		spec.CheckpointDir = dir
+		if *killHost >= 0 {
+			if *killHost >= *hosts {
+				return fmt.Errorf("-kill-host %d out of range for %d hosts", *killHost, *hosts)
+			}
+			h := *killHost
+			time.AfterFunc(*killAfter, func() {
+				if err := cluster.KillHost(h); err != nil {
+					fmt.Fprintln(os.Stderr, "bcctl:", err)
+				} else {
+					fmt.Printf("chaos: SIGKILLed host %d after %v\n", h, *killAfter)
+				}
+			})
+		}
+		var rep *clusterrun.ElasticReport
+		agg, rep, err = cluster.RunElastic(spec, clusterrun.ElasticOptions{Timeout: *timeout})
+		if rep != nil && rep.Attempts > 1 {
+			fmt.Printf("elastic: %d attempts, victims %v, resumed from batches %v, %d recovery bytes / %d recovery msgs discarded\n",
+				rep.Attempts, rep.Victims, rep.ResumeBatches, rep.RecoveryBytes, rep.RecoveryMessages)
+		}
+	} else {
+		agg, err = cluster.Run(spec, clusterrun.RunOptions{Timeout: *timeout})
+	}
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,10 @@ type ClusterOptions struct {
 	BcdPath string
 	// Hosts is the number of daemon processes.
 	Hosts int
+	// Spares pre-launches this many standby daemons beyond Hosts; a
+	// ReplaceHost adopts one from the pool (fast path for elastic
+	// recovery) and falls back to spawning fresh when the pool is empty.
+	Spares int
 	// StartTimeout bounds each daemon's time to print its ready line
 	// (default 10 s).
 	StartTimeout time.Duration
@@ -35,15 +39,23 @@ type ClusterOptions struct {
 	Logf func(format string, args ...any)
 }
 
+// daemon is one spawned bcd process and its control address.
+type daemon struct {
+	cmd  *exec.Cmd
+	ctrl string
+}
+
 // Cluster is a handle on a running set of bcd daemons. Daemons are
 // persistent: Run may be called repeatedly (the chaos sweep runs many
-// seeds against one spawned cluster); Close kills them.
+// seeds against one spawned cluster); Close kills them. Host slots are
+// mutable: KillHost takes a daemon down mid-run, ReplaceHost installs a
+// spare (or a fresh spawn) into the dead host's slot.
 type Cluster struct {
-	opts  ClusterOptions
-	procs []*exec.Cmd
-	ctrl  []string // control address per host
+	opts ClusterOptions
 
 	mu     sync.Mutex
+	hosts  []*daemon // one per host slot
+	spares []*daemon // standby pool
 	closed bool
 }
 
@@ -53,9 +65,9 @@ func (o ClusterOptions) logf(format string, args ...any) {
 	}
 }
 
-// Launch spawns opts.Hosts bcd daemons and waits for each to report
-// its control address. On any failure the already-started daemons are
-// killed.
+// Launch spawns opts.Hosts bcd daemons (plus opts.Spares standbys) and
+// waits for each to report its control address. On any failure the
+// already-started daemons are killed.
 func Launch(opts ClusterOptions) (*Cluster, error) {
 	if opts.Hosts <= 0 {
 		return nil, fmt.Errorf("clusterrun: invalid host count %d", opts.Hosts)
@@ -63,30 +75,48 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 	if opts.StartTimeout <= 0 {
 		opts.StartTimeout = 10 * time.Second
 	}
-	c := &Cluster{opts: opts, ctrl: make([]string, opts.Hosts)}
+	c := &Cluster{opts: opts, hosts: make([]*daemon, opts.Hosts)}
 	for h := 0; h < opts.Hosts; h++ {
-		cmd := exec.Command(opts.BcdPath, "-listen", "127.0.0.1:0")
-		stdout, err := cmd.StdoutPipe()
-		if err == nil {
-			cmd.Stderr = logWriter{opts.logf, fmt.Sprintf("bcd[%d] ", h)}
-			err = cmd.Start()
-		}
+		d, err := c.spawnDaemon(fmt.Sprintf("bcd[%d]", h))
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("clusterrun: spawn bcd %d: %w", h, err)
+			return nil, err
 		}
-		c.procs = append(c.procs, cmd)
-		addr, err := awaitReady(stdout, opts.StartTimeout)
+		c.hosts[h] = d
+	}
+	for s := 0; s < opts.Spares; s++ {
+		d, err := c.spawnDaemon(fmt.Sprintf("spare[%d]", s))
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("clusterrun: bcd %d: %w", h, err)
+			return nil, err
 		}
-		c.ctrl[h] = addr
-		// Keep draining the child's stdout so it never blocks on a full
-		// pipe.
-		go io.Copy(io.Discard, stdout)
+		c.spares = append(c.spares, d)
 	}
 	return c, nil
+}
+
+// spawnDaemon starts one bcd process and waits for its ready line. The
+// tag labels the daemon's stderr in the coordinator log.
+func (c *Cluster) spawnDaemon(tag string) (*daemon, error) {
+	cmd := exec.Command(c.opts.BcdPath, "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err == nil {
+		cmd.Stderr = logWriter{c.opts.logf, tag + " "}
+		err = cmd.Start()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("clusterrun: spawn %s: %w", tag, err)
+	}
+	addr, err := awaitReady(stdout, c.opts.StartTimeout)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("clusterrun: %s: %w", tag, err)
+	}
+	// Keep draining the child's stdout so it never blocks on a full
+	// pipe.
+	go io.Copy(io.Discard, stdout)
+	return &daemon{cmd: cmd, ctrl: addr}, nil
 }
 
 // awaitReady scans the daemon's stdout for its ready line.
@@ -118,11 +148,70 @@ func awaitReady(r io.Reader, timeout time.Duration) (string, error) {
 	}
 }
 
-// ControlAddrs returns the daemons' control addresses (for tools that
-// drive daemons directly).
-func (c *Cluster) ControlAddrs() []string { return append([]string(nil), c.ctrl...) }
+// ControlAddrs returns the daemons' current control addresses (for
+// tools that drive daemons directly).
+func (c *Cluster) ControlAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, len(c.hosts))
+	for h, d := range c.hosts {
+		if d != nil {
+			addrs[h] = d.ctrl
+		}
+	}
+	return addrs
+}
 
-// Close kills every daemon. Safe to call more than once.
+// KillHost SIGKILLs host h's daemon mid-flight — the chaos lever the
+// elastic smoke test pulls. The slot keeps pointing at the corpse until
+// ReplaceHost installs a successor.
+func (c *Cluster) KillHost(h int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.hosts) || c.hosts[h] == nil {
+		return fmt.Errorf("clusterrun: kill host %d: no such daemon", h)
+	}
+	d := c.hosts[h]
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+	}
+	go d.cmd.Wait()
+	c.opts.logf("clusterrun: killed bcd[%d] (pid %d)", h, d.cmd.Process.Pid)
+	return nil
+}
+
+// ReplaceHost installs a new daemon in host h's slot, reaping whatever
+// occupied it. A pre-launched spare is adopted when available;
+// otherwise a fresh process is spawned. Returns the new control
+// address.
+func (c *Cluster) ReplaceHost(h int) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.hosts) {
+		return "", fmt.Errorf("clusterrun: replace host %d: out of range", h)
+	}
+	if old := c.hosts[h]; old != nil && old.cmd.Process != nil {
+		old.cmd.Process.Kill()
+		go old.cmd.Wait()
+	}
+	if n := len(c.spares); n > 0 {
+		d := c.spares[n-1]
+		c.spares = c.spares[:n-1]
+		c.hosts[h] = d
+		c.opts.logf("clusterrun: host %d replaced from spare pool (%d spares left)", h, n-1)
+		return d.ctrl, nil
+	}
+	d, err := c.spawnDaemon(fmt.Sprintf("bcd[%d]'", h))
+	if err != nil {
+		return "", err
+	}
+	c.hosts[h] = d
+	c.opts.logf("clusterrun: host %d replaced with fresh daemon", h)
+	return d.ctrl, nil
+}
+
+// Close kills every daemon, spares included. Safe to call more than
+// once.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,13 +219,16 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	for _, cmd := range c.procs {
-		if cmd.Process != nil {
-			cmd.Process.Kill()
+	all := append(append([]*daemon(nil), c.hosts...), c.spares...)
+	for _, d := range all {
+		if d != nil && d.cmd.Process != nil {
+			d.cmd.Process.Kill()
 		}
 	}
-	for _, cmd := range c.procs {
-		cmd.Wait()
+	for _, d := range all {
+		if d != nil {
+			d.cmd.Wait()
+		}
 	}
 }
 
@@ -170,17 +262,45 @@ type RunOptions struct {
 // reconstructed *dgalois.FaultError; scores from faulted runs are
 // discarded.
 func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
+	results, hostErrs, err := c.runAttempt(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, err := range hostErrs {
+		if err != nil {
+			return nil, fmt.Errorf("clusterrun: %w", err)
+		}
+	}
+	// A fault on any host fails the job with the reconstructed engine
+	// error (the first faulting host's).
+	for _, res := range results {
+		if res.Fault != nil {
+			return nil, res.Fault.AsError()
+		}
+	}
+	return aggregate(results)
+}
+
+// runAttempt executes one coordinated job and returns the raw per-host
+// outcome: results[h] on a completed control exchange (which may still
+// carry a Fault), hostErrs[h] when host h's control channel broke — the
+// signature of a dead daemon, which the elastic recovery loop uses to
+// identify the victim. Setup failures (dial, prepare, start, proxy
+// interposition) return a cluster-level error instead.
+func (c *Cluster) runAttempt(spec JobSpec, opts RunOptions) ([]*JobResult, []error, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 60 * time.Second
 	}
 	deadline := time.Now().Add(opts.Timeout)
-	spec.Hosts = c.opts.Hosts
+	ctrl := c.ControlAddrs()
+	hosts := len(ctrl)
+	spec.Hosts = hosts
 
 	// Phase 1: prepare — one control connection per daemon, kept open
 	// for the job's whole lifetime.
-	conns := make([]net.Conn, c.opts.Hosts)
-	encs := make([]*json.Encoder, c.opts.Hosts)
-	decs := make([]*json.Decoder, c.opts.Hosts)
+	conns := make([]net.Conn, hosts)
+	encs := make([]*json.Encoder, hosts)
+	decs := make([]*json.Decoder, hosts)
 	defer func() {
 		for _, conn := range conns {
 			if conn != nil {
@@ -188,25 +308,25 @@ func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
 			}
 		}
 	}()
-	addrs := make([]string, c.opts.Hosts)
-	for h := 0; h < c.opts.Hosts; h++ {
-		conn, err := net.DialTimeout("tcp", c.ctrl[h], time.Until(deadline))
+	addrs := make([]string, hosts)
+	for h := 0; h < hosts; h++ {
+		conn, err := net.DialTimeout("tcp", ctrl[h], time.Until(deadline))
 		if err != nil {
-			return nil, fmt.Errorf("clusterrun: dial control %d: %w", h, err)
+			return nil, nil, fmt.Errorf("clusterrun: dial control %d: %w", h, err)
 		}
 		conn.SetDeadline(deadline)
 		conns[h] = conn
 		encs[h] = json.NewEncoder(conn)
 		decs[h] = json.NewDecoder(conn)
 		if err := encs[h].Encode(controlRequest{Op: "prepare"}); err != nil {
-			return nil, fmt.Errorf("clusterrun: prepare %d: %w", h, err)
+			return nil, nil, fmt.Errorf("clusterrun: prepare %d: %w", h, err)
 		}
 		var rep controlReply
 		if err := decs[h].Decode(&rep); err != nil {
-			return nil, fmt.Errorf("clusterrun: prepare reply %d: %w", h, err)
+			return nil, nil, fmt.Errorf("clusterrun: prepare reply %d: %w", h, err)
 		}
 		if !rep.OK {
-			return nil, fmt.Errorf("clusterrun: prepare %d: %s", h, rep.Err)
+			return nil, nil, fmt.Errorf("clusterrun: prepare %d: %s", h, rep.Err)
 		}
 		addrs[h] = rep.Transport
 	}
@@ -217,7 +337,7 @@ func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
 	if opts.MapAddrs != nil {
 		mapped, closer, err := opts.MapAddrs(addrs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if closer != nil {
 			defer closer()
@@ -227,7 +347,7 @@ func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
 
 	// Phase 2: start all hosts, then collect every result. Starts go
 	// out before any collection so the SPMD processes can rendezvous.
-	for h := 0; h < c.opts.Hosts; h++ {
+	for h := 0; h < hosts; h++ {
 		s := spec
 		s.Host = h
 		s.Addrs = book
@@ -235,13 +355,13 @@ func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
 			s.TracePath = fmt.Sprintf("%s.host%d.jsonl", spec.TracePath, h)
 		}
 		if err := encs[h].Encode(controlRequest{Op: "start", Spec: &s}); err != nil {
-			return nil, fmt.Errorf("clusterrun: start %d: %w", h, err)
+			return nil, nil, fmt.Errorf("clusterrun: start %d: %w", h, err)
 		}
 	}
-	results := make([]*JobResult, c.opts.Hosts)
-	errs := make([]error, c.opts.Hosts)
+	results := make([]*JobResult, hosts)
+	errs := make([]error, hosts)
 	var wg sync.WaitGroup
-	for h := 0; h < c.opts.Hosts; h++ {
+	for h := 0; h < hosts; h++ {
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
@@ -258,20 +378,13 @@ func (c *Cluster) Run(spec JobSpec, opts RunOptions) (*Aggregate, error) {
 		}(h)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("clusterrun: %w", err)
-		}
-	}
+	return results, errs, nil
+}
 
-	// Aggregate. A fault on any host fails the job with the
-	// reconstructed engine error (the first faulting host's).
+// aggregate folds completed per-host results into the cluster-level
+// outcome.
+func aggregate(results []*JobResult) (*Aggregate, error) {
 	agg := &Aggregate{Rounds: -1, PerHost: results}
-	for _, res := range results {
-		if res.Fault != nil {
-			return nil, res.Fault.AsError()
-		}
-	}
 	for _, res := range results {
 		if agg.Scores == nil {
 			agg.Scores = make([]float64, len(res.Scores))

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrbc/internal/gluon"
@@ -87,7 +88,29 @@ type ProxyPlan struct {
 	// SeverHosts cuts every connection dialed by the listed hosts,
 	// permanently (isolates those hosts from the guarded one).
 	SeverHosts []int
+	// KillHosts + KillAtFrame model a host SIGKILL mid-run: a connection
+	// dialed by a listed host is severed at data frame KillAtFrame, and
+	// — unlike SeverHosts, which is stateless — once the kill has
+	// triggered, every later frame and connection from a listed host
+	// through this proxy is severed. Without the persistence the
+	// victim's retransmissions would deliver KillAtFrame fresh frames
+	// per re-dial, letting a "dead" host limp forward indefinitely.
+	KillHosts   []int
+	KillAtFrame int
+	// Kill shares the trigger state across the proxies modeling one
+	// host's death: a real SIGKILL drops every connection of the victim
+	// at once, so the first link to hit its trigger frame condemns the
+	// rest — per-link kills would leave the cluster with an ambiguous
+	// link failure instead of a dead host. Nil gets a private switch.
+	Kill *KillSwitch
 }
+
+// KillSwitch is the shared "host is dead" latch for a set of kill
+// plans; see ProxyPlan.Kill.
+type KillSwitch struct{ dead atomic.Bool }
+
+func (s *KillSwitch) trip()         { s.dead.Store(true) }
+func (s *KillSwitch) tripped() bool { return s.dead.Load() }
 
 func (p ProxyPlan) cleanAfter() int {
 	if p.CleanAfter <= 0 {
@@ -191,6 +214,9 @@ func NewFaultProxy(target string, plan ProxyPlan) (*FaultProxy, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("clusterrun: proxy listen: %w", err)
+	}
+	if len(plan.KillHosts) > 0 && plan.Kill == nil {
+		plan.Kill = &KillSwitch{}
 	}
 	p := &FaultProxy{
 		plan:     plan,
@@ -304,6 +330,12 @@ func (p *FaultProxy) handle(client net.Conn) {
 	p.attempts[from] = attempt + 1
 	p.mu.Unlock()
 
+	// A host whose kill already triggered stays dead: sever at the
+	// hello, before any retransmission gets through.
+	if p.killEligible(from) && p.plan.Kill.tripped() {
+		p.record(Decision{From: from, Attempt: attempt, Frame: -1, Act: ActSever})
+		return
+	}
 	if act := p.plan.Decide(from, attempt, -1); act == ActSever {
 		p.record(Decision{From: from, Attempt: attempt, Frame: -1, Act: ActSever})
 		return
@@ -314,6 +346,14 @@ func (p *FaultProxy) handle(client net.Conn) {
 	for frame := 0; ; frame++ {
 		buf, err := readProxyFrame(br)
 		if err != nil {
+			return
+		}
+		// Kill trigger: pure condition (from ∈ KillHosts, frame past the
+		// threshold), stateful persistence via the shared switch — the
+		// first link to trigger condemns every link of the dead host.
+		if p.killEligible(from) && (frame >= p.plan.KillAtFrame || p.plan.Kill.tripped()) {
+			p.plan.Kill.trip()
+			p.record(Decision{From: from, Attempt: attempt, Frame: frame, Act: ActSever})
 			return
 		}
 		act := p.plan.Decide(from, attempt, frame)
@@ -338,6 +378,17 @@ func (p *FaultProxy) handle(client net.Conn) {
 	}
 }
 
+// killEligible reports whether the plan schedules a kill for frames
+// dialed by this host.
+func (p *FaultProxy) killEligible(from int) bool {
+	for _, h := range p.plan.KillHosts {
+		if h == from {
+			return true
+		}
+	}
+	return false
+}
+
 // readProxyFrame reads one length-prefixed gluon frame off the stream
 // using the header's len field, returning the full frame bytes.
 func readProxyFrame(br *bufio.Reader) ([]byte, error) {
@@ -358,11 +409,11 @@ func readProxyFrame(br *bufio.Reader) ([]byte, error) {
 }
 
 // helloSender extracts the dialing host from a hello frame
-// ([1][u32 host] inside the frame payload), -1 if the first frame is
-// not a well-formed hello.
+// ([1][u32 host] or the epoch-stamped [1][u32 host][u32 epoch] inside
+// the frame payload), -1 if the first frame is not a well-formed hello.
 func helloSender(frame []byte) int {
 	_, payload, err := gluon.DecodeFrame(frame)
-	if err != nil || len(payload) != 5 || payload[0] != 1 {
+	if err != nil || (len(payload) != 5 && len(payload) != 9) || payload[0] != 1 {
 		return -1
 	}
 	return int(binary.LittleEndian.Uint32(payload[1:]))
@@ -430,6 +481,33 @@ func SeverPlans(hosts, victim int) []ProxyPlan {
 			plans[h] = ProxyPlan{SeverAll: true}
 		} else {
 			plans[h] = ProxyPlan{SeverHosts: []int{victim}}
+		}
+	}
+	return plans
+}
+
+// KillPlans builds the per-host plans for killing one victim once any
+// of its links reaches data frame frame: the victim's own proxy kills
+// inbound traffic from every other host (so the victim stops hearing
+// the cluster) and every survivor's proxy kills traffic dialed by the
+// victim. The plans share one KillSwitch, so the first link to trigger
+// silences every link at once — the victim dies like a SIGKILLed
+// process, not like a flaky cable. Traffic among survivors is
+// untouched.
+func KillPlans(hosts, victim, frame int) []ProxyPlan {
+	sw := &KillSwitch{}
+	plans := make([]ProxyPlan, hosts)
+	for h := range plans {
+		if h == victim {
+			others := make([]int, 0, hosts-1)
+			for o := 0; o < hosts; o++ {
+				if o != victim {
+					others = append(others, o)
+				}
+			}
+			plans[h] = ProxyPlan{KillHosts: others, KillAtFrame: frame, Kill: sw}
+		} else {
+			plans[h] = ProxyPlan{KillHosts: []int{victim}, KillAtFrame: frame, Kill: sw}
 		}
 	}
 	return plans

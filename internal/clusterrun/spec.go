@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mrbc/internal/dgalois"
+	"mrbc/internal/elastic"
 	"mrbc/internal/gluon"
 	"mrbc/internal/graph"
 	"mrbc/internal/mrbcdist"
@@ -64,11 +65,24 @@ type JobSpec struct {
 	DeadlineSteps int `json:"deadline_steps,omitempty"`
 	// StepMillis is the reliability step length in milliseconds.
 	StepMillis int `json:"step_millis,omitempty"`
+	// CheckpointDir, when non-empty, makes the daemon persist a boundary
+	// snapshot under <dir>/host<h>/ after every source batch (mrbcdist
+	// only, serial batches). The directory is shared across the cluster's
+	// daemons, so the coordinator can compute the latest common boundary
+	// and a replacement daemon can adopt a dead host's snapshots.
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	// ResumeBatch > 0 resumes the run from that batch boundary's
+	// snapshot in CheckpointDir instead of starting at batch 0.
+	ResumeBatch int `json:"resume_batch,omitempty"`
+	// Epoch is the cluster membership epoch: stamped into transport
+	// hellos (stale connections from other epochs are rejected) and into
+	// checkpoints. The coordinator bumps it on every recovery attempt.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // TCPOptions derives the transport tuning from the spec.
 func (s *JobSpec) TCPOptions() gluon.TCPOptions {
-	opts := gluon.TCPOptions{DeadlineSteps: s.DeadlineSteps}
+	opts := gluon.TCPOptions{DeadlineSteps: s.DeadlineSteps, Epoch: s.Epoch}
 	if s.StepMillis > 0 {
 		opts.StepInterval = millis(s.StepMillis)
 	}
@@ -104,6 +118,7 @@ type Fault struct {
 	Exchange int    `json:"exchange"`
 	Step     int    `json:"step"`
 	Pending  int    `json:"pending"`
+	Killed   bool   `json:"killed,omitempty"`
 	Reason   string `json:"reason"`
 }
 
@@ -112,7 +127,7 @@ func (f *Fault) AsError() error {
 	if f == nil {
 		return nil
 	}
-	return &dgalois.FaultError{Host: f.Host, Exchange: f.Exchange, Step: f.Step, Pending: f.Pending, Reason: f.Reason}
+	return &dgalois.FaultError{Host: f.Host, Exchange: f.Exchange, Step: f.Step, Pending: f.Pending, Killed: f.Killed, Reason: f.Reason}
 }
 
 // BuildPartitioning recomputes the job's deterministic partition plan.
@@ -158,12 +173,39 @@ func RunJob(spec *JobSpec, transport gluon.Transport, trace *obs.Trace, metrics 
 			Transport:     transport,
 			EngineWorkers: spec.EngineWorkers,
 			PipelineDepth: spec.PipelineDepth,
+			Epoch:         spec.Epoch,
 		}
 		if spec.CandidateSync {
 			opts.Sync = mrbcdist.CandidateSync
 		}
+		if spec.CheckpointDir != "" {
+			if spec.PipelineDepth > 1 {
+				return nil, fmt.Errorf("clusterrun: checkpointing requires serial batches (pipeline_depth %d)", spec.PipelineDepth)
+			}
+			sink, err := elastic.NewFileSink(spec.CheckpointDir, spec.Host)
+			if err != nil {
+				return nil, err
+			}
+			opts.Checkpoint = sink
+			if spec.ResumeBatch > 0 {
+				data, err := sink.Get(spec.ResumeBatch)
+				if err != nil {
+					return nil, fmt.Errorf("clusterrun: resume: %w", err)
+				}
+				snap, err := elastic.Decode(data)
+				if err != nil {
+					return nil, fmt.Errorf("clusterrun: resume: %w", err)
+				}
+				opts.Resume = snap
+			}
+		} else if spec.ResumeBatch > 0 {
+			return nil, fmt.Errorf("clusterrun: resume_batch %d without checkpoint_dir", spec.ResumeBatch)
+		}
 		scores, stats, runErr = mrbcdist.RunChecked(g, pt, spec.Sources, opts)
 	case "sbbc":
+		if spec.CheckpointDir != "" || spec.ResumeBatch > 0 {
+			return nil, fmt.Errorf("clusterrun: engine %q does not support checkpoint/resume", spec.Engine)
+		}
 		scores, stats, runErr = sbbc.RunOptsChecked(g, pt, spec.Sources, sbbc.Options{
 			Trace:     trace,
 			Metrics:   metrics,
@@ -194,7 +236,7 @@ func RunJob(spec *JobSpec, transport gluon.Transport, trace *obs.Trace, metrics 
 		if !asFault(runErr, &fe) {
 			return nil, runErr
 		}
-		res.Fault = &Fault{Host: fe.Host, Exchange: fe.Exchange, Step: fe.Step, Pending: fe.Pending, Reason: fe.Reason}
+		res.Fault = &Fault{Host: fe.Host, Exchange: fe.Exchange, Step: fe.Step, Pending: fe.Pending, Killed: fe.Killed, Reason: fe.Reason}
 		return res, nil
 	}
 	res.Scores = scores

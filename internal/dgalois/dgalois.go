@@ -87,6 +87,7 @@ type Cluster struct {
 	hostRoundG []*obs.Gauge
 	hostBytesC []*obs.Counter
 	hostMsgsC  []*obs.Counter
+	hostAliveG []*obs.Gauge // 1 while the host is believed alive, 0 once dead
 
 	computeWall    time.Duration
 	commWall       time.Duration
@@ -254,6 +255,10 @@ type ClusterOptions struct {
 	// reproduce the strictly synchronous BSP exchange. A provided
 	// in-process Transport must have a window of at least this size.
 	MaxInflight int
+	// Epoch is the membership epoch this cluster runs under (elastic
+	// recovery bumps it per restart attempt); published as the
+	// dgalois_epoch gauge so /progressz can surface it.
+	Epoch int
 }
 
 // NewCluster creates a cluster of the given number of hosts with a
@@ -309,17 +314,22 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 	c.metrics.Gauge("dgalois_hosts").Set(int64(hosts))
 	c.roundG = c.metrics.Gauge("dgalois_round")
 	c.roundG.Set(0)
+	c.metrics.Gauge("dgalois_epoch").Set(int64(opts.Epoch))
 	hostRoundV := c.metrics.GaugeVec("dgalois_host_last_round", "host", hosts)
 	hostBytesV := c.metrics.CounterVec("dgalois_host_bytes_total", "host", hosts)
 	hostMsgsV := c.metrics.CounterVec("dgalois_host_messages_total", "host", hosts)
+	hostAliveV := c.metrics.GaugeVec("dgalois_host_alive", "host", hosts)
 	c.hostRoundG = make([]*obs.Gauge, hosts)
 	c.hostBytesC = make([]*obs.Counter, hosts)
 	c.hostMsgsC = make([]*obs.Counter, hosts)
+	c.hostAliveG = make([]*obs.Gauge, hosts)
 	for h := 0; h < hosts; h++ {
 		c.hostRoundG[h] = hostRoundV.At(h)
 		c.hostRoundG[h].Set(0)
 		c.hostBytesC[h] = hostBytesV.At(h)
 		c.hostMsgsC[h] = hostMsgsV.At(h)
+		c.hostAliveG[h] = hostAliveV.At(h)
+		c.hostAliveG[h].Set(1)
 	}
 	c.maxInflight = opts.MaxInflight
 	if c.maxInflight < 1 {
@@ -440,6 +450,56 @@ func (c *Cluster) IsLocal(h int) bool { return c.isLocal(h) }
 // through.
 func (c *Cluster) Transport() gluon.Transport { return c.transport }
 
+// Cursor is the cluster's deterministic counter position: the phase
+// sequence number and the paper-model counters, as they stand. A
+// checkpoint stores the cursor at a batch boundary; Restore seeds a
+// fresh cluster with it so the resumed run's event numbering, round
+// counter, and Stats continue the pre-restore sequence exactly —
+// which is what makes resumed canonical traces byte-identical to
+// uninterrupted ones.
+type Cursor struct {
+	Seq      int64
+	Rounds   int64
+	Bytes    int64
+	Messages int64
+	Encoding gluon.EncodingCounts
+}
+
+// Cursor returns the cluster's current counter position (counters
+// relative to this cluster's construction baselines, like Stats).
+func (c *Cluster) Cursor() Cursor {
+	return Cursor{
+		Seq:      c.seq,
+		Rounds:   c.roundsC.Load() - c.baseRounds,
+		Bytes:    c.bytesC.Load() - c.baseBytes,
+		Messages: c.messagesC.Load() - c.baseMessages,
+		Encoding: gluon.EncodingCounts{
+			Dense:  c.encDenseC.Load() - c.baseEnc.Dense,
+			Sparse: c.encSparseC.Load() - c.baseEnc.Sparse,
+			All:    c.encAllC.Load() - c.baseEnc.All,
+		},
+	}
+}
+
+// Restore seeds the cluster's counters from a checkpointed cursor.
+// Must be called before the first phase runs: it advances the phase
+// sequence and the registry counters (leaving the construction
+// baselines untouched), after which Stats(), trace round numbers, and
+// later Cursor() calls all continue from the restored position with no
+// further arithmetic by the caller.
+func (c *Cluster) Restore(cur Cursor) {
+	if c.seq != 0 || c.roundsC.Load() != c.baseRounds {
+		panic("dgalois: Restore must run before the cluster's first phase")
+	}
+	c.seq = cur.Seq
+	c.roundsC.Add(cur.Rounds)
+	c.bytesC.Add(cur.Bytes)
+	c.messagesC.Add(cur.Messages)
+	c.encDenseC.Add(cur.Encoding.Dense)
+	c.encSparseC.Add(cur.Encoding.Sparse)
+	c.encAllC.Add(cur.Encoding.All)
+}
+
 func (c *Cluster) isLocal(h int) bool { return c.localHost < 0 || h == c.localHost }
 
 // AllReduce folds one control value per process across the cluster
@@ -454,7 +514,9 @@ func (c *Cluster) AllReduce(local int64, op gluon.ReduceOp) int64 {
 	}
 	v, err := c.transport.AllReduce(c.localHost, local, op)
 	if err != nil {
-		panic(abortPanic{err: faultErrorFrom(err)})
+		fe := faultErrorFrom(err)
+		c.markDead(fe.Host)
+		panic(abortPanic{err: fe})
 	}
 	return v
 }
@@ -708,11 +770,22 @@ func (c *Cluster) unpackTask(to int) {
 // once the phase drains (checkExchangeErr).
 func (c *Cluster) noteTransportError(err error) {
 	fe := faultErrorFrom(err)
+	c.markDead(fe.Host)
 	c.xmu.Lock()
 	if c.xerr == nil {
 		c.xerr = fe
 	}
 	c.xmu.Unlock()
+}
+
+// markDead flips a host's liveness gauge to 0 once the cluster has
+// evidence the host is gone (a kill tripped the delivery deadline, or a
+// remote backend reported a transport failure on its channels), so
+// /progressz stops treating its frozen last-round as straggler lag.
+func (c *Cluster) markDead(host int) {
+	if host >= 0 && host < len(c.hostAliveG) {
+		c.hostAliveG[host].Set(0)
+	}
 }
 
 // checkExchangeErr aborts the run with the recorded transport failure,

@@ -50,6 +50,13 @@ type FaultPlan struct {
 	// nor acknowledges. Stalls shorter than the deadline are recovered
 	// by redelivery; a permanent stall trips the deadline.
 	Stalls []Stall
+
+	// Kills silence hosts permanently from a point in the exchange
+	// schedule onward, modeling process death. Unlike a Stall, a kill is
+	// never recovered by redelivery: the next exchange involving the dead
+	// host trips the deadline with a Killed FaultError, and recovery is
+	// the elastic layer's job (checkpoint rollback + re-execution).
+	Kills []Kill
 }
 
 // Stall silences Host for the first Steps delivery steps of the BSP
@@ -60,6 +67,51 @@ type Stall struct {
 	Host     int
 	Exchange int
 	Steps    int
+}
+
+// Kill declares host dead from delivery step Step of BSP exchange
+// Exchange (0-based, counted across the cluster's lifetime) onward: the
+// host neither transmits, receives, nor acknowledges in any later step
+// or exchange. Step <= 1 kills the host before it transmits anything in
+// that exchange (mid-pack); a larger Step kills it mid-exchange, after
+// some frames are already on the wire.
+type Kill struct {
+	Host     int
+	Exchange int
+	Step     int
+}
+
+// killed reports whether host is dead at the given delivery step of the
+// given exchange under the plan's kill schedule.
+func (p *FaultPlan) killed(host, exchange, step int) bool {
+	for _, k := range p.Kills {
+		if k.Host == host && (exchange > k.Exchange || (exchange == k.Exchange && step >= k.Step)) {
+			return true
+		}
+	}
+	return false
+}
+
+// KillSchedule derives n seeded host-kill events for a cluster of the
+// given size, using the same splitmix64 hashing as the link-fault
+// decisions so a schedule replays exactly from its seed. Exchange
+// positions stay small (< 24) so every kill reliably lands inside even
+// short runs; steps alternate between mid-pack (before the victim
+// transmits) and mid-exchange.
+func KillSchedule(seed uint64, hosts, n int) []Kill {
+	if hosts <= 0 || n <= 0 {
+		return nil
+	}
+	kills := make([]Kill, 0, n)
+	for i := 0; i < n; i++ {
+		draw := func(k uint64) uint64 { return mix64(seed ^ mix64(uint64(i)<<8^k)) }
+		kills = append(kills, Kill{
+			Host:     int(draw(1) % uint64(hosts)),
+			Exchange: int(draw(2) % 24),
+			Step:     int(draw(3) % 6), // 0..5: ~1/3 mid-pack, rest mid-exchange
+		})
+	}
+	return kills
 }
 
 func (p *FaultPlan) maxDelay() int {
@@ -77,14 +129,14 @@ func (p *FaultPlan) deadline() int {
 }
 
 // stalled reports whether host is silenced at the given delivery step
-// of the given exchange.
+// of the given exchange, by a bounded stall or by a kill.
 func (p *FaultPlan) stalled(host, exchange, step int) bool {
 	for _, s := range p.Stalls {
 		if s.Host == host && s.Exchange == exchange && (s.Steps < 0 || step <= s.Steps) {
 			return true
 		}
 	}
-	return false
+	return p.killed(host, exchange, step)
 }
 
 // Decision kinds, mixed into the hash so the same transmission rolls
@@ -168,10 +220,11 @@ func RandomPlan(seed uint64, maxRate float64, hosts int) *FaultPlan {
 // past it). It aborts the run cleanly instead of deadlocking the BSP
 // barrier; consumers surface it through their *Checked run variants.
 type FaultError struct {
-	Host     int // implicated host, -1 if none identified
-	Exchange int // BSP exchange index that timed out
-	Step     int // delivery step at which the deadline expired
-	Pending  int // messages still undelivered or unacknowledged
+	Host     int  // implicated host, -1 if none identified
+	Exchange int  // BSP exchange index that timed out
+	Step     int  // delivery step at which the deadline expired
+	Pending  int  // messages still undelivered or unacknowledged
+	Killed   bool // the implicated host is dead (kill event), not slow
 	Reason   string
 }
 
@@ -179,6 +232,10 @@ func (e *FaultError) Error() string {
 	host := "unknown host"
 	if e.Host >= 0 {
 		host = fmt.Sprintf("host %d", e.Host)
+	}
+	if e.Killed {
+		return fmt.Sprintf("dgalois: exchange %d lost %s at delivery step %d (%d messages pending): %s",
+			e.Exchange, host, e.Step, e.Pending, e.Reason)
 	}
 	return fmt.Sprintf("dgalois: exchange %d exceeded its deadline at delivery step %d (%s, %d messages pending): %s",
 		e.Exchange, e.Step, host, e.Pending, e.Reason)
@@ -255,6 +312,15 @@ type FaultStats struct {
 	DeliverySteps    int64 // total delivery steps across exchanges
 	MaxDeliverySteps int   // slowest exchange, in delivery steps
 
+	// Elastic-recovery accounting: paper-model volume discarded and
+	// re-executed after host kills lives here, never in Stats.Bytes/
+	// Messages, so the surviving run's model counters match a kill-free
+	// run exactly.
+	Kills            int64 // host-kill events that fired
+	Restores         int64 // attempts resumed from a boundary snapshot
+	RecoveryBytes    int64 // paper-model bytes of discarded segments
+	RecoveryMessages int64 // paper-model messages of discarded segments
+
 	PerHost []HostFaultStats
 }
 
@@ -274,6 +340,10 @@ func (f *FaultStats) add(o *FaultStats) {
 	f.AckMessages += o.AckMessages
 	f.AckBytes += o.AckBytes
 	f.DeliverySteps += o.DeliverySteps
+	f.Kills += o.Kills
+	f.Restores += o.Restores
+	f.RecoveryBytes += o.RecoveryBytes
+	f.RecoveryMessages += o.RecoveryMessages
 	if o.MaxDeliverySteps > f.MaxDeliverySteps {
 		f.MaxDeliverySteps = o.MaxDeliverySteps
 	}

@@ -306,11 +306,13 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 }
 
 // deadlineError builds the structured error for an exchange that could
-// not complete: it implicates a host stalled at the deadline if there
-// is one, else the receiver of the first pending message.
+// not complete: it implicates a killed host first (a dead peer is a
+// stronger diagnosis than a slow one), then a host stalled at the
+// deadline, else the receiver of the first pending message.
 func (c *Cluster) deadlineError(chans []*reliableChannel, ex, step int) *FaultError {
 	pending := 0
 	host := -1
+	killed := false
 	reason := "messages undeliverable within the deadline"
 	for _, ch := range chans {
 		if ch.acked {
@@ -321,11 +323,18 @@ func (c *Cluster) deadlineError(chans []*reliableChannel, ex, step int) *FaultEr
 			host = ch.to
 		}
 		for _, h := range []int{ch.from, ch.to} {
-			if c.plan.stalled(h, ex, step) {
+			if c.plan.killed(h, ex, step) {
+				host = h
+				killed = true
+				reason = fmt.Sprintf("host %d killed during exchange %d", h, ex)
+			} else if !killed && c.plan.stalled(h, ex, step) {
 				host = h
 				reason = fmt.Sprintf("host %d stalled past the %d-step deadline", h, c.plan.deadline())
 			}
 		}
 	}
-	return &FaultError{Host: host, Exchange: ex, Step: step, Pending: pending, Reason: reason}
+	if killed {
+		c.markDead(host)
+	}
+	return &FaultError{Host: host, Exchange: ex, Step: step, Pending: pending, Killed: killed, Reason: reason}
 }

@@ -1,0 +1,111 @@
+package elastic
+
+import "sync"
+
+// Membership eventbus: the control-plane channel on which the elastic
+// coordinator publishes host-lifecycle transitions (host down, host
+// replaced, cluster rollback, resume, checkpoint progress) and on which
+// tools and tests observe them. Topic-keyed subscriber registry with
+// per-subscription IDs and non-blocking delivery: a slow subscriber
+// drops events rather than stalling recovery — the bus is a progress
+// feed, not a durability layer (checkpoints are).
+
+// Bus topics.
+const (
+	// TopicHostDown: a host was declared dead (Host, Epoch it died in,
+	// Batch it had reached).
+	TopicHostDown = "host.down"
+	// TopicHostReplaced: a replacement daemon adopted the dead host's
+	// slot and partition.
+	TopicHostReplaced = "host.replaced"
+	// TopicRollback: every surviving host rolls back to the common
+	// batch boundary (Batch).
+	TopicRollback = "cluster.rollback"
+	// TopicResumed: the cluster resumed under a new epoch (Epoch).
+	TopicResumed = "cluster.resumed"
+	// TopicCheckpoint: a boundary snapshot was persisted (Host, Batch).
+	TopicCheckpoint = "checkpoint.saved"
+)
+
+// Event is one membership/recovery transition.
+type Event struct {
+	Topic  string
+	Host   int // host concerned, -1 for cluster-wide transitions
+	Epoch  int // membership epoch the transition belongs to
+	Batch  int // batch boundary involved (rollback target, checkpoint)
+	Detail string
+}
+
+type subscriber struct {
+	id uint64
+	ch chan Event
+}
+
+// Bus is a topic-keyed publish/subscribe registry. The zero value is
+// not usable; a nil *Bus is a valid no-op publisher, so recovery paths
+// need no guards.
+type Bus struct {
+	mu     sync.Mutex
+	nextID uint64
+	subs   map[string][]subscriber
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[string][]subscriber)}
+}
+
+// Subscribe registers a listener for one topic (or every topic with
+// topic == ""). Events are delivered on the returned channel, which
+// buffers up to buffer events (minimum 1); events beyond a full buffer
+// are dropped for that subscriber. The returned cancel func removes the
+// subscription and closes the channel.
+func (b *Bus) Subscribe(topic string, buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.subs[topic] = append(b.subs[topic], subscriber{id: id, ch: ch})
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		list := b.subs[topic]
+		for i, s := range list {
+			if s.id == id {
+				b.subs[topic] = append(list[:i:i], list[i+1:]...)
+				close(s.ch)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// Publish delivers the event to the topic's subscribers and to the
+// catch-all ("") subscribers, without blocking. No-op on a nil bus.
+func (b *Bus) Publish(e Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	targets := make([]chan Event, 0, 4)
+	for _, s := range b.subs[e.Topic] {
+		targets = append(targets, s.ch)
+	}
+	if e.Topic != "" {
+		for _, s := range b.subs[""] {
+			targets = append(targets, s.ch)
+		}
+	}
+	b.mu.Unlock()
+	for _, ch := range targets {
+		select {
+		case ch <- e:
+		default: // subscriber lagging: drop rather than stall recovery
+		}
+	}
+}

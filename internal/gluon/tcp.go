@@ -58,6 +58,13 @@ type TCPOptions struct {
 	RetrySteps int
 	// DialTimeout bounds a single (re-)dial attempt (default 2 s).
 	DialTimeout time.Duration
+	// Epoch is the cluster membership epoch this transport belongs to.
+	// Hellos are epoch-stamped and a listener rejects connections whose
+	// epoch differs from its own, so after an elastic restart the stale
+	// retransmissions of a killed host's socket (or of a survivor that
+	// has not been restarted yet) cannot leak into the new attempt.
+	// Epoch 0 accepts legacy 5-byte hellos as epoch 0.
+	Epoch int
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -223,6 +230,9 @@ func (t *TCPTransport) Gather(exchange, to int) ([][]byte, error) {
 		}
 		if steps > t.opts.DeadlineSteps {
 			host, pending := t.firstMissing(exchange)
+			if stalled := t.mostStalledPeer(); stalled >= 0 {
+				host = stalled
+			}
 			return nil, &TransportError{Host: host, Exchange: exchange, Pending: pending, Steps: steps,
 				Reason: "stall deadline exceeded waiting for exchange messages"}
 		}
@@ -273,7 +283,11 @@ func (t *TCPTransport) GatherFrom(exchange, to, from int) ([]byte, error) {
 			return nil, &TransportError{Host: from, Exchange: exchange, Steps: steps, Reason: "transport closed"}
 		}
 		if steps > t.opts.DeadlineSteps {
-			return nil, &TransportError{Host: from, Exchange: exchange, Pending: 1, Steps: steps,
+			host := from
+			if stalled := t.mostStalledPeer(); stalled >= 0 {
+				host = stalled
+			}
+			return nil, &TransportError{Host: host, Exchange: exchange, Pending: 1, Steps: steps,
 				Reason: "stall deadline exceeded waiting for exchange message"}
 		}
 	}
@@ -337,7 +351,7 @@ func (t *TCPTransport) AllReduce(host int, local int64, op ReduceOp) (int64, err
 				pending -= cell.n
 			}
 			t.mu.Unlock()
-			return 0, &TransportError{Host: -1, Exchange: -1, Pending: pending, Steps: steps,
+			return 0, &TransportError{Host: t.mostStalledPeer(), Exchange: -1, Pending: pending, Steps: steps,
 				Reason: fmt.Sprintf("stall deadline exceeded waiting for reduce round %d", r)}
 		}
 	}
@@ -441,6 +455,30 @@ func (t *TCPTransport) peerError() error {
 	return nil
 }
 
+// mostStalledPeer names the peer with unacked outbound data that has
+// gone the longest without ack progress, or -1 when every queue is
+// moving. When a collective deadline trips, this is the best available
+// diagnosis of WHO is dead: a peer ignoring retransmissions is far
+// stronger evidence than a missing payload, which any upstream stall
+// can explain — and the elastic coordinator's survivor vote needs every
+// host to name the true victim, not the first casualty it noticed.
+func (t *TCPTransport) mostStalledPeer() (host int) {
+	host = -1
+	best := 0
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if len(p.unacked) > 0 && p.waitSteps > best {
+			best = p.waitSteps
+			host = p.host
+		}
+		p.mu.Unlock()
+	}
+	return host
+}
+
 // firstMissing names the lowest-numbered sender whose message for the
 // exchange has not arrived, plus the total number still missing.
 func (t *TCPTransport) firstMissing(exchange int) (host, pending int) {
@@ -495,13 +533,24 @@ func (t *TCPTransport) acceptLoop() {
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	// First frame must be the hello identifying the dialing host.
+	// First frame must be the hello identifying the dialing host: 9
+	// bytes [recHello][u32 host][u32 epoch], or the legacy 5-byte form
+	// without the epoch (treated as epoch 0). A dialer from another
+	// membership epoch — a killed host's socket still retransmitting, or
+	// a survivor not yet rolled over — is dropped at the door.
 	_, body, err := readFrame(conn)
-	if err != nil || len(body) != 5 || body[0] != recHello {
+	if err != nil || (len(body) != 5 && len(body) != 9) || body[0] != recHello {
 		return
 	}
 	from := int(binary.LittleEndian.Uint32(body[1:]))
 	if from < 0 || from >= t.hosts || from == t.self {
+		return
+	}
+	epoch := 0
+	if len(body) == 9 {
+		epoch = int(binary.LittleEndian.Uint32(body[5:]))
+	}
+	if epoch != t.opts.Epoch {
 		return
 	}
 	t.mu.Lock()
@@ -700,9 +749,10 @@ func (p *tcpPeer) ensureConnLocked() bool {
 	if err != nil {
 		return false
 	}
-	hello := make([]byte, 5)
+	hello := make([]byte, 9)
 	hello[0] = recHello
 	binary.LittleEndian.PutUint32(hello[1:], uint32(p.t.self))
+	binary.LittleEndian.PutUint32(hello[5:], uint32(p.t.opts.Epoch))
 	if err := writeFrame(conn, 0, hello); err != nil {
 		conn.Close()
 		return false

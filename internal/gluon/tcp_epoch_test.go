@@ -1,0 +1,125 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// epochPair builds a 2-host TCP cluster where each side runs at its
+// own membership epoch.
+func epochPair(t *testing.T, epoch0, epoch1 int) (a, b Transport) {
+	t.Helper()
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for h := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen host %d: %v", h, err)
+		}
+		lns[h] = ln
+		addrs[h] = ln.Addr().String()
+	}
+	opts := TCPOptions{DeadlineSteps: 20, StepInterval: 5 * time.Millisecond}
+	o0, o1 := opts, opts
+	o0.Epoch = epoch0
+	o1.Epoch = epoch1
+	t0, err := NewTCPTransport(0, addrs, lns[0], o0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := NewTCPTransport(1, addrs, lns[1], o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { t0.Close(); t1.Close() })
+	return t0, t1
+}
+
+// TestTCPEpochMatchDelivers pins that a non-zero shared epoch is
+// transparent: hellos carry it, receivers accept it, payloads flow.
+func TestTCPEpochMatchDelivers(t *testing.T) {
+	t0, t1 := epochPair(t, 7, 7)
+	if err := t0.Send(0, 0, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Send(0, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := t1.Gather(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bufs[0]) != "payload" {
+		t.Fatalf("payload corrupted across epoch-7 cluster: %q", bufs[0])
+	}
+}
+
+// TestTCPEpochMismatchIsRejected pins the membership fence: a dialer
+// from another epoch — a killed host's socket still retransmitting, or
+// a survivor that has not rolled over — is dropped at its hello, so
+// the receiver's exchange times out instead of accepting stale data.
+func TestTCPEpochMismatchIsRejected(t *testing.T) {
+	t0, t1 := epochPair(t, 1, 2)
+	if err := t0.Send(0, 0, 1, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := t1.Gather(0, 1)
+	if err == nil {
+		t.Fatal("Gather accepted a payload from a mismatched epoch")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("Gather error = %T (%v), want *TransportError", err, err)
+	}
+	if te.Host != 0 {
+		t.Fatalf("TransportError blamed host %d, want the stale dialer 0", te.Host)
+	}
+}
+
+// TestTCPLegacyHelloAcceptedAtEpochZero pins wire compatibility: an
+// epoch-0 listener still accepts the pre-epoch 5-byte hello (treated
+// as epoch 0), and a non-zero-epoch listener closes on it.
+func TestTCPLegacyHelloAcceptedAtEpochZero(t *testing.T) {
+	dialLegacy := func(epoch int) error {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := []string{ln.Addr().String(), "127.0.0.1:1"}
+		tr, err := NewTCPTransport(0, addrs, ln, TCPOptions{Epoch: epoch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		conn, err := net.Dial("tcp", addrs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		hello := make([]byte, 5)
+		hello[0] = recHello
+		binary.LittleEndian.PutUint32(hello[1:], 1)
+		if err := writeFrame(conn, 0, hello); err != nil {
+			t.Fatal(err)
+		}
+		// An accepted hello leaves the connection open (the read blocks
+		// until our deadline); a rejected one is closed by the server.
+		conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		_, err = conn.Read(make([]byte, 1))
+		return err
+	}
+	if err := dialLegacy(0); !isTimeout(err) {
+		t.Fatalf("epoch-0 server should hold a legacy hello open, got %v", err)
+	}
+	if err := dialLegacy(3); isTimeout(err) {
+		t.Fatal("epoch-3 server held a legacy (epoch-0) hello open; want rejection")
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -21,6 +21,7 @@ import (
 
 	"mrbc/internal/core"
 	"mrbc/internal/dgalois"
+	"mrbc/internal/elastic"
 	"mrbc/internal/gluon"
 	"mrbc/internal/graph"
 	"mrbc/internal/obs"
@@ -110,6 +111,26 @@ type Options struct {
 	// (gluon.NewMemTransportWindow); SPMD processes of one job must
 	// agree on the depth.
 	PipelineDepth int
+	// Checkpoint, when non-nil, persists a boundary snapshot into the
+	// sink after every source batch: the scores folded so far plus the
+	// cluster's deterministic counter cursor. Batch boundaries are exact
+	// recovery units (all other engine state is rebuilt per batch), so a
+	// run resumed from any persisted boundary is bitwise identical to the
+	// uninterrupted run from that point on. Requires the serial batch
+	// loop (PipelineDepth ≤ 1): a pipelined run has no single boundary at
+	// which all engine state is quiescent.
+	Checkpoint elastic.Sink
+	// Resume, when non-nil, starts the run at the snapshot's boundary
+	// instead of batch 0: scores are restored bitwise and the cluster's
+	// phase-sequence and paper-model counters are seeded from the
+	// snapshot's cursor, so trace numbering and Stats continue the
+	// pre-restore sequence exactly. The snapshot's cluster size must
+	// match the partitioning. Requires PipelineDepth ≤ 1.
+	Resume *elastic.Snapshot
+	// Epoch is the membership epoch the run executes under (elastic
+	// recovery bumps it per attempt); stamped into checkpoints and the
+	// dgalois_epoch gauge.
+	Epoch int
 }
 
 func (o Options) withDefaults() Options {
@@ -226,6 +247,9 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 		}
 	}
 	depth := pipelineDepth(opts, len(sources))
+	if (opts.Checkpoint != nil || opts.Resume != nil) && depth > 1 {
+		panic("mrbcdist: checkpoint/resume requires the serial batch loop (PipelineDepth <= 1)")
+	}
 	topo := gluon.NewTopology(pt)
 	cluster := dgalois.NewClusterOpts(pt.NumHosts, dgalois.ClusterOptions{
 		Plan:        opts.Fault,
@@ -234,25 +258,76 @@ func RunChecked(g *graph.Graph, pt *partition.Partitioning, sources []uint32, op
 		Workers:     opts.Workers,
 		Transport:   opts.Transport,
 		MaxInflight: depth,
+		Epoch:       opts.Epoch,
 	})
 	defer cluster.Close()
 	cluster.SetEncoding(opts.Encoding)
 	scores := make([]float64, n)
 	prog := newProgressGauges(opts.Metrics)
+	startBatch := 0
+	if rs := opts.Resume; rs != nil {
+		if rs.Hosts != pt.NumHosts {
+			panic(fmt.Sprintf("mrbcdist: snapshot belongs to a %d-host cluster, partitioning has %d", rs.Hosts, pt.NumHosts))
+		}
+		if len(rs.Scores) != n {
+			panic(fmt.Sprintf("mrbcdist: snapshot carries %d scores, graph has %d vertices", len(rs.Scores), n))
+		}
+		copy(scores, rs.Scores)
+		startBatch = rs.NextBatch
+		cluster.Restore(dgalois.Cursor{Seq: rs.Seq, Rounds: rs.Rounds,
+			Bytes: rs.Bytes, Messages: rs.Messages, Encoding: rs.Encoding})
+		if opts.Trace.Enabled() {
+			opts.Trace.Emit(obs.Event{Kind: obs.KindElastic, Phase: obs.PhaseRestore,
+				Batch: int32(startBatch), Host: int32(cluster.LocalHost())})
+		}
+	}
 	err := dgalois.Capture(func() {
 		if depth > 1 {
 			runPipelined(cluster, topo, pt, sources, scores, opts, depth, prog)
 			return
 		}
-		for start, bi := 0, 0; start < len(sources); start, bi = start+opts.BatchSize, bi+1 {
+		for start, bi := startBatch*opts.BatchSize, startBatch; start < len(sources); start, bi = start+opts.BatchSize, bi+1 {
 			end := start + opts.BatchSize
 			if end > len(sources) {
 				end = len(sources)
 			}
 			runBatch(cluster, topo, pt, sources[start:end], scores, opts, bi, prog)
+			saveCheckpoint(cluster, scores, bi+1, opts)
 		}
 	})
 	return scores, cluster.Stats(), err
+}
+
+// saveCheckpoint persists the batch-boundary snapshot into
+// Options.Checkpoint (no-op when checkpointing is off). It runs inside
+// the run's Capture, so a sink failure aborts the run through the same
+// structured-fault path as a transport failure — a checkpoint that
+// silently failed would turn a later restore into data loss.
+func saveCheckpoint(cluster *dgalois.Cluster, scores []float64, next int, opts Options) {
+	if opts.Checkpoint == nil {
+		return
+	}
+	cur := cluster.Cursor()
+	data := elastic.Encode(&elastic.Snapshot{
+		Host:      cluster.LocalHost(),
+		Hosts:     cluster.NumHosts(),
+		Epoch:     opts.Epoch,
+		NextBatch: next,
+		Seq:       cur.Seq,
+		Rounds:    cur.Rounds,
+		Bytes:     cur.Bytes,
+		Messages:  cur.Messages,
+		Encoding:  cur.Encoding,
+		Scores:    scores,
+	})
+	if err := opts.Checkpoint.Put(next, data); err != nil {
+		dgalois.Abort(&dgalois.FaultError{Host: cluster.LocalHost(), Exchange: -1,
+			Reason: "checkpoint: " + err.Error()})
+	}
+	if opts.Trace.Enabled() {
+		opts.Trace.Emit(obs.Event{Kind: obs.KindElastic, Phase: obs.PhaseCheckpoint,
+			Batch: int32(next), Host: int32(cluster.LocalHost())})
+	}
 }
 
 // makeStates builds one batch's per-host engine state in a single BSP

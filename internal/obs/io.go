@@ -89,7 +89,7 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 func Canonical(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
-		if e.Kind != KindWorker {
+		if e.Kind != KindWorker && e.Kind != KindElastic {
 			out = append(out, e)
 		}
 	}
@@ -145,7 +145,7 @@ func WriteCanonical(w io.Writer, events []Event) error {
 func ModelEvents(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
-		if e.Kind != KindTransport && e.Kind != KindWorker {
+		if e.Kind != KindTransport && e.Kind != KindWorker && e.Kind != KindElastic {
 			out = append(out, e)
 		}
 	}

@@ -52,6 +52,12 @@ const (
 	// transport events, these are execution artifacts (stealing is
 	// timing-dependent), so Canonical and ModelEvents drop them.
 	KindWorker Kind = "worker"
+	// KindElastic marks checkpoint/restore transitions of the elastic
+	// runtime (Phase is PhaseCheckpoint or PhaseRestore, Batch the
+	// boundary). Recovery artifacts, not algorithm events: Canonical and
+	// ModelEvents drop them, which is what lets a resumed run's
+	// canonical trace match the uninterrupted run's byte for byte.
+	KindElastic Kind = "elastic"
 )
 
 // Phase identifies the BSP phase slice of a KindPhase event.
@@ -65,6 +71,10 @@ const (
 	// PhaseBarrier is the time a host idles at the compute barrier
 	// waiting for the slowest host (max duration − own duration).
 	PhaseBarrier Phase = "barrier"
+	// PhaseCheckpoint/PhaseRestore tag KindElastic events: a boundary
+	// snapshot was persisted / a run resumed from one.
+	PhaseCheckpoint Phase = "checkpoint"
+	PhaseRestore    Phase = "restore"
 )
 
 // Direction tags send events.

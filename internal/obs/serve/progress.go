@@ -11,6 +11,11 @@ type HostProgress struct {
 	// Bytes and Messages are the host's cumulative sent volume.
 	Bytes    int64 `json:"bytes"`
 	Messages int64 `json:"messages"`
+	// Alive is false once the cluster has declared the host dead
+	// (dgalois_host_alive). A dead host is frozen at its last round
+	// forever, so it is excluded from the straggler-lag spread — lag
+	// measures slow hosts, not dead ones.
+	Alive bool `json:"alive"`
 }
 
 // WorkerProgress is one intra-host engine worker's cumulative
@@ -45,9 +50,16 @@ type Progress struct {
 	Backward bool `json:"backward"`
 	// Hosts lists per-host positions, ascending host order.
 	Hosts []HostProgress `json:"hosts,omitempty"`
+	// Epoch is the cluster membership epoch (dgalois_epoch): 0 for a
+	// first life, bumped by the elastic coordinator on every recovery.
+	Epoch int64 `json:"epoch"`
+	// DeadHosts counts hosts the cluster has declared dead this epoch.
+	DeadHosts int `json:"dead_hosts,omitempty"`
 	// StragglerLag is the spread of the per-host last-completed-round
-	// vector (max − min): 0 when every host is at the same round, ≥1
-	// while at least one host lags the front-runner.
+	// vector (max − min) across LIVE hosts: 0 when every live host is at
+	// the same round, ≥1 while at least one lags the front-runner. Dead
+	// hosts are excluded — a killed host would otherwise report as an
+	// ever-growing lag for the rest of the run.
 	StragglerLag int64 `json:"straggler_lag"`
 	// Workers lists per-engine-worker scheduler totals, present only
 	// when the run used intra-host workers (mrbc EngineWorkers > 1).
@@ -81,11 +93,20 @@ func ProgressFrom(s obs.Snapshot) Progress {
 		p.EngineRound = s.Gauges["vprog_round"]
 		p.Frontier = s.Gauges["vprog_active"]
 	}
+	p.Epoch = s.Gauges["dgalois_epoch"]
 	rounds := s.GaugeVecs["dgalois_host_last_round"]
 	bytes := s.CounterVecs["dgalois_host_bytes_total"]
 	msgs := s.CounterVecs["dgalois_host_messages_total"]
+	alive := s.GaugeVecs["dgalois_host_alive"]
+	isAlive := func(h int) bool {
+		// Runs predating the liveness gauge report no vector at all:
+		// treat every host as alive rather than as dead.
+		return h >= len(alive.Values) || alive.Values[h] != 0
+	}
+	var first = true
+	var lo, hi int64
 	for h := 0; h < len(rounds.Values); h++ {
-		hp := HostProgress{Host: h, LastRound: rounds.Values[h]}
+		hp := HostProgress{Host: h, LastRound: rounds.Values[h], Alive: isAlive(h)}
 		if h < len(bytes.Values) {
 			hp.Bytes = bytes.Values[h]
 		}
@@ -93,14 +114,17 @@ func ProgressFrom(s obs.Snapshot) Progress {
 			hp.Messages = msgs.Values[h]
 		}
 		p.Hosts = append(p.Hosts, hp)
-	}
-	if len(rounds.Values) > 0 {
-		lo, hi := rounds.Values[0], rounds.Values[0]
-		for _, r := range rounds.Values[1:] {
-			lo, hi = min(lo, r), max(hi, r)
+		if !hp.Alive {
+			p.DeadHosts++
+			continue
 		}
-		p.StragglerLag = hi - lo
+		if first {
+			lo, hi, first = hp.LastRound, hp.LastRound, false
+		} else {
+			lo, hi = min(lo, hp.LastRound), max(hi, hp.LastRound)
+		}
 	}
+	p.StragglerLag = hi - lo
 	wt := s.CounterVecs["mrbc_worker_tasks_total"]
 	wst := s.CounterVecs["mrbc_worker_steals_total"]
 	var sum, peak int64

@@ -136,6 +136,42 @@ func TestProgressFromSnapshot(t *testing.T) {
 	}
 }
 
+// TestProgressDeadHostExcludedFromLag pins the elastic-runtime fix: a
+// host the cluster declared dead (dgalois_host_alive = 0) is frozen at
+// its last round forever, so it must be surfaced as dead and excluded
+// from the straggler-lag spread rather than reported as an ever-growing
+// lag. Runs predating the liveness gauge (no vector in the snapshot)
+// keep the old everyone-is-alive reading.
+func TestProgressDeadHostExcludedFromLag(t *testing.T) {
+	s := obs.Snapshot{
+		Gauges: map[string]int64{"dgalois_round": 40, "dgalois_epoch": 2},
+		GaugeVecs: map[string]obs.VecSnapshot{
+			"dgalois_host_last_round": {Label: "host", Values: []int64{40, 39, 12, 40}},
+			"dgalois_host_alive":      {Label: "host", Values: []int64{1, 1, 0, 1}},
+		},
+	}
+	p := serve.ProgressFrom(s)
+	if p.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", p.Epoch)
+	}
+	if p.DeadHosts != 1 || p.Hosts[2].Alive || !p.Hosts[1].Alive {
+		t.Fatalf("liveness not surfaced: %+v", p.Hosts)
+	}
+	if p.StragglerLag != 1 {
+		t.Fatalf("straggler lag = %d, want 1 — host 2 is dead at round 12, not lagging by 28", p.StragglerLag)
+	}
+
+	// Without the liveness vector every host counts.
+	delete(s.GaugeVecs, "dgalois_host_alive")
+	p = serve.ProgressFrom(s)
+	if p.DeadHosts != 0 || !p.Hosts[2].Alive {
+		t.Fatalf("absent liveness vector must read as all-alive: %+v", p.Hosts)
+	}
+	if p.StragglerLag != 28 {
+		t.Fatalf("legacy straggler lag = %d, want 28", p.StragglerLag)
+	}
+}
+
 // TestProgressLiveStraggler pins liveness deterministically: with one
 // host blocked inside a compute phase, a concurrent snapshot sees the
 // finished host ahead of the blocked one.
