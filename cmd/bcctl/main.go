@@ -27,6 +27,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -37,6 +39,9 @@ import (
 	"mrbc/internal/clusterrun"
 	"mrbc/internal/gen"
 	"mrbc/internal/graph"
+	"mrbc/internal/obs"
+	"mrbc/internal/obs/merge"
+	"mrbc/internal/obs/serve"
 )
 
 func main() {
@@ -73,6 +78,8 @@ func run() error {
 		killHost  = flag.Int("kill-host", -1, "chaos: SIGKILL this host's daemon mid-run (implies -elastic)")
 		killAfter = flag.Duration("kill-after", 500*time.Millisecond, "chaos: delay before -kill-host fires")
 		deadline  = flag.Int("deadline-steps", 0, "transport stall deadline in reliability steps (0: gluon default)")
+		serveAddr = flag.String("serve", "", "serve live cluster progress (/clusterz) on this address while the job runs")
+		ctrace    = flag.String("cluster-trace", "", "ship every host's trace, merge + check them, and write the cluster trace here")
 	)
 	flag.Parse()
 	if *killHost >= 0 {
@@ -106,7 +113,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("bcd binary: %w (build it with: go build ./cmd/bcd)", err)
 	}
-	copts := clusterrun.ClusterOptions{BcdPath: bcd, Hosts: *hosts, Spares: *spares}
+	copts := clusterrun.ClusterOptions{BcdPath: bcd, Hosts: *hosts, Spares: *spares, Metrics: *serveAddr != ""}
 	if *verbose {
 		copts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -119,6 +126,19 @@ func run() error {
 	defer cluster.Close()
 	fmt.Printf("cluster: %d bcd processes up (+%d spares)\n", *hosts, *spares)
 
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/clusterz", serve.ClusterzHandler(cluster.MetricsAddrs, 2*time.Second))
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving cluster progress on http://%s/clusterz\n", ln.Addr())
+	}
+
 	spec := clusterrun.JobSpec{
 		Engine:        *engine,
 		GraphPath:     path,
@@ -126,10 +146,12 @@ func run() error {
 		Sources:       sources,
 		BatchSize:     *batch,
 		TracePath:     *tracePref,
+		ShipTrace:     *ctrace != "",
 		DeadlineSteps: *deadline,
 	}
 	start := time.Now()
 	var agg *clusterrun.Aggregate
+	var shipped []obs.Event
 	if *elasticOn {
 		dir := *ckptDir
 		if dir == "" {
@@ -159,13 +181,27 @@ func run() error {
 			fmt.Printf("elastic: %d attempts, victims %v, resumed from batches %v, %d recovery bytes / %d recovery msgs discarded\n",
 				rep.Attempts, rep.Victims, rep.ResumeBatches, rep.RecoveryBytes, rep.RecoveryMessages)
 		}
+		if rep != nil {
+			shipped = rep.ShippedTraces
+		}
 	} else {
 		agg, err = cluster.Run(spec, clusterrun.RunOptions{Timeout: *timeout})
+		if agg != nil {
+			for _, res := range agg.PerHost {
+				shipped = append(shipped, res.Trace...)
+			}
+		}
 	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+
+	if *ctrace != "" {
+		if err := writeClusterTrace(*ctrace, shipped, *hosts); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("done: %d sources in %v, %d rounds, %d messages, %d bytes\n",
 		len(sources), elapsed.Round(time.Millisecond), agg.Rounds, agg.Messages, agg.Bytes)
@@ -187,6 +223,65 @@ func run() error {
 	}
 
 	printTop(agg.Scores, *topK)
+	return nil
+}
+
+// writeClusterTrace merges the shipped per-host streams into one
+// cluster trace, proves it (conservation on the converged epoch,
+// send/recv pairing, the global Lemma 8 bound), writes it, and prints
+// the conservation totals and the critical-path attribution.
+func writeClusterTrace(path string, shipped []obs.Event, hosts int) error {
+	if len(shipped) == 0 {
+		return fmt.Errorf("-cluster-trace: no trace events shipped (did every host fail?)")
+	}
+	traces, err := merge.SplitEvents(shipped, hosts)
+	if err != nil {
+		return err
+	}
+	m, err := merge.Merge(traces)
+	if err != nil {
+		return err
+	}
+	// The converged epoch must prove out exactly; earlier epochs died
+	// mid-exchange and legitimately carry unpaired links.
+	fin := merge.FinalEpoch(m.Events)
+	evs := merge.EpochEvents(m.Events, fin)
+	cons, err := merge.CheckConservation(evs)
+	if err != nil {
+		return fmt.Errorf("cluster trace: %w", err)
+	}
+	if err := merge.CheckPairing(evs); err != nil {
+		return fmt.Errorf("cluster trace: %w", err)
+	}
+	if err := merge.CheckRoundBoundsGlobal(evs, 0); err != nil {
+		return fmt.Errorf("cluster trace: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("cluster trace: %d events over %d hosts -> %s\n", len(m.Events), m.Hosts, path)
+	fmt.Printf("conservation: %d links, %d bytes, %d messages conserved exactly (epoch %d)\n",
+		cons.Links, cons.Bytes, cons.Messages, fin)
+	if cons.RetryBytes > 0 || cons.Redials > 0 {
+		fmt.Printf("  recovery (itemized separately): %d retry msgs, %d retry bytes, %d redials\n",
+			cons.RetryMessages, cons.RetryBytes, cons.Redials)
+	}
+	_, blame := merge.CriticalPath(m.Events)
+	for i, hb := range blame {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("critical path: host %d bounded %d rounds (%.0f%% of bounded time)\n",
+			hb.Host, hb.Rounds, 100*hb.Share)
+	}
 	return nil
 }
 

@@ -26,6 +26,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mrbc/internal/clusterrun"
 	"mrbc/internal/obs"
@@ -64,6 +66,22 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("BCD METRICS http://%s/metrics\n", addr)
 	}
+
+	// On SIGTERM/SIGINT, force every in-flight job's trace sink to disk
+	// before dying: a decommissioned host's partial trace is the
+	// post-mortem artifact the cluster merge reads, so it must survive
+	// the process. (SIGKILL skips this — the streaming sink's
+	// one-line-per-write discipline keeps even that trace parseable.)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigs
+		if err := clusterrun.FlushActiveTraces(); err != nil {
+			fmt.Fprintln(os.Stderr, "bcd: flush traces:", err)
+		}
+		fmt.Fprintln(os.Stderr, "bcd: exiting on", s)
+		os.Exit(1)
+	}()
 
 	// The ready line is the contract with coordinators: stdout, exact
 	// prefix, control address after the '='.

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrbc/internal/obs"
+)
+
+// writeHostFiles writes per-host stamped trace files shaped like a
+// hosts-process SPMD run with E exchanges: header first, then per-host
+// phase slices, per-pair links, and the duplicated cluster-wide
+// exchange and batch events every bcd process records.
+func writeHostFiles(t *testing.T, dir string, hosts, exchanges int) []string {
+	t.Helper()
+	sent := func(from, to, i int) int64 { return int64(100 + 10*from + to + i) }
+	paths := make([]string, hosts)
+	for h := 0; h < hosts; h++ {
+		evs := []obs.Event{obs.Header(h, hosts, 0)}
+		for i := 0; i < exchanges; i++ {
+			seq := int64(3*i + 1)
+			round := int32(i + 1)
+			start := int64(1_000_000*i + 500)
+			evs = append(evs, obs.Event{Kind: obs.KindPhase, Seq: seq, Round: round,
+				Host: int32(h), Phase: obs.PhaseCompute,
+				StartNs: start, DurNs: int64(10_000 * (h + 1))})
+			var packed, recvd int64
+			for p := 0; p < hosts; p++ {
+				if p == h {
+					continue
+				}
+				packed += sent(h, p, i)
+				recvd += sent(p, h, i)
+				evs = append(evs,
+					obs.Event{Kind: obs.KindLink, Seq: seq + 1, Round: round,
+						Host: int32(h), Peer: int32(p), Phase: obs.PhasePack,
+						Bytes: sent(h, p, i), Messages: 1, Dense: 1},
+					obs.Event{Kind: obs.KindLink, Seq: seq + 1, Round: round,
+						Host: int32(h), Peer: int32(p), Phase: obs.PhaseUnpack,
+						Bytes: sent(p, h, i), Messages: 1, Dense: 1})
+			}
+			evs = append(evs,
+				obs.Event{Kind: obs.KindPhase, Seq: seq + 1, Round: round,
+					Host: int32(h), Phase: obs.PhasePack, Bytes: packed,
+					Messages: int64(hosts - 1), Dense: int64(hosts - 1),
+					StartNs: start + 50_000, DurNs: 5_000},
+				obs.Event{Kind: obs.KindPhase, Seq: seq + 2, Round: round,
+					Host: int32(h), Phase: obs.PhaseUnpack, Bytes: recvd,
+					Messages: int64(hosts - 1),
+					StartNs: start + 70_000, DurNs: 5_000},
+				obs.Event{Kind: obs.KindPhase, Seq: seq + 1, Round: round,
+					Host: -1, Phase: obs.PhaseExchange,
+					StartNs: start + 50_000, DurNs: 30_000})
+		}
+		evs = append(evs, obs.Event{Kind: obs.KindBatch, Host: -1, Batch: 0,
+			K: 4, FwdRounds: int32(exchanges), BackRounds: int32(exchanges)})
+		// Stamp like a bcd tracer would (the header's identity plus
+		// per-event origin stamps).
+		for j := 1; j < len(evs); j++ {
+			evs[j].Origin = int32(h) + 1
+		}
+		paths[h] = filepath.Join(dir, "host"+string(rune('0'+h))+".jsonl")
+		writeTrace(t, paths[h], evs)
+	}
+	return paths
+}
+
+func TestMergeCLIDeterministicAndChecked(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeHostFiles(t, dir, 3, 4)
+
+	outA := filepath.Join(dir, "a.jsonl")
+	code, _, errOut := run(t, "merge", "-check", "-o", outA, paths[0], paths[1], paths[2])
+	if code != 0 {
+		t.Fatalf("merge failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "check ok") {
+		t.Fatalf("merge -check reported no proof: %s", errOut)
+	}
+	// Merging the same files again, in a different argument order, must
+	// produce the identical file.
+	outB := filepath.Join(dir, "b.jsonl")
+	if code, _, errOut := run(t, "merge", "-o", outB, paths[2], paths[0], paths[1]); code != 0 {
+		t.Fatalf("second merge failed (%d): %s", code, errOut)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("merged cluster trace is not byte-identical across merges")
+	}
+}
+
+func TestMergeCLIRejectsPerturbedLink(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeHostFiles(t, dir, 2, 3)
+	// Flip one received byte count on host 1: conservation must name
+	// the link and fail the command.
+	events := mustLoad(t, paths[1])
+	for i := range events {
+		if events[i].Kind == obs.KindLink && events[i].Phase == obs.PhaseUnpack {
+			events[i].Bytes++
+			break
+		}
+	}
+	writeTrace(t, paths[1], append([]obs.Event{obs.Header(1, 2, 0)}, events...))
+	code, _, errOut := run(t, "merge", "-check", "-o", filepath.Join(dir, "m.jsonl"), paths[0], paths[1])
+	if code != 1 {
+		t.Fatalf("merge -check accepted a perturbed trace (%d)", code)
+	}
+	if !strings.Contains(errOut, "conservation violated on link 0->1 round 1") {
+		t.Fatalf("violation does not name the link: %s", errOut)
+	}
+}
+
+func TestCritCLIBlamesSlowHost(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeHostFiles(t, dir, 3, 4)
+	merged := filepath.Join(dir, "m.jsonl")
+	if code, _, errOut := run(t, "merge", "-o", merged, paths[0], paths[1], paths[2]); code != 0 {
+		t.Fatalf("merge failed: %s", errOut)
+	}
+	code, out, errOut := run(t, "crit", merged)
+	if code != 0 {
+		t.Fatalf("crit failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(out, "rounds attributed: 4") {
+		t.Fatalf("crit did not attribute every round:\n%s", out)
+	}
+	// Host 2's compute is the longest every round, so it must head the
+	// blame table with all 4 rounds.
+	if !strings.Contains(out, "host 2       4 rounds") {
+		t.Fatalf("crit did not blame the slow host:\n%s", out)
+	}
+	// crit over the raw per-host files must agree with crit over the
+	// merged file.
+	code, out2, errOut := run(t, "crit", paths[0], paths[1], paths[2])
+	if code != 0 {
+		t.Fatalf("crit on host files failed (%d): %s", code, errOut)
+	}
+	if out != out2 {
+		t.Fatalf("crit(merged) != crit(host files):\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestSummaryMultiFilePerHost(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeHostFiles(t, dir, 2, 3)
+	code, out, errOut := run(t, "summary", paths[0], paths[1])
+	if code != 0 {
+		t.Fatalf("multi-file summary failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(out, "host  pack.bytes") {
+		t.Fatalf("summary lacks the per-host breakdown:\n%s", out)
+	}
+	// Over the full host set the cluster balance closes; a single
+	// host's slice legitimately doesn't, and must not be an error.
+	code, out, errOut = run(t, "summary", paths[0])
+	if code != 0 {
+		t.Fatalf("single-slice summary failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(out, "single-host slice") {
+		t.Fatalf("single-slice summary missing the note:\n%s", out)
+	}
+}

@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	bctrace summary trace.jsonl
-//	bctrace imbalance [-per-worker] trace.jsonl
+//	bctrace summary trace.jsonl [more.jsonl ...]
+//	bctrace imbalance [-per-worker] trace.jsonl [more.jsonl ...]
 //	bctrace rounds [-overlap] trace.jsonl
 //	bctrace check [-H max-distance] trace.jsonl
 //	bctrace diff a.jsonl b.jsonl
+//	bctrace merge [-o merged.jsonl] [-check] host0.jsonl host1.jsonl ...
+//	bctrace crit [-top n] merged.jsonl   (or the per-host files)
 //
-// summary, imbalance, and rounds stream the trace through
+// summary, imbalance, and rounds stream the traces through
 // obs.EventReader, so they handle detail traces far larger than
-// memory; check and diff load the whole file (their invariants are
-// global).
+// memory; check, diff, merge, and crit load whole files (their
+// invariants are global). summary and imbalance accept many per-host
+// files of one cluster run and report per-host breakdowns; merge
+// aligns per-host clocks on the exchange barriers and writes the one
+// deterministic cluster trace; crit attributes each round to the host
+// that bounded it.
 package main
 
 import (
@@ -24,9 +30,11 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"mrbc/internal/obs"
+	"mrbc/internal/obs/merge"
 )
 
 func usage(stderr io.Writer) {
@@ -34,6 +42,7 @@ func usage(stderr io.Writer) {
 
 commands:
   summary    per-phase volume totals and encoding-format counts
+             (many per-host files: adds a per-host breakdown)
   imbalance  per-host compute load and the max/mean imbalance ratio
              (-per-worker adds intra-host engine-worker scheduler totals)
   rounds     per-round latency and the critical-path host
@@ -41,6 +50,10 @@ commands:
              pipelined compute per round)
   check      verify the Lemma 8 round bounds and reversal symmetry
   diff       compare two traces canonically, report first divergence
+  merge      align per-host trace clocks on the exchange barriers and
+             write one deterministic cluster trace (-check proves
+             conservation, pairing, and the global round bound)
+  crit       per-round critical-path attribution over a merged trace
 `)
 }
 
@@ -64,6 +77,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return runCheck(rest, stdout, stderr)
 	case "diff":
 		return runDiff(rest, stdout, stderr)
+	case "merge":
+		return runMerge(rest, stdout, stderr)
+	case "crit":
+		return runCrit(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return 0
@@ -74,20 +91,29 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-// streamCmd opens the single trace argument and feeds it, one event at
-// a time, to an accumulating subcommand.
+// streamCmd opens the trace arguments (one or more — a cluster run's
+// per-host files stream as one concatenated sequence; EventReader
+// swallows the interior headers) and feeds the events, one at a time,
+// to an accumulating subcommand.
 func streamCmd(args []string, stdout, stderr io.Writer, run func(*obs.EventReader, io.Writer) error) int {
-	if len(args) != 1 {
-		fmt.Fprintln(stderr, "bctrace: expected exactly one trace file")
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "bctrace: expected at least one trace file")
 		return 2
 	}
-	f, err := os.Open(args[0])
-	if err != nil {
-		fmt.Fprintln(stderr, "bctrace:", err)
-		return 1
+	readers := make([]io.Reader, 0, len(args))
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "bctrace:", err)
+			return 1
+		}
+		defer f.Close()
+		// The separating newline keeps a file that lost its trailing
+		// newline (a host killed mid-run) from gluing its last line to
+		// the next file's first; blank lines are skipped by the reader.
+		readers = append(readers, f, strings.NewReader("\n"))
 	}
-	defer f.Close()
-	if err := run(obs.NewEventReader(f), stdout); err != nil {
+	if err := run(obs.NewEventReader(io.MultiReader(readers...)), stdout); err != nil {
 		fmt.Fprintln(stderr, "bctrace:", err)
 		return 1
 	}
@@ -112,7 +138,23 @@ func drain(er *obs.EventReader, observe func(obs.Event)) (int, error) {
 
 func runSummary(er *obs.EventReader, out io.Writer) error {
 	var t obs.Totals
-	n, err := drain(er, t.Observe)
+	perHost := make(map[int32]*obs.Totals)
+	var origins []int32
+	unstamped := false
+	n, err := drain(er, func(e obs.Event) {
+		t.Observe(e)
+		if e.Origin == 0 {
+			unstamped = true
+			return
+		}
+		ht, ok := perHost[e.Origin]
+		if !ok {
+			ht = &obs.Totals{}
+			perHost[e.Origin] = ht
+			origins = append(origins, e.Origin)
+		}
+		ht.Observe(e)
+	})
 	if err != nil {
 		return err
 	}
@@ -135,7 +177,23 @@ func runSummary(er *obs.EventReader, out io.Writer) error {
 		fmt.Fprintf(out, "transport.ack_bytes     %d\n", t.AckBytes)
 		fmt.Fprintf(out, "transport.max_steps     %d\n", t.MaxSteps)
 	}
+	if len(origins) > 0 {
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		fmt.Fprintf(out, "host  pack.bytes    pack.msgs   unpack.bytes  unpack.msgs\n")
+		for _, o := range origins {
+			ht := perHost[o]
+			fmt.Fprintf(out, "%-4d  %-12d  %-10d  %-12d  %d\n",
+				o-1, ht.PackBytes, ht.PackMessages, ht.UnpackBytes, ht.UnpackMessages)
+		}
+	}
 	if t.PackBytes != t.UnpackBytes || t.PackMessages != t.UnpackMessages {
+		// One host's slice of an SPMD run legitimately sends to peers
+		// whose receipts live in THEIR files; the balance only closes
+		// over the full set.
+		if len(origins) == 1 && !unstamped {
+			fmt.Fprintf(out, "note: single-host slice; cross-host balance needs every host's file (or bctrace merge)\n")
+			return nil
+		}
 		return fmt.Errorf("pack/unpack accounting mismatch: sent (%d B, %d msgs) vs received (%d B, %d msgs) — trace is truncated or corrupt",
 			t.PackBytes, t.PackMessages, t.UnpackBytes, t.UnpackMessages)
 	}
@@ -381,6 +439,132 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 	describe(args[0], d.A)
 	describe(args[1], d.B)
 	return 1
+}
+
+// runMerge aligns per-host traces into one cluster trace. -check
+// additionally proves the cross-host invariants on the converged
+// epoch: conservation (sent == received per link, per encoding),
+// send/recv pairing, and the global Lemma 8 round bound.
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bctrace merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the merged cluster trace here (default: stdout)")
+	check := fs.Bool("check", false, "prove conservation, pairing, and the global round bound on the merged trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "bctrace: merge expects at least one per-host trace file")
+		return 2
+	}
+	m, err := merge.MergeFiles(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return 1
+	}
+	if *check {
+		fin := merge.FinalEpoch(m.Events)
+		evs := merge.EpochEvents(m.Events, fin)
+		cons, err := merge.CheckConservation(evs)
+		if err != nil {
+			fmt.Fprintln(stderr, "bctrace: conservation:", err)
+			return 1
+		}
+		if err := merge.CheckPairing(evs); err != nil {
+			fmt.Fprintln(stderr, "bctrace: pairing:", err)
+			return 1
+		}
+		if err := merge.CheckRoundBoundsGlobal(evs, 0); err != nil {
+			fmt.Fprintln(stderr, "bctrace: round bounds:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "check ok: %d links, %d bytes, %d messages conserved exactly (epoch %d)\n",
+			cons.Links, cons.Bytes, cons.Messages, fin)
+	}
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "bctrace:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+		fmt.Fprintf(stdout, "merged %d events from %d hosts (epochs %v) -> %s\n",
+			len(m.Events), m.Report.Hosts, m.Report.Epochs, *out)
+		if m.Report.DedupedBatches > 0 {
+			fmt.Fprintf(stdout, "deduplicated %d SPMD batch summaries\n", m.Report.DedupedBatches)
+		}
+		for _, rb := range m.Report.Rollbacks {
+			fmt.Fprintf(stdout, "rollback: epoch %d resumed from batch %d\n", rb.Epoch, rb.Batch)
+		}
+		fmt.Fprintf(stdout, "committed %d bytes / %d messages", m.Report.CommittedBytes, m.Report.CommittedMessages)
+		if m.Report.DiscardedBytes > 0 || m.Report.DiscardedMessages > 0 {
+			fmt.Fprintf(stdout, "; discarded %d bytes / %d messages to rollbacks", m.Report.DiscardedBytes, m.Report.DiscardedMessages)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if err := m.Encode(w); err != nil {
+		fmt.Fprintln(stderr, "bctrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// runCrit attributes each round of a merged cluster trace to the host
+// that bounded it. Given several files, they are merged in memory
+// first.
+func runCrit(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bctrace crit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "list the n slowest bounded rounds (0: none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "bctrace: crit expects a merged trace (or the per-host files)")
+		return 2
+	}
+	var events []obs.Event
+	if fs.NArg() == 1 {
+		evs, ok := loadTrace(fs.Arg(0), stderr)
+		if !ok {
+			return 1
+		}
+		events = evs
+	} else {
+		m, err := merge.MergeFiles(fs.Args())
+		if err != nil {
+			fmt.Fprintln(stderr, "bctrace:", err)
+			return 1
+		}
+		events = m.Events
+	}
+	rounds, blame := merge.CriticalPath(events)
+	if len(rounds) == 0 {
+		fmt.Fprintln(stderr, "bctrace: trace carries no per-host phase slices")
+		return 1
+	}
+	fmt.Fprintf(stdout, "rounds attributed: %d\n", len(rounds))
+	fmt.Fprintln(stdout, "critical-path blame (rounds bounded):")
+	for _, hb := range blame {
+		fmt.Fprintf(stdout, "  host %-4d %4d rounds  %-13s  %5.1f%%\n",
+			hb.Host, hb.Rounds, time.Duration(hb.BoundNs), 100*hb.Share)
+	}
+	if *top > 0 {
+		ranked := append([]merge.RoundBlame(nil), rounds...)
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].HostNs > ranked[j].HostNs })
+		if *top < len(ranked) {
+			ranked = ranked[:*top]
+		}
+		fmt.Fprintln(stdout, "slowest rounds (epoch round host bound mean exchange):")
+		for _, rb := range ranked {
+			fmt.Fprintf(stdout, "  %-3d %-5d %-4d %-13s %-13s %s\n",
+				rb.Epoch, rb.Round, rb.Host, time.Duration(rb.HostNs),
+				time.Duration(rb.MeanNs), time.Duration(rb.ExchangeNs))
+		}
+	}
+	return 0
 }
 
 func loadTrace(path string, stderr io.Writer) ([]obs.Event, bool) {

@@ -21,6 +21,10 @@ import (
 // listener is bound; the remainder is the control address.
 const readyPrefix = "BCD READY control="
 
+// metricsPrefix is the line a bcd daemon spawned with -metrics prints
+// (before its ready line); the remainder is the daemon's telemetry URL.
+const metricsPrefix = "BCD METRICS "
+
 // ClusterOptions configures Launch.
 type ClusterOptions struct {
 	// BcdPath is the bcd binary to spawn.
@@ -34,15 +38,22 @@ type ClusterOptions struct {
 	// StartTimeout bounds each daemon's time to print its ready line
 	// (default 10 s).
 	StartTimeout time.Duration
+	// Metrics spawns every daemon with a live telemetry endpoint
+	// (-metrics 127.0.0.1:0) and records the URL each prints, so the
+	// coordinator can fan /progressz in across the cluster (bcctl's
+	// /clusterz view).
+	Metrics bool
 	// Logf receives child stderr lines and lifecycle messages; nil
 	// discards them.
 	Logf func(format string, args ...any)
 }
 
-// daemon is one spawned bcd process and its control address.
+// daemon is one spawned bcd process, its control address, and (with
+// opts.Metrics) the base URL of its telemetry endpoint.
 type daemon struct {
-	cmd  *exec.Cmd
-	ctrl string
+	cmd     *exec.Cmd
+	ctrl    string
+	metrics string
 }
 
 // Cluster is a handle on a running set of bcd daemons. Daemons are
@@ -98,7 +109,11 @@ func Launch(opts ClusterOptions) (*Cluster, error) {
 // spawnDaemon starts one bcd process and waits for its ready line. The
 // tag labels the daemon's stderr in the coordinator log.
 func (c *Cluster) spawnDaemon(tag string) (*daemon, error) {
-	cmd := exec.Command(c.opts.BcdPath, "-listen", "127.0.0.1:0")
+	args := []string{"-listen", "127.0.0.1:0"}
+	if c.opts.Metrics {
+		args = append(args, "-metrics", "127.0.0.1:0")
+	}
+	cmd := exec.Command(c.opts.BcdPath, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err == nil {
 		cmd.Stderr = logWriter{c.opts.logf, tag + " "}
@@ -107,7 +122,7 @@ func (c *Cluster) spawnDaemon(tag string) (*daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clusterrun: spawn %s: %w", tag, err)
 	}
-	addr, err := awaitReady(stdout, c.opts.StartTimeout)
+	addr, metrics, err := awaitReady(stdout, c.opts.StartTimeout)
 	if err != nil {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -116,22 +131,30 @@ func (c *Cluster) spawnDaemon(tag string) (*daemon, error) {
 	// Keep draining the child's stdout so it never blocks on a full
 	// pipe.
 	go io.Copy(io.Discard, stdout)
-	return &daemon{cmd: cmd, ctrl: addr}, nil
+	return &daemon{cmd: cmd, ctrl: addr, metrics: metrics}, nil
 }
 
-// awaitReady scans the daemon's stdout for its ready line.
-func awaitReady(r io.Reader, timeout time.Duration) (string, error) {
+// awaitReady scans the daemon's stdout for its ready line, collecting
+// the metrics URL a -metrics daemon prints on the way (bcd emits it
+// before the ready line). The metrics value is the endpoint's base URL.
+func awaitReady(r io.Reader, timeout time.Duration) (string, string, error) {
 	type res struct {
-		addr string
-		err  error
+		addr    string
+		metrics string
+		err     error
 	}
 	ch := make(chan res, 1)
 	br := bufio.NewReader(r)
 	go func() {
+		var metrics string
 		for {
 			line, err := br.ReadString('\n')
-			if s := strings.TrimSpace(line); strings.HasPrefix(s, readyPrefix) {
-				ch <- res{addr: strings.TrimPrefix(s, readyPrefix)}
+			s := strings.TrimSpace(line)
+			if strings.HasPrefix(s, metricsPrefix) {
+				metrics = strings.TrimSuffix(strings.TrimPrefix(s, metricsPrefix), "/metrics")
+			}
+			if strings.HasPrefix(s, readyPrefix) {
+				ch <- res{addr: strings.TrimPrefix(s, readyPrefix), metrics: metrics}
 				return
 			}
 			if err != nil {
@@ -142,9 +165,9 @@ func awaitReady(r io.Reader, timeout time.Duration) (string, error) {
 	}()
 	select {
 	case r := <-ch:
-		return r.addr, r.err
+		return r.addr, r.metrics, r.err
 	case <-time.After(timeout):
-		return "", fmt.Errorf("no ready line within %v", timeout)
+		return "", "", fmt.Errorf("no ready line within %v", timeout)
 	}
 }
 
@@ -157,6 +180,21 @@ func (c *Cluster) ControlAddrs() []string {
 	for h, d := range c.hosts {
 		if d != nil {
 			addrs[h] = d.ctrl
+		}
+	}
+	return addrs
+}
+
+// MetricsAddrs returns the daemons' telemetry base URLs, indexed by
+// host slot ("" for hosts spawned without opts.Metrics or whose slot is
+// empty). The /clusterz fan-in polls <url>/progressz per host.
+func (c *Cluster) MetricsAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, len(c.hosts))
+	for h, d := range c.hosts {
+		if d != nil {
+			addrs[h] = d.metrics
 		}
 	}
 	return addrs

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"os"
 	"time"
 
 	"mrbc/internal/dgalois"
@@ -134,36 +133,46 @@ func serveJob(conn net.Conn, opts DaemonOptions) (bool, error) {
 	defer transport.Close()
 
 	var trace *obs.Trace
-	if spec.TracePath != "" {
+	if spec.TracePath != "" || spec.ShipTrace {
 		trace = obs.NewTrace(1<<16, obs.LevelPhase)
+		// Stamp every event with this process's host index and membership
+		// epoch so the files (and shipped streams) of different hosts can
+		// be merged without guessing provenance.
+		trace.SetStamp(spec.Host, spec.Epoch)
+	}
+	if spec.TracePath != "" {
+		sink, serr := obs.NewStreamSink(spec.TracePath, obs.Header(spec.Host, spec.Hosts, spec.Epoch))
+		if serr != nil {
+			enc.Encode(controlReply{Err: serr.Error()})
+			return true, serr
+		}
+		trace.SetTee(sink.Chan())
+		registerSink(sink)
+		// The deferred close runs on every exit path — job error
+		// included — so the trace on disk is always complete up to the
+		// last event the engine emitted. SIGTERM is handled separately:
+		// the daemon's signal handler calls FlushActiveTraces, which
+		// reaches this sink through the registry.
+		defer func() {
+			unregisterSink(sink)
+			trace.SetTee(nil)
+			if cerr := sink.Close(); cerr != nil {
+				opts.logf("bcd: trace sink: %v", cerr)
+			}
+		}()
 	}
 	res, err := RunJob(spec, transport, trace, opts.Metrics)
-	if trace != nil {
-		if werr := writeTrace(spec.TracePath, trace); werr != nil {
-			opts.logf("bcd: write trace: %v", werr)
-		}
-	}
 	if err != nil {
 		enc.Encode(controlReply{Err: err.Error()})
 		return true, err
+	}
+	if spec.ShipTrace {
+		res.Trace = trace.Events()
 	}
 	if res.Fault != nil {
 		opts.logf("bcd: host %d aborted: %s", spec.Host, res.Fault.Reason)
 	}
 	return true, enc.Encode(controlReply{OK: true, Result: res})
-}
-
-// writeTrace dumps the job's trace ring as JSONL.
-func writeTrace(path string, trace *obs.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := obs.WriteJSONL(f, trace.Events()); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // asFault reports whether err carries a *dgalois.FaultError.

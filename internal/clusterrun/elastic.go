@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mrbc/internal/elastic"
+	"mrbc/internal/obs"
 )
 
 // Elastic coordination: RunElastic wraps the plain Run flow in a
@@ -48,6 +49,13 @@ type ElasticReport struct {
 	// the faults, kept out of the converged Aggregate's accounting.
 	RecoveryBytes    int64
 	RecoveryMessages int64
+	// ShippedTraces collects every shipped trace event across the run's
+	// attempts when the spec set ShipTrace: failed attempts contribute
+	// their survivors' streams (the victim's events died with it — its
+	// on-disk partial trace is the recourse), the converged attempt all
+	// hosts'. Events are stamped per host and per attempt epoch, so the
+	// whole pile merges into one multi-epoch cluster trace.
+	ShippedTraces []obs.Event
 }
 
 // RunElastic drives spec to completion across host deaths. The spec
@@ -86,6 +94,13 @@ func (c *Cluster) RunElastic(spec JobSpec, opts ElasticOptions) (*Aggregate, *El
 		results, hostErrs, err := c.runAttempt(s, runOpts)
 		if err != nil {
 			return nil, rep, err
+		}
+		if spec.ShipTrace {
+			for _, res := range results {
+				if res != nil {
+					rep.ShippedTraces = append(rep.ShippedTraces, res.Trace...)
+				}
+			}
 		}
 		for h := range results {
 			if hostErrs[h] != nil {

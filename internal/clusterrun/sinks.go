@@ -1,0 +1,51 @@
+package clusterrun
+
+import (
+	"sync"
+
+	"mrbc/internal/obs"
+)
+
+// Process-wide registry of the live per-job trace sinks. A bcd daemon
+// may serve jobs concurrently (one control connection each), and its
+// SIGTERM handler must be able to force every in-flight trace to disk
+// without knowing which jobs are running — the registry is that
+// rendezvous.
+
+var (
+	sinkMu sync.Mutex
+	sinks  = make(map[*obs.StreamSink]struct{})
+)
+
+func registerSink(s *obs.StreamSink) {
+	sinkMu.Lock()
+	sinks[s] = struct{}{}
+	sinkMu.Unlock()
+}
+
+func unregisterSink(s *obs.StreamSink) {
+	sinkMu.Lock()
+	delete(sinks, s)
+	sinkMu.Unlock()
+}
+
+// FlushActiveTraces drains and fsyncs every live per-job trace sink.
+// bcd calls it from its SIGTERM/SIGINT handler so a terminated host
+// leaves durable partial traces for the post-mortem merge; it is safe
+// to call concurrently with running jobs (events emitted after the
+// flush simply land in the next one, or in the sink's close).
+func FlushActiveTraces() error {
+	sinkMu.Lock()
+	live := make([]*obs.StreamSink, 0, len(sinks))
+	for s := range sinks {
+		live = append(live, s)
+	}
+	sinkMu.Unlock()
+	var first error
+	for _, s := range live {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

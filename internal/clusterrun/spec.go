@@ -57,8 +57,15 @@ type JobSpec struct {
 	// source batches may be in flight at once (0/1: serial batches).
 	PipelineDepth int `json:"pipeline_depth,omitempty"`
 	// TracePath, when non-empty, makes the daemon record a phase-level
-	// obs trace for the job and write it as JSONL to this path.
+	// obs trace for the job and stream it as JSONL to this path while
+	// the job runs (one fsynced header up front, one complete line per
+	// event — a killed daemon leaves a parseable partial trace).
 	TracePath string `json:"trace_path,omitempty"`
+	// ShipTrace makes the daemon return the job's trace events in its
+	// JobResult over the control connection, so the coordinator can
+	// merge every host's trace without touching the daemons' disks.
+	// Independent of TracePath; both may be set.
+	ShipTrace bool `json:"ship_trace,omitempty"`
 	// DeadlineSteps / StepMillis override the TCP transport's stall
 	// deadline (0: gluon defaults). Chaos tests shorten them so a
 	// severed host fails fast instead of after the full 3 s budget.
@@ -109,6 +116,9 @@ type JobResult struct {
 	Redials    int64 `json:"redials,omitempty"`
 	// Fault carries the structured failure, nil on success.
 	Fault *Fault `json:"fault,omitempty"`
+	// Trace carries the host's obs events when the spec set ShipTrace —
+	// stamped with the host's origin and epoch, ready for merge.
+	Trace []obs.Event `json:"trace,omitempty"`
 }
 
 // Fault is the JSON projection of *dgalois.FaultError, relayed from a

@@ -115,6 +115,12 @@ type Cluster struct {
 	curWriters  [][]*gluon.Writer
 	curPack     []exchangeTally // per-sender pack tallies, atomics (pairs share a sender)
 	curUnpack   []exchangeTally // per-receiver unpack tallies, receiver-serial
+	// curPairPack/curPairUnpack are the per-(from,to) link tallies,
+	// indexed from*hosts+to. A pack pair is one exclusive pool task and
+	// an unpack pair is touched only by its receiver's serial task, so
+	// neither needs atomics.
+	curPairPack   []exchangeTally
+	curPairUnpack []exchangeTally
 
 	// Reusable communication state. Decoders own the per-receiver parse
 	// scratch; they are shared across tickets because unpack phases of
@@ -204,7 +210,12 @@ type PendingExchange struct {
 	writers  [][]*gluon.Writer
 	hostPack []exchangeTally
 	hostUnpack []exchangeTally
-	unpack   func(to, from int, data []byte, dec *gluon.Decoder)
+	// pairPack/pairUnpack tally each directed (from, to) link of the
+	// exchange (indexed from*hosts+to), feeding the KindLink events the
+	// cross-host conservation checker matches sender against receiver.
+	pairPack   []exchangeTally
+	pairUnpack []exchangeTally
+	unpack     func(to, from int, data []byte, dec *gluon.Decoder)
 }
 
 // noopPending is what BeginExchange returns when the exchange already
@@ -391,6 +402,8 @@ func NewClusterOpts(hosts int, opts ClusterOptions) *Cluster {
 		if c.trace != nil {
 			t.hostPack = make([]exchangeTally, hosts)
 			t.hostUnpack = make([]exchangeTally, hosts)
+			t.pairPack = make([]exchangeTally, hosts*hosts)
+			t.pairUnpack = make([]exchangeTally, hosts*hosts)
 		}
 	}
 	c.decoders = make([]*gluon.Decoder, hosts)
@@ -695,6 +708,10 @@ func (c *Cluster) packTask(i int) {
 			t := &c.curPack[from]
 			atomic.AddInt64(&t.bytes, int64(len(buf)))
 			atomic.AddInt64(&t.messages, 1)
+			// The pair tally is exclusive to this task: plain adds.
+			pt := &c.curPairPack[i]
+			pt.bytes += int64(len(buf))
+			pt.messages++
 		}
 	}
 	if enc := w.TakeCounts(); enc != (gluon.EncodingCounts{}) {
@@ -706,6 +723,10 @@ func (c *Cluster) packTask(i int) {
 			atomic.AddInt64(&t.dense, enc.Dense)
 			atomic.AddInt64(&t.sparse, enc.Sparse)
 			atomic.AddInt64(&t.all, enc.All)
+			pt := &c.curPairPack[i]
+			pt.dense += enc.Dense
+			pt.sparse += enc.Sparse
+			pt.all += enc.All
 		}
 	}
 	if eb := w.TakeByteCounts(); eb != (gluon.ByteCounts{}) {
@@ -744,6 +765,7 @@ func (c *Cluster) unpackTask(to int) {
 				if c.trace != nil {
 					c.curUnpack[to].bytes += int64(len(buf))
 					c.curUnpack[to].messages++
+					c.tallyUnpackPair(from, to, int64(len(buf)))
 				}
 			}
 		}
@@ -760,8 +782,25 @@ func (c *Cluster) unpackTask(to int) {
 			if c.trace != nil {
 				c.curUnpack[to].bytes += int64(len(buf))
 				c.curUnpack[to].messages++
+				c.tallyUnpackPair(from, to, int64(len(buf)))
 			}
 		}
+	}
+}
+
+// tallyUnpackPair folds one delivered buffer into the (from, to) link
+// tally, including the per-format message counts the receiver's decoder
+// saw while the engine unpacked it — the receive-side data the
+// cross-host conservation checker matches against the sender's link.
+// Called only with tracing on, from the receiver's serial context.
+func (c *Cluster) tallyUnpackPair(from, to int, bytes int64) {
+	pt := &c.curPairUnpack[from*c.hosts+to]
+	pt.bytes += bytes
+	pt.messages++
+	if enc := c.decoders[to].TakeCounts(); enc != (gluon.EncodingCounts{}) {
+		pt.dense += enc.Dense
+		pt.sparse += enc.Sparse
+		pt.all += enc.All
 	}
 }
 
@@ -820,11 +859,15 @@ func (c *Cluster) claimTicket() *PendingExchange {
 	panic(fmt.Sprintf("dgalois: more than %d exchanges in flight (raise ClusterOptions.MaxInflight)", c.maxInflight))
 }
 
-// resetTallies clears the ticket's per-host trace tallies.
+// resetTallies clears the ticket's per-host and per-pair trace tallies.
 func (t *PendingExchange) resetTallies() {
 	for i := range t.hostPack {
 		t.hostPack[i] = exchangeTally{}
 		t.hostUnpack[i] = exchangeTally{}
+	}
+	for i := range t.pairPack {
+		t.pairPack[i] = exchangeTally{}
+		t.pairUnpack[i] = exchangeTally{}
 	}
 }
 
@@ -852,6 +895,28 @@ func (c *Cluster) emitExchangeEvents(t *PendingExchange, completeStart, end time
 				Host: int32(h), Phase: obs.PhaseUnpack,
 				Bytes: ht.bytes, Messages: ht.messages,
 				StartNs: unpackBase, DurNs: unpackDur})
+		}
+	}
+	// Link events: one per directed (from, to) pair that moved data, on
+	// each side the pair touched locally. Both sides carry the pack seq,
+	// so a sent link and its received twin share the conservation key
+	// (epoch, seq, from, to) even across different hosts' trace files.
+	// No timings: link content is a pure function of the model, which is
+	// what lets merged traces compare them byte-exactly.
+	for i := range t.pairPack {
+		if pt := &t.pairPack[i]; pt.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindLink, Seq: t.packSeq, Round: round, Batch: t.batch,
+				Host: int32(i / c.hosts), Peer: int32(i % c.hosts), Phase: obs.PhasePack,
+				Bytes: pt.bytes, Messages: pt.messages,
+				Dense: pt.dense, Sparse: pt.sparse, All: pt.all})
+		}
+	}
+	for i := range t.pairUnpack {
+		if pt := &t.pairUnpack[i]; pt.messages > 0 {
+			c.trace.Emit(obs.Event{Kind: obs.KindLink, Seq: t.packSeq, Round: round, Batch: t.batch,
+				Host: int32(i % c.hosts), Peer: int32(i / c.hosts), Phase: obs.PhaseUnpack,
+				Bytes: pt.bytes, Messages: pt.messages,
+				Dense: pt.dense, Sparse: pt.sparse, All: pt.all})
 		}
 	}
 	c.trace.Emit(obs.Event{Kind: obs.KindPhase, Seq: t.packSeq, Round: round, Batch: t.batch,
@@ -922,6 +987,7 @@ func (c *Cluster) begin(t *PendingExchange, pack func(from, to int, w *gluon.Wri
 	c.curEx = t.ex
 	c.curWriters = t.writers
 	c.curPack = t.hostPack
+	c.curPairPack = t.pairPack
 	t.start = time.Now()
 	c.runPackPhase(pack)
 	t.packEnd = time.Now()
@@ -935,6 +1001,7 @@ func (c *Cluster) complete(t *PendingExchange) {
 	completeStart := time.Now()
 	c.curEx = t.ex
 	c.curUnpack = t.hostUnpack
+	c.curPairUnpack = t.pairUnpack
 	c.unpackFn = t.unpack
 	c.pool.runAll(c.hosts, c.unpackTaskFn)
 	c.unpackFn = nil

@@ -306,6 +306,97 @@ func TestExchangeZeroAllocsWithTracing(t *testing.T) {
 	}
 }
 
+// TestExchangeZeroAllocsWithShipping extends the pin to the
+// trace-shipping path: a stamped tracer with a tee channel attached —
+// exactly what bcd runs when shipping a trace to bcctl — still
+// performs zero heap allocations per Exchange. The tee is drained
+// after the measurement instead of by a concurrent goroutine because
+// AllocsPerRun counts process-wide mallocs: the sink's own file writer
+// is asynchronous by design and not part of the Exchange op.
+func TestExchangeZeroAllocsWithShipping(t *testing.T) {
+	const hosts, listLen = 4, 2048
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	tr := obs.NewTrace(1<<12, obs.LevelPhase)
+	tr.SetStamp(2, 1)
+	tee := make(chan obs.Event, 1<<13)
+	tr.SetTee(tee)
+	c := NewClusterOpts(hosts, ClusterOptions{Trace: tr})
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.Exchange(pack, unpack)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Exchange(pack, unpack)
+	})
+	if allocs != 0 {
+		t.Fatalf("shipping-enabled Exchange allocates %.1f objects/op, want 0", allocs)
+	}
+	close(tee)
+	var n int
+	for e := range tee {
+		if e.OriginHost() != 2 || e.Epoch != 1 {
+			t.Fatalf("teed event not stamped: origin=%d epoch=%d", e.Origin, e.Epoch)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("tee received no events")
+	}
+}
+
+// TestLinkEventsConserve pins the link-event invariant the cluster
+// conservation checker builds on: every pack-side link has an
+// unpack-side twin with the same (seq, from, to) key and identical
+// byte/message/format tallies, and the links sum to the per-host pack
+// phase totals.
+func TestLinkEventsConserve(t *testing.T) {
+	const hosts, listLen, rounds = 4, 512, 3
+	var sink int64
+	pack, unpack := fixedWorkload(listLen, &sink)
+	tr := obs.NewTrace(1<<12, obs.LevelPhase)
+	c := NewClusterOpts(hosts, ClusterOptions{Trace: tr})
+	defer c.Close()
+	for r := 0; r < rounds; r++ {
+		c.BeginRound()
+		c.Exchange(pack, unpack)
+	}
+	type key struct {
+		seq      int64
+		from, to int32
+	}
+	sent := make(map[key]obs.Event)
+	var recv []obs.Event
+	var linkBytes, packBytes int64
+	for _, e := range tr.Events() {
+		switch {
+		case e.Kind == obs.KindLink && e.Phase == obs.PhasePack:
+			sent[key{e.Seq, e.Host, e.Peer}] = e
+			linkBytes += e.Bytes
+		case e.Kind == obs.KindLink && e.Phase == obs.PhaseUnpack:
+			recv = append(recv, e)
+		case e.Kind == obs.KindPhase && e.Phase == obs.PhasePack:
+			packBytes += e.Bytes
+		}
+	}
+	if len(sent) == 0 || len(recv) != len(sent) {
+		t.Fatalf("link events: %d sent, %d received", len(sent), len(recv))
+	}
+	if linkBytes != packBytes {
+		t.Fatalf("pack links sum to %d bytes, pack phases to %d", linkBytes, packBytes)
+	}
+	for _, r := range recv {
+		s, ok := sent[key{r.Seq, r.Peer, r.Host}]
+		if !ok {
+			t.Fatalf("received link %d->%d seq %d has no sent twin", r.Peer, r.Host, r.Seq)
+		}
+		if s.Bytes != r.Bytes || s.Messages != r.Messages ||
+			s.Dense != r.Dense || s.Sparse != r.Sparse || s.All != r.All {
+			t.Fatalf("link %d->%d seq %d: sent %+v received %+v", r.Peer, r.Host, r.Seq, s, r)
+		}
+	}
+}
+
 // TestTraceEventsMatchStats pins the trace-accounting invariant at the
 // substrate level: summing the pack/unpack phase events reproduces the
 // Stats volume exactly, the expected phases appear per round, and the

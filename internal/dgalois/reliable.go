@@ -86,6 +86,8 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 	c.curWriters = t.writers
 	c.curPack = t.hostPack
 	c.curUnpack = t.hostUnpack
+	c.curPairPack = t.pairPack
+	c.curPairUnpack = t.pairUnpack
 
 	// Pack phase: the same pair-parallel pooled-writer loop as the
 	// fault-free path, which also does the paper-model volume
@@ -252,6 +254,7 @@ func (c *Cluster) exchangeReliable(pack func(from, to int, w *gluon.Writer), unp
 					// atomics are needed here.
 					c.curUnpack[ch.to].bytes += int64(len(payload))
 					c.curUnpack[ch.to].messages++
+					c.tallyUnpackPair(ch.from, ch.to, int64(len(payload)))
 				}
 			}
 			// Ack travels back unless faulted or the sender is deaf; a

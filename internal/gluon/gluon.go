@@ -418,11 +418,22 @@ func EncodeUpdates(w *Writer, listLen int, marked *bitset.Set, emit func(pos int
 // apply callbacks, so one Decoder per receiving host makes the decode
 // path allocation-free. The zero value is ready to use.
 type Decoder struct {
-	rd Reader
+	rd     Reader
+	counts EncodingCounts
 }
 
 // NewDecoder returns a reusable decoder.
 func NewDecoder() *Decoder { return &Decoder{} }
+
+// TakeCounts returns how many messages of each wire format the decoder
+// parsed since the last call, and resets the tallies — the receive-side
+// mirror of Writer.TakeCounts, letting the cross-host conservation
+// checker match per-encoding message counts sender against receiver.
+func (d *Decoder) TakeCounts() EncodingCounts {
+	c := d.counts
+	d.counts = EncodingCounts{}
+	return c
+}
 
 // DecodeUpdates parses a message produced by EncodeUpdates over the
 // same shared list, dispatching on the format header and calling apply
@@ -509,6 +520,14 @@ func (d *Decoder) DecodeUpdates(listLen int, data []byte, apply func(pos int, r 
 	}
 	if rd.Remaining() != 0 {
 		panic(fmt.Sprintf("gluon: %d trailing bytes in sync buffer", rd.Remaining()))
+	}
+	switch f {
+	case FormatDense:
+		d.counts.Dense++
+	case FormatSparse:
+		d.counts.Sparse++
+	case FormatAll:
+		d.counts.All++
 	}
 }
 

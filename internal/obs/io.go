@@ -25,8 +25,10 @@ func WriteJSONL(w io.Writer, events []Event) error {
 // detail traces from long runs are analyzable in constant memory (the
 // bctrace summary/imbalance/rounds pipelines consume it directly).
 type EventReader struct {
-	sc   *bufio.Scanner
-	line int
+	sc     *bufio.Scanner
+	line   int
+	header Event
+	hasHdr bool
 }
 
 // NewEventReader wraps a JSONL stream produced by WriteJSONL.
@@ -36,9 +38,12 @@ func NewEventReader(r io.Reader) *EventReader {
 	return &EventReader{sc: sc}
 }
 
-// Next returns the next event in the stream. Blank lines are skipped.
-// At end of input it returns io.EOF; a malformed line returns an error
-// naming the line number.
+// Next returns the next event in the stream. Blank lines are skipped,
+// and a header record is validated (a schema newer than this build can
+// read is an error), stored for Header, and swallowed — so consumers
+// written before traces had headers see exactly the event stream they
+// always did. At end of input it returns io.EOF; a malformed line
+// returns an error naming the line number.
 func (er *EventReader) Next() (Event, error) {
 	for er.sc.Scan() {
 		er.line++
@@ -50,6 +55,14 @@ func (er *EventReader) Next() (Event, error) {
 		if err := json.Unmarshal(b, &e); err != nil {
 			return Event{}, fmt.Errorf("obs: trace line %d: %w", er.line, err)
 		}
+		if e.Kind == KindHeader {
+			if e.Schema > TraceSchema {
+				return Event{}, fmt.Errorf("obs: trace line %d: schema %d newer than supported %d",
+					er.line, e.Schema, TraceSchema)
+			}
+			er.header, er.hasHdr = e, true
+			continue
+		}
 		return e, nil
 	}
 	if err := er.sc.Err(); err != nil {
@@ -57,6 +70,10 @@ func (er *EventReader) Next() (Event, error) {
 	}
 	return Event{}, io.EOF
 }
+
+// Header returns the trace's header record, if one has been read so
+// far (headers lead the file, so after the first Next it is settled).
+func (er *EventReader) Header() (Event, bool) { return er.header, er.hasHdr }
 
 // Line returns the number of lines consumed so far.
 func (er *EventReader) Line() int { return er.line }
@@ -79,17 +96,23 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 }
 
 // Canonical returns a copy of events in a deterministic total order
-// with the wall-clock fields (StartNs, DurNs, HiddenNs) stripped and
-// worker events dropped entirely (their steal/idle tallies are
-// scheduling artifacts, nondeterministic the same way timings are).
-// Remaining event content is a pure function of (graph, seed,
-// options); only timings and concurrent emission order vary run to
-// run, so the canonical form of the same configuration is
-// byte-identical across worker counts.
+// with the wall-clock fields (StartNs, DurNs, HiddenNs) stripped, the
+// Origin/Epoch stamps cleared (which host's file an event came from is
+// deployment shape, not model content), and worker, header, and link
+// events dropped entirely (worker steal/idle tallies are scheduling
+// artifacts; headers are file metadata; links re-slice pack/unpack
+// volume by peer, which would multiply the fixture by hosts² without
+// adding model content — the conservation checker, not the golden
+// diff, is their consumer). Remaining event content is a pure function
+// of (graph, seed, options); only timings and concurrent emission
+// order vary run to run, so the canonical form of the same
+// configuration is byte-identical across worker counts.
 func Canonical(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
-		if e.Kind != KindWorker && e.Kind != KindElastic {
+		switch e.Kind {
+		case KindWorker, KindElastic, KindHeader, KindLink:
+		default:
 			out = append(out, e)
 		}
 	}
@@ -97,6 +120,8 @@ func Canonical(events []Event) []Event {
 		out[i].StartNs = 0
 		out[i].DurNs = 0
 		out[i].HiddenNs = 0
+		out[i].Origin = 0
+		out[i].Epoch = 0
 	}
 	sort.Slice(out, func(i, j int) bool { return canonLess(out[i], out[j]) })
 	return out
@@ -137,15 +162,18 @@ func WriteCanonical(w io.Writer, events []Event) error {
 }
 
 // ModelEvents filters events down to the paper-model stream: transport
-// events (retries, framing, acks — artifacts of the fault layer) and
-// worker events (steal counts — artifacts of the intra-host scheduler)
-// are dropped, everything else kept. The model stream of a faulty run
-// is identical to the fault-free run's, mirroring the
-// Stats.Bytes/Messages invariant.
+// events (retries, framing, acks — artifacts of the fault layer),
+// worker events (steal counts — artifacts of the intra-host scheduler),
+// and headers (file metadata) are dropped, everything else kept — link
+// events stay, because per-peer paper-model volume is deterministic
+// content. The model stream of a faulty run is identical to the
+// fault-free run's, mirroring the Stats.Bytes/Messages invariant.
 func ModelEvents(events []Event) []Event {
 	out := make([]Event, 0, len(events))
 	for _, e := range events {
-		if e.Kind != KindTransport && e.Kind != KindWorker && e.Kind != KindElastic {
+		switch e.Kind {
+		case KindTransport, KindWorker, KindElastic, KindHeader:
+		default:
 			out = append(out, e)
 		}
 	}

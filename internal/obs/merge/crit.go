@@ -1,0 +1,125 @@
+package merge
+
+import (
+	"sort"
+
+	"mrbc/internal/obs"
+)
+
+// RoundBlame names the host whose work bounded one BSP round of the
+// merged timeline: the round cannot end before its slowest host's
+// compute+pack+unpack slice does, so that host is the round's critical
+// host and every other host's barrier wait is attributable to it.
+type RoundBlame struct {
+	Epoch int `json:"epoch"`
+	Round int `json:"round"`
+	Host  int `json:"host"`
+	// HostNs is the critical host's summed compute+pack+unpack time,
+	// MeanNs the per-host mean — their ratio is the round's imbalance.
+	HostNs int64 `json:"host_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	// ExchangeNs is the round's cluster exchange wall time (max over
+	// the hosts' recorded slices — after clock alignment they measure
+	// the same interval, modulo fit error).
+	ExchangeNs int64 `json:"exchange_ns"`
+	Hosts      int   `json:"hosts"`
+}
+
+// HostBlame aggregates critical-path attribution over a run: how many
+// rounds a host bounded, and how much bounded time it accumulated.
+type HostBlame struct {
+	Host    int     `json:"host"`
+	Rounds  int     `json:"rounds"`
+	BoundNs int64   `json:"bound_ns"`
+	Share   float64 `json:"share"`
+}
+
+// CriticalPath attributes each (epoch, round) of a merged trace to the
+// host that bounded it and aggregates per-host blame, descending by
+// rounds bounded. Rounds with no per-host phase slices (nothing moved)
+// are skipped.
+func CriticalPath(events []obs.Event) ([]RoundBlame, []HostBlame) {
+	type rk struct {
+		epoch int32
+		round int32
+	}
+	hostNs := make(map[rk]map[int32]int64)
+	exNs := make(map[rk]int64)
+	for _, e := range events {
+		if e.Kind != obs.KindPhase {
+			continue
+		}
+		k := rk{e.Epoch, e.Round}
+		if e.Host == -1 {
+			if e.Phase == obs.PhaseExchange && e.DurNs > exNs[k] {
+				exNs[k] = e.DurNs
+			}
+			continue
+		}
+		switch e.Phase {
+		case obs.PhaseCompute, obs.PhasePack, obs.PhaseUnpack:
+			if hostNs[k] == nil {
+				hostNs[k] = make(map[int32]int64)
+			}
+			hostNs[k][e.Host] += e.DurNs
+		}
+	}
+	keys := make([]rk, 0, len(hostNs))
+	for k := range hostNs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].epoch != keys[j].epoch {
+			return keys[i].epoch < keys[j].epoch
+		}
+		return keys[i].round < keys[j].round
+	})
+	var rounds []RoundBlame
+	blame := make(map[int32]*HostBlame)
+	var totalBound int64
+	for _, k := range keys {
+		perHost := hostNs[k]
+		rb := RoundBlame{Epoch: int(k.epoch), Round: int(k.round), Host: -1,
+			ExchangeNs: exNs[k], Hosts: len(perHost)}
+		var sum int64
+		hs := make([]int32, 0, len(perHost))
+		for h := range perHost {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		for _, h := range hs {
+			ns := perHost[h]
+			sum += ns
+			if ns > rb.HostNs {
+				rb.HostNs, rb.Host = ns, int(h)
+			}
+		}
+		rb.MeanNs = sum / int64(len(perHost))
+		rounds = append(rounds, rb)
+		hb := blame[int32(rb.Host)]
+		if hb == nil {
+			hb = &HostBlame{Host: rb.Host}
+			blame[int32(rb.Host)] = hb
+		}
+		hb.Rounds++
+		hb.BoundNs += rb.HostNs
+		totalBound += rb.HostNs
+	}
+	agg := make([]HostBlame, 0, len(blame))
+	for _, hb := range blame {
+		if totalBound > 0 {
+			hb.Share = float64(hb.BoundNs) / float64(totalBound)
+		}
+		agg = append(agg, *hb)
+	}
+	sort.Slice(agg, func(i, j int) bool {
+		if agg[i].Rounds != agg[j].Rounds {
+			return agg[i].Rounds > agg[j].Rounds
+		}
+		if agg[i].BoundNs != agg[j].BoundNs {
+			return agg[i].BoundNs > agg[j].BoundNs
+		}
+		return agg[i].Host < agg[j].Host
+	})
+	return rounds, agg
+}

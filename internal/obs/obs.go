@@ -58,7 +58,32 @@ const (
 	// ModelEvents drop them, which is what lets a resumed run's
 	// canonical trace match the uninterrupted run's byte for byte.
 	KindElastic Kind = "elastic"
+	// KindHeader is the file-metadata record a trace sink writes as the
+	// first JSONL line: Schema carries the trace schema version, Host the
+	// writing host (−1 for a merged cluster trace), Hosts the cluster
+	// size, Epoch the membership epoch. EventReader recognizes and
+	// swallows it (exposed via Header), so headerless pre-schema traces
+	// and every existing consumer keep working; Canonical drops it.
+	KindHeader Kind = "header"
+	// KindLink is one directed (sender, receiver) edge of one exchange:
+	// Host is the host the event accounts for, Peer the other endpoint,
+	// Phase selects the side (PhasePack = volume Host sent to Peer,
+	// PhaseUnpack = volume Host received from Peer), and Seq is the pack
+	// seq of the exchange on BOTH sides so a sent link and its received
+	// twin share the key (epoch, seq, from, to). Link volume is
+	// paper-model volume (post-dedup, exactly-once delivery), so the
+	// cross-host conservation checker can demand sent == received
+	// exactly; retransmit volume stays on transport events. Canonical
+	// drops links to keep the golden fixture stable; ModelEvents keeps
+	// them (they are deterministic model content).
+	KindLink Kind = "link"
 )
+
+// TraceSchema is the JSONL trace schema version this build writes and
+// the newest it can read. Version 1 introduced the header record, the
+// Origin/Epoch stamps, and link events; headerless traces are
+// version 0 and parse as before.
+const TraceSchema = 1
 
 // Phase identifies the BSP phase slice of a KindPhase event.
 type Phase string
@@ -110,6 +135,22 @@ type Event struct {
 	// a send event.
 	V   int32 `json:"v,omitempty"`
 	Src int32 `json:"src,omitempty"`
+	// Peer is the other endpoint of a link event: the receiver of a
+	// pack-side link, the sender of an unpack-side link.
+	Peer int32 `json:"peer,omitempty"`
+
+	// Origin identifies which host's tracer emitted the event, stamped
+	// as 1+host so 0 means "unstamped" (in-process runs never stamp and
+	// stay byte-identical to pre-schema traces). OriginHost decodes it.
+	// Epoch is the membership epoch the event was recorded under;
+	// meaningful only when Origin != 0 (SetStamp always sets both) or on
+	// header events. Canonical strips both.
+	Origin int32 `json:"origin,omitempty"`
+	Epoch  int32 `json:"epoch,omitempty"`
+	// Schema and Hosts appear only on header events: the trace schema
+	// version and the cluster size the trace was recorded under.
+	Schema int32 `json:"schema,omitempty"`
+	Hosts  int32 `json:"hosts,omitempty"`
 
 	// Batch-event summary: batch size k, forward rounds R (the last
 	// forward round with activity), backward rounds.
@@ -163,6 +204,22 @@ type Event struct {
 	HiddenNs int64 `json:"hidden_ns,omitempty"`
 }
 
+// OriginHost decodes the Origin stamp: the emitting host index, or −1
+// when the event is unstamped (single-process run or pre-schema trace).
+func (e Event) OriginHost() int {
+	if e.Origin == 0 {
+		return -1
+	}
+	return int(e.Origin) - 1
+}
+
+// Header builds the version-1 header record for host (−1 for a merged
+// cluster trace) in an n-host cluster at the given membership epoch.
+func Header(host, hosts, epoch int) Event {
+	return Event{Kind: KindHeader, Schema: TraceSchema,
+		Host: int32(host), Hosts: int32(hosts), Epoch: int32(epoch)}
+}
+
 // Level selects how much a Trace records.
 type Level int
 
@@ -184,6 +241,15 @@ type Trace struct {
 	events []Event
 	next   atomic.Int64
 	level  Level
+	// origin/epoch, when origin != 0, are stamped onto every emitted
+	// event (SetStamp). Set before the first Emit; read-only after.
+	origin int32
+	epoch  int32
+	// tee, when non-nil, receives a copy of every emitted event
+	// (SetTee). The send is a value copy into the channel's buffer —
+	// no allocation — and blocks when the consumer falls behind, so a
+	// streaming sink never silently drops events the ring would keep.
+	tee chan<- Event
 }
 
 // DefaultCapacity is the ring size NewTrace uses for capacity <= 0.
@@ -205,14 +271,46 @@ func (t *Trace) Enabled() bool { return t != nil }
 // emitted (false for nil).
 func (t *Trace) Detail() bool { return t != nil && t.level >= LevelDetail }
 
+// SetStamp makes every subsequently emitted event carry the host index
+// and membership epoch (Origin = 1+host, so host identity survives
+// merging N hosts' files into one stream). Call before the run starts;
+// Emit reads the stamp without synchronization.
+func (t *Trace) SetStamp(host, epoch int) {
+	if t == nil {
+		return
+	}
+	t.origin = int32(host) + 1
+	t.epoch = int32(epoch)
+}
+
+// SetTee attaches (or, with nil, detaches) a channel that receives a
+// copy of every emitted event, for streaming sinks that must survive
+// the process (StreamSink). Call before the run starts; pass a
+// buffered channel sized for the burstiness you can absorb — Emit
+// blocks when it fills rather than dropping.
+func (t *Trace) SetTee(ch chan<- Event) {
+	if t == nil {
+		return
+	}
+	t.tee = ch
+}
+
 // Emit appends an event to the ring. No-op on a nil trace; never
-// allocates on a non-nil one.
+// allocates on a non-nil one (stamping mutates the value copy, the tee
+// copies it into channel storage).
 func (t *Trace) Emit(e Event) {
 	if t == nil {
 		return
 	}
+	if t.origin != 0 && e.Origin == 0 {
+		e.Origin = t.origin
+		e.Epoch = t.epoch
+	}
 	i := t.next.Add(1) - 1
 	t.events[i%int64(len(t.events))] = e
+	if t.tee != nil {
+		t.tee <- e
+	}
 }
 
 // Emitted returns the total number of events emitted (including any

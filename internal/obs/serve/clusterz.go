@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Cluster-wide progress fan-in. Every bcd daemon serves its own
+// /progressz; the coordinator (bcctl -serve) knows all their telemetry
+// URLs, so /clusterz polls each concurrently and folds the per-process
+// views into one cluster picture — which daemons answered, where each
+// stands in the BSP schedule, and how far the slowest lags the front.
+//
+// In an SPMD run every process executes the same round loop, so the
+// per-daemon dgalois_round gauges agree at quiescence; while the run is
+// moving, their spread IS the live straggler picture (a host deep in a
+// long compute phase reports an older round than one already waiting in
+// the exchange).
+
+// ClusterHost is one daemon's slice of the /clusterz view.
+type ClusterHost struct {
+	Host int    `json:"host"`
+	URL  string `json:"url,omitempty"`
+	// Err carries the poll failure for an unreachable daemon ("" when
+	// the poll succeeded). A host mid-replacement, or one whose daemon
+	// was killed, shows up here rather than vanishing from the view.
+	Err      string    `json:"err,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// ClusterProgress is the folded /clusterz view.
+type ClusterProgress struct {
+	Hosts []ClusterHost `json:"hosts"`
+	// Live counts the daemons that answered the poll.
+	Live int `json:"live"`
+	// Round is the slowest live daemon's cluster round — the round the
+	// whole BSP computation has completed.
+	Round int64 `json:"round"`
+	// Epoch is the highest membership epoch any live daemon reports
+	// (during an elastic recovery, survivors bump before stragglers die).
+	Epoch int64 `json:"epoch"`
+	// StragglerLag is the spread (max − min) of the live daemons'
+	// cluster rounds: 0 when the cluster moves in lockstep.
+	StragglerLag int64 `json:"straggler_lag"`
+}
+
+// FanIn polls every daemon's /progressz concurrently and folds the
+// answers. urls is indexed by host slot; empty entries (a host spawned
+// without -metrics) are reported as errors rather than skipped, so the
+// view always has one row per host.
+func FanIn(urls []string, timeout time.Duration) ClusterProgress {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	cp := ClusterProgress{Hosts: make([]ClusterHost, len(urls))}
+	client := &http.Client{Timeout: timeout}
+	var wg sync.WaitGroup
+	for h, url := range urls {
+		cp.Hosts[h] = ClusterHost{Host: h, URL: url}
+		if url == "" {
+			cp.Hosts[h].Err = "no telemetry endpoint"
+			continue
+		}
+		wg.Add(1)
+		go func(h int, url string) {
+			defer wg.Done()
+			p, err := pollProgress(client, url)
+			if err != nil {
+				cp.Hosts[h].Err = err.Error()
+				return
+			}
+			cp.Hosts[h].Progress = p
+		}(h, url)
+	}
+	wg.Wait()
+	first := true
+	var lo, hi int64
+	for _, ch := range cp.Hosts {
+		if ch.Progress == nil {
+			continue
+		}
+		cp.Live++
+		r := ch.Progress.Round
+		if first {
+			lo, hi, first = r, r, false
+		} else {
+			lo, hi = min(lo, r), max(hi, r)
+		}
+		cp.Epoch = max(cp.Epoch, ch.Progress.Epoch)
+	}
+	cp.Round = lo
+	cp.StragglerLag = hi - lo
+	return cp
+}
+
+func pollProgress(client *http.Client, base string) (*Progress, error) {
+	resp, err := client.Get(base + "/progressz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/progressz: %s", base, resp.Status)
+	}
+	var p Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("%s/progressz: %w", base, err)
+	}
+	return &p, nil
+}
+
+// ClusterzHandler serves the fan-in view. source is re-read on every
+// request, so an elastic host replacement (which moves a slot to a new
+// daemon with a new telemetry URL) is visible on the next poll.
+func ClusterzHandler(source func() []string, timeout time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, FanIn(source(), timeout))
+	})
+}

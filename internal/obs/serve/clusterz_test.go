@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mrbc/internal/obs"
+)
+
+// hostServer spins up one daemon-shaped telemetry server whose
+// /progressz reports the given round and epoch.
+func hostServer(t *testing.T, round, epoch int64) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Gauge("dgalois_round").Set(round)
+	reg.Gauge("dgalois_epoch").Set(epoch)
+	srv := httptest.NewServer(New(reg).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFanInFoldsHosts(t *testing.T) {
+	a := hostServer(t, 7, 1)
+	b := hostServer(t, 5, 1)
+	cp := FanIn([]string{a.URL, b.URL}, time.Second)
+	if cp.Live != 2 {
+		t.Fatalf("live = %d, want 2", cp.Live)
+	}
+	// Cluster round is the slowest daemon's; the lag is the spread.
+	if cp.Round != 5 || cp.StragglerLag != 2 || cp.Epoch != 1 {
+		t.Fatalf("round/lag/epoch = %d/%d/%d, want 5/2/1", cp.Round, cp.StragglerLag, cp.Epoch)
+	}
+	for h, ch := range cp.Hosts {
+		if ch.Host != h || ch.Err != "" || ch.Progress == nil {
+			t.Fatalf("host %d row broken: %+v", h, ch)
+		}
+	}
+}
+
+func TestFanInSurvivesDeadAndMissingHosts(t *testing.T) {
+	a := hostServer(t, 3, 0)
+	dead := hostServer(t, 9, 0)
+	deadURL := dead.URL
+	dead.Close()
+	cp := FanIn([]string{a.URL, deadURL, ""}, 200*time.Millisecond)
+	if cp.Live != 1 {
+		t.Fatalf("live = %d, want 1", cp.Live)
+	}
+	if cp.Hosts[1].Err == "" {
+		t.Fatal("dead host reported no error")
+	}
+	if cp.Hosts[2].Err != "no telemetry endpoint" {
+		t.Fatalf("missing endpoint err = %q", cp.Hosts[2].Err)
+	}
+	// The dead host must not contribute to the folded stats.
+	if cp.Round != 3 || cp.StragglerLag != 0 {
+		t.Fatalf("round/lag = %d/%d, want 3/0", cp.Round, cp.StragglerLag)
+	}
+}
+
+func TestClusterzHandlerReReadsSource(t *testing.T) {
+	a := hostServer(t, 2, 0)
+	b := hostServer(t, 4, 0)
+	urls := []string{a.URL}
+	h := ClusterzHandler(func() []string { return urls }, time.Second)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func() ClusterProgress {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cp ClusterProgress
+		if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+	if cp := get(); cp.Live != 1 || len(cp.Hosts) != 1 {
+		t.Fatalf("first poll: %+v", cp)
+	}
+	// A host replacement swaps the slot's URL; the next poll must see it.
+	urls = []string{a.URL, b.URL}
+	if cp := get(); cp.Live != 2 || cp.StragglerLag != 2 {
+		t.Fatalf("second poll after replacement: %+v", cp)
+	}
+}

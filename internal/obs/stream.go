@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// StreamSink persists a trace to disk while it is being recorded, so a
+// host killed mid-run leaves a parseable partial trace for post-mortem
+// merge instead of the nothing an end-of-job dump would. Attach it to a
+// Trace with SetTee(sink.Chan()): Emit copies each event into the
+// channel buffer (no allocation, preserving the zero-alloc Exchange
+// pin) and a single writer goroutine drains it to the file.
+//
+// Durability model: the header is written and fsynced at open, every
+// event is written as one complete JSONL line in one write call (so a
+// SIGKILL never tears a line across writes), and the file is fsynced
+// whenever the writer catches up with the channel — the sink is at
+// most one burst behind the engine. Flush forces that synchronously
+// (for SIGTERM handlers); Close drains, fsyncs, and closes.
+type StreamSink struct {
+	ch    chan Event
+	flush chan chan error
+	done  chan struct{}
+	f     *os.File
+
+	// err is owned by the writer goroutine until done closes.
+	err error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// streamBuffer is the tee channel capacity: the burst the engine can
+// emit while the writer is inside an fsync without blocking Emit.
+const streamBuffer = 1024
+
+// NewStreamSink creates (truncating) the file at path, writes and
+// fsyncs the header line, and starts the writer goroutine.
+func NewStreamSink(path string, header Event) (*StreamSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamSink{
+		ch:    make(chan Event, streamBuffer),
+		flush: make(chan chan error),
+		done:  make(chan struct{}),
+		f:     f,
+	}
+	s.write(header)
+	s.sync()
+	if s.err != nil {
+		f.Close()
+		return nil, s.err
+	}
+	go s.run()
+	return s, nil
+}
+
+// Chan returns the channel to pass to Trace.SetTee.
+func (s *StreamSink) Chan() chan<- Event { return s.ch }
+
+func (s *StreamSink) write(e Event) {
+	if s.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(&e); err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		s.err = err
+	}
+}
+
+func (s *StreamSink) sync() {
+	if s.err != nil {
+		return
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = err
+	}
+}
+
+func (s *StreamSink) run() {
+	defer close(s.done)
+	for {
+		select {
+		case e, ok := <-s.ch:
+			if !ok {
+				s.sync()
+				return
+			}
+			s.write(e)
+			if len(s.ch) == 0 {
+				s.sync()
+			}
+		case ack := <-s.flush:
+			s.drain()
+			s.sync()
+			ack <- s.err
+		}
+	}
+	// Note: after a write error the loop keeps draining (write no-ops),
+	// so Emit through the tee never blocks forever on a dead sink.
+}
+
+func (s *StreamSink) drain() {
+	for {
+		select {
+		case e, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			s.write(e)
+		default:
+			return
+		}
+	}
+}
+
+// Flush synchronously drains buffered events and fsyncs the file: the
+// durability point SIGTERM/job-error paths call before the process can
+// die. Safe to call concurrently with Emit and after Close.
+func (s *StreamSink) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case s.flush <- ack:
+		return <-ack
+	case <-s.done:
+		return s.err
+	}
+}
+
+// Close drains remaining events, fsyncs, and closes the file. Detach
+// the tee (or stop emitting) before calling: an Emit racing Close's
+// channel close panics, the same contract as any channel-owner close.
+// Idempotent; returns the first error the sink hit.
+func (s *StreamSink) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.ch)
+		<-s.done
+		s.closeErr = s.err
+		if err := s.f.Close(); s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
